@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: the hardware prefetcher's role. The paper's whole
+ * optimization works by "steering the hardware prefetcher"
+ * (Section IV-A); with the prefetcher disabled in the memory model,
+ * locality-aware sampling should lose most of its simulated miss
+ * advantage — isolating how much of the gain is prefetch vs plain
+ * line reuse.
+ */
+
+#include "common.hh"
+
+namespace
+{
+
+using namespace marlin;
+using namespace marlin::bench;
+
+std::uint64_t
+missesFor(replay::Sampler &sampler,
+          const replay::MultiAgentBuffer &buffers, bool prefetcher_on)
+{
+    Rng rng(9);
+    std::vector<replay::AgentBatch> batches;
+    replay::AccessTrace trace;
+    for (int u = 0; u < 2; ++u) {
+        for (std::size_t t = 0; t < buffers.numAgents(); ++t) {
+            auto plan = sampler.plan(buffers.size(), 1024, rng);
+            replay::gatherAllAgents(buffers, plan, batches, &trace);
+        }
+    }
+    auto preset =
+        memsim::makePlatform(memsim::PlatformId::Threadripper3975WX);
+    preset.hierarchy.prefetcher.enabled = prefetcher_on;
+    memsim::CacheHierarchy hierarchy(preset.hierarchy);
+    return memsim::replayTrace(hierarchy, trace, preset.frequencyHz)
+        .stats.l1.misses;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: prefetcher on/off under each sampler");
+    const std::size_t agents = 6;
+    auto shapes = taskShapes(Task::PredatorPrey, agents);
+    const BufferIndex capacity =
+        scaledCapacity(shapes, 256ull << 20);
+    replay::MultiAgentBuffer buffers(shapes, capacity);
+    Rng fill_rng(1);
+    fillSynthetic(buffers, capacity, fill_rng);
+
+    std::printf("predator-prey, %zu agents; L1 misses per 2 "
+                "updates\n\n",
+                agents);
+    std::printf("%-20s %14s %14s %12s\n", "sampler", "pf on",
+                "pf off", "pf saves");
+
+    replay::UniformSampler uniform;
+    replay::LocalityAwareSampler loc16({16, 64});
+    replay::LocalityAwareSampler loc64({64, 16});
+    struct Row
+    {
+        const char *name;
+        replay::Sampler *sampler;
+    } rows[] = {{"uniform", &uniform},
+                {"locality n16 r64", &loc16},
+                {"locality n64 r16", &loc64}};
+
+    for (const Row &row : rows) {
+        const auto on = missesFor(*row.sampler, buffers, true);
+        const auto off = missesFor(*row.sampler, buffers, false);
+        std::printf("%-20s %14llu %14llu %11.1f%%\n", row.name,
+                    static_cast<unsigned long long>(on),
+                    static_cast<unsigned long long>(off),
+                    pctReduction(static_cast<double>(off),
+                                 static_cast<double>(on)));
+    }
+
+    std::printf("\nexpectation: the prefetcher barely helps the "
+                "random baseline but removes\nmost misses from the "
+                "sequential neighbor runs — the mechanism the "
+                "paper's\noptimization is built on.\n");
+    return 0;
+}

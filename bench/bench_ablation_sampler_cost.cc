@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation (DESIGN.md decision 2): split each sampler's per-update
+ * cost into index-plan generation vs data gather. Confirms the
+ * strategy-object design isolates the paper's variable — the index
+ * pattern — from the shared gather loop, and quantifies the plan
+ * overhead of the prioritized samplers (sum-tree descents).
+ */
+
+#include "common.hh"
+
+#include "marlin/replay/rank_sampler.hh"
+
+namespace
+{
+
+using namespace marlin;
+using namespace marlin::bench;
+
+void
+measure(const char *label, replay::Sampler &sampler,
+        const replay::MultiAgentBuffer &buffers, int reps)
+{
+    Rng rng(11);
+    std::vector<replay::AgentBatch> batches;
+    std::vector<replay::IndexPlan> plans(buffers.numAgents());
+
+    // Warm-up.
+    for (std::size_t t = 0; t < buffers.numAgents(); ++t) {
+        plans[t] = sampler.plan(buffers.size(), 1024, rng);
+        replay::gatherAllAgents(buffers, plans[t], batches);
+    }
+
+    profile::Stopwatch plan_sw;
+    for (int rep = 0; rep < reps; ++rep)
+        for (std::size_t t = 0; t < buffers.numAgents(); ++t)
+            plans[t] = sampler.plan(buffers.size(), 1024, rng);
+    const double plan_ms = plan_sw.elapsedSeconds() / reps * 1e3;
+
+    profile::Stopwatch gather_sw;
+    for (int rep = 0; rep < reps; ++rep)
+        for (std::size_t t = 0; t < buffers.numAgents(); ++t)
+            replay::gatherAllAgents(buffers, plans[t], batches);
+    const double gather_ms =
+        gather_sw.elapsedSeconds() / reps * 1e3;
+
+    std::printf("%-20s %12.3f %12.2f %11.1f%%\n", label, plan_ms,
+                gather_ms,
+                100.0 * plan_ms / (plan_ms + gather_ms));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: index-plan generation vs gather cost per "
+           "update");
+    const std::size_t agents = 6;
+    auto shapes = taskShapes(Task::PredatorPrey, agents);
+    const BufferIndex capacity =
+        scaledCapacity(shapes, 384ull << 20);
+    replay::MultiAgentBuffer buffers(shapes, capacity);
+    Rng fill_rng(1);
+    fillSynthetic(buffers, capacity, fill_rng);
+
+    std::printf("predator-prey, %zu agents, capacity %llu\n\n",
+                agents, static_cast<unsigned long long>(capacity));
+    std::printf("%-20s %12s %12s %12s\n", "sampler", "plan(ms)",
+                "gather(ms)", "plan share");
+
+    replay::UniformSampler uniform;
+    measure("uniform", uniform, buffers, 4);
+
+    replay::LocalityAwareSampler loc16({16, 64});
+    measure("locality n16 r64", loc16, buffers, 4);
+
+    replay::LocalityAwareSampler loc64({64, 16});
+    measure("locality n64 r16", loc64, buffers, 4);
+
+    replay::PerConfig per_cfg;
+    per_cfg.capacity = capacity;
+    replay::PrioritizedSampler per(per_cfg);
+    replay::InfoPrioritizedLocalitySampler ip(per_cfg);
+    replay::RankBasedSampler rank(per_cfg);
+    {
+        std::vector<BufferIndex> ids(capacity);
+        std::vector<Real> tds(capacity);
+        Rng prio(2);
+        for (BufferIndex i = 0; i < capacity; ++i) {
+            ids[i] = i;
+            tds[i] = prio.uniformf() + Real(0.01);
+        }
+        per.updatePriorities(ids, tds);
+        ip.updatePriorities(ids, tds);
+        rank.updatePriorities(ids, tds);
+    }
+    measure("per (proportional)", per, buffers, 4);
+    measure("info-prioritized", ip, buffers, 4);
+    measure("per (rank-based)", rank, buffers, 2);
+
+    std::printf("\nexpectation: plan cost is negligible for "
+                "uniform/locality, visible for the\nsum-tree "
+                "samplers, and the gather dominates everywhere — "
+                "so sampler speedups\nmust come from the *pattern*, "
+                "which is the paper's thesis.\n");
+    return 0;
+}

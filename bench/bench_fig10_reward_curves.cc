@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 10: mean-episode-reward training curves for baseline
+ * MADDPG vs cache-aware sampling with n=16/ref=64 (more randomness)
+ * and n=64/ref=16 (max locality) on PP-6, CN-6 and CN-12.
+ *
+ * Paper claim: the locality-aware variants track the baseline's
+ * learning curve (slight degradation visible for CN-12 with the
+ * n64r16 setting). We train real (scaled-down) runs and print the
+ * smoothed curves plus final scores; the check is that the locality
+ * scores stay within a band of the baseline, not bitwise equality.
+ * Scale-down: 1200/600 episodes instead of 60k, batch 128, hidden
+ * 32 — small enough for one core, large enough to learn.
+ */
+
+#include "common.hh"
+
+namespace
+{
+
+using namespace marlin;
+using namespace marlin::bench;
+
+struct Curve
+{
+    std::string label;
+    std::vector<Real> rewards;
+    double seconds = 0;
+};
+
+Curve
+trainCurve(Task task, std::size_t agents, std::size_t episodes,
+           const std::string &label, core::SamplerFactory factory)
+{
+    auto environment = makeEnvironment(task, agents, 42);
+    core::TrainConfig config;
+    config.batchSize = 128;
+    config.bufferCapacity = 1 << 15;
+    config.warmupTransitions = 256;
+    config.updateEvery = 50;
+    config.hiddenDims = {32, 32};
+    config.epsilonDecayEpisodes = episodes / 2;
+    config.seed = 42;
+    core::MaddpgTrainer trainer(obsDims(*environment),
+                                environment->actionDim(), config,
+                                std::move(factory));
+    core::TrainLoop loop(*environment, trainer, config);
+    profile::Stopwatch sw;
+    auto result = loop.run(episodes);
+    return {label, std::move(result.episodeRewards),
+            sw.elapsedSeconds()};
+}
+
+void
+runScenario(Task task, std::size_t agents, std::size_t episodes)
+{
+    std::printf("\n%s-%zu (%zu episodes, MADDPG)\n", taskName(task),
+                agents, episodes);
+
+    std::vector<Curve> curves;
+    curves.push_back(trainCurve(task, agents, episodes, "baseline",
+                                uniformFactory()));
+    curves.push_back(trainCurve(task, agents, episodes, "n16_r64",
+                                localityFactory(16, 8)));
+    curves.push_back(trainCurve(task, agents, episodes, "n64_r16",
+                                localityFactory(64, 2)));
+
+    // Smoothed curve: mean reward per tenth of training.
+    std::printf("%-10s", "decile");
+    for (const auto &c : curves)
+        std::printf(" %12s", c.label.c_str());
+    std::printf("\n");
+    const std::size_t buckets = 10;
+    const std::size_t per = episodes / buckets;
+    for (std::size_t b = 0; b < buckets; ++b) {
+        std::printf("%-10zu", b + 1);
+        for (const auto &c : curves) {
+            double mean = 0;
+            for (std::size_t e = b * per; e < (b + 1) * per; ++e)
+                mean += c.rewards[e];
+            std::printf(" %12.1f", mean / per);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-10s", "final");
+    for (const auto &c : curves) {
+        double mean = 0;
+        for (std::size_t e = episodes - per; e < episodes; ++e)
+            mean += c.rewards[e];
+        std::printf(" %12.1f", mean / per);
+    }
+    std::printf("\n%-10s", "time(s)");
+    for (const auto &c : curves)
+        std::printf(" %12.1f", c.seconds);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 10: reward curves, baseline vs cache-aware "
+           "sampling");
+    runScenario(Task::PredatorPrey, 6, 1600);
+    runScenario(Task::CooperativeNavigation, 6, 1600);
+    runScenario(Task::CooperativeNavigation, 12, 600);
+    std::printf("\npaper shape: locality-aware curves track the "
+                "baseline; mild degradation\nis visible in CN-12 "
+                "when locality is pushed (n=64, ref=16).\n");
+    return 0;
+}

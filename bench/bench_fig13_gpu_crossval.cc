@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 13: mini-batch sampling (MBS) and total training time (TT)
+ * savings on an i7-9700K paired with a GTX 1070, MADDPG
+ * predator-prey.
+ *
+ * Paper reference: MBS savings 25.2-39.2%; TT savings only
+ * 2.9-13.3% — smaller than the CPU-only platform (Figure 12)
+ * because per-op PCIe transfers and kernel launches inflate the
+ * network phases, shrinking the sampling share of the total.
+ */
+
+#include "crossval_common.hh"
+
+int
+main()
+{
+    using namespace marlin::bench;
+    banner("Figure 13: cross-validation on i7-9700K + GTX 1070 "
+           "(simulated)");
+    printCrossval("i7-9700K + GTX 1070", true);
+    std::printf("\npaper shape: same MBS savings as Figure 12, but "
+                "TT savings are smaller\n(2.9-13.3%%) than the "
+                "CPU-only platform at every agent count.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 3: training-time breakdown *within* update-all-trainers
+ * (mini-batch sampling / target-Q calculation / Q loss & P loss)
+ * for MADDPG and MATD3 on both tasks, 3-24 agents.
+ *
+ * Paper reference: sampling dominates at 55-65%, target-Q grows
+ * with agents (15-28%), Q/P loss share shrinks slightly.
+ */
+
+#include "hybrid_model.hh"
+
+namespace
+{
+
+using namespace marlin;
+using namespace marlin::bench;
+
+void
+runConfig(Algo algo, Task task)
+{
+    std::printf("\n%s / %s\n", algoName(algo), taskName(task));
+    std::printf("%-8s %13s %13s %13s\n", "agents", "sampling(%)",
+                "target_q(%)", "q_p_loss(%)");
+    const BufferIndex capacity = sweepCapacity(task, 24);
+    for (std::size_t n : {3, 6, 12, 24}) {
+        EstimateContext ctx;
+        auto est = estimatePhases(algo, task, n,
+                                  memsim::makeRtx3090(), ctx,
+                                  capacity);
+        const auto split = updateSplit(est);
+        std::printf("%-8zu %13.1f %13.1f %13.1f\n", n,
+                    split.samplingPct, split.targetQPct,
+                    split.qpLossPct);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 3: update-all-trainers internal breakdown");
+    runConfig(Algo::Maddpg, Task::PredatorPrey);
+    runConfig(Algo::Maddpg, Task::CooperativeNavigation);
+    runConfig(Algo::Matd3, Task::PredatorPrey);
+    runConfig(Algo::Matd3, Task::CooperativeNavigation);
+    std::printf("\npaper shape: mini-batch sampling is the largest "
+                "component (55-65%%)\nacross every algorithm, task "
+                "and agent count; target-Q share grows with N.\n");
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for MARLin's hot kernels: the
+ * GEMM variants at the paper's network shapes, the per-sampler
+ * index-plan generation, single-buffer gathers under each index
+ * pattern, and the sum-tree operations. These feed performance
+ * regressions that the figure-level benches are too coarse to see.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "marlin/numeric/gemm.hh"
+#include "marlin/numeric/ops.hh"
+#include "marlin/replay/gather.hh"
+#include "marlin/replay/locality_sampler.hh"
+#include "marlin/replay/prioritized_sampler.hh"
+#include "marlin/replay/sum_tree.hh"
+#include "marlin/replay/uniform_sampler.hh"
+
+namespace
+{
+
+using namespace marlin;
+using numeric::Matrix;
+
+// --- GEMM at the paper's actor/critic shapes -----------------------
+
+void
+BM_GemmCriticForward(benchmark::State &state)
+{
+    // batch x jointDim times jointDim x 64 — the centralized
+    // critic's first layer at the given agent count (PP dims).
+    const std::size_t agents = static_cast<std::size_t>(state.range(0));
+    const std::size_t joint = agents * (4 * agents + 10);
+    Rng rng(1);
+    Matrix a(1024, joint), b(joint, 64), c;
+    numeric::fillUniform(a, rng, -1, 1);
+    numeric::fillUniform(b, rng, -1, 1);
+    for (auto _ : state) {
+        numeric::gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024 * joint * 64);
+}
+BENCHMARK(BM_GemmCriticForward)->Arg(3)->Arg(6)->Arg(12);
+
+void
+BM_GemmTN(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    Matrix a(1024, n), b(1024, 64), c;
+    numeric::fillUniform(a, rng, -1, 1);
+    numeric::fillUniform(b, rng, -1, 1);
+    for (auto _ : state) {
+        numeric::gemmTN(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+// --- Index-plan generation ------------------------------------------
+
+void
+BM_PlanUniform(benchmark::State &state)
+{
+    replay::UniformSampler sampler;
+    Rng rng(3);
+    for (auto _ : state) {
+        auto plan = sampler.plan(1 << 20, 1024, rng);
+        benchmark::DoNotOptimize(plan.indices.data());
+    }
+}
+BENCHMARK(BM_PlanUniform);
+
+void
+BM_PlanLocality(benchmark::State &state)
+{
+    replay::LocalityAwareSampler sampler(
+        {static_cast<std::size_t>(state.range(0)), 0});
+    Rng rng(4);
+    for (auto _ : state) {
+        auto plan = sampler.plan(1 << 20, 1024, rng);
+        benchmark::DoNotOptimize(plan.indices.data());
+    }
+}
+BENCHMARK(BM_PlanLocality)->Arg(16)->Arg(64);
+
+void
+BM_PlanPer(benchmark::State &state)
+{
+    replay::PerConfig cfg;
+    cfg.capacity = 1 << 16;
+    replay::PrioritizedSampler sampler(cfg);
+    for (BufferIndex i = 0; i < cfg.capacity; ++i)
+        sampler.onAdd(i);
+    Rng rng(5);
+    for (auto _ : state) {
+        auto plan = sampler.plan(cfg.capacity, 1024, rng);
+        benchmark::DoNotOptimize(plan.indices.data());
+    }
+}
+BENCHMARK(BM_PlanPer);
+
+// --- Single-buffer gather under each pattern ------------------------
+
+void
+gatherBench(benchmark::State &state, bool sequential)
+{
+    const std::size_t obs_dim = static_cast<std::size_t>(state.range(0));
+    replay::ReplayBuffer buffer({obs_dim, 5}, 1 << 16);
+    std::vector<Real> obs(obs_dim), next(obs_dim), act(5, 0);
+    for (int t = 0; t < (1 << 16); ++t)
+        buffer.add(obs.data(), act.data(), 0, next.data(), false);
+
+    replay::UniformSampler uniform;
+    replay::LocalityAwareSampler locality({64, 16});
+    replay::Sampler &sampler =
+        sequential ? static_cast<replay::Sampler &>(locality)
+                   : static_cast<replay::Sampler &>(uniform);
+    Rng rng(6);
+    replay::AgentBatch batch;
+    for (auto _ : state) {
+        auto plan = sampler.plan(buffer.size(), 1024, rng);
+        replay::gatherAgentBatch(buffer, plan, batch);
+        benchmark::DoNotOptimize(batch.obs.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 1024 *
+                            (2 * obs_dim + 5 + 2) * sizeof(Real));
+}
+
+void
+BM_GatherRandom(benchmark::State &state)
+{
+    gatherBench(state, false);
+}
+BENCHMARK(BM_GatherRandom)->Arg(16)->Arg(98);
+
+void
+BM_GatherSequentialRuns(benchmark::State &state)
+{
+    gatherBench(state, true);
+}
+BENCHMARK(BM_GatherSequentialRuns)->Arg(16)->Arg(98);
+
+// --- Sum tree --------------------------------------------------------
+
+void
+BM_SumTreeSet(benchmark::State &state)
+{
+    replay::SumTree tree(1 << 20);
+    Rng rng(7);
+    for (auto _ : state) {
+        tree.set(rng.randint(1 << 20), rng.uniform());
+    }
+}
+BENCHMARK(BM_SumTreeSet);
+
+void
+BM_SumTreeFind(benchmark::State &state)
+{
+    replay::SumTree tree(1 << 20);
+    Rng rng(8);
+    for (BufferIndex i = 0; i < (1 << 20); ++i)
+        tree.set(i, rng.uniform() + 0.01);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.find(rng.uniform() * tree.total() * 0.999));
+    }
+}
+BENCHMARK(BM_SumTreeFind);
+
+} // namespace
+
+BENCHMARK_MAIN();

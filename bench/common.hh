@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: environment
+ * and trainer factories, synthetic buffer filling, capacity scaling,
+ * and paper-style table printing.
+ *
+ * The paper's runs use a 1e6-entry replay buffer and 60,000-episode
+ * training on a 32-core Threadripper + RTX 3090. The benches run
+ * the same code paths at reduced scale (entries, episodes) chosen to
+ * fit one CPU core and the container's memory, and they print the
+ * scale factors they apply. The claims being reproduced are shapes
+ * and ratios, which stabilize at these scales.
+ */
+
+#ifndef MARLIN_BENCH_COMMON_HH
+#define MARLIN_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "marlin/marlin.hh"
+
+namespace marlin::bench
+{
+
+/** The two paper workloads. */
+enum class Algo { Maddpg, Matd3 };
+
+/** The two paper tasks. */
+enum class Task { PredatorPrey, CooperativeNavigation };
+
+inline const char *
+algoName(Algo a)
+{
+    return a == Algo::Maddpg ? "MADDPG" : "MATD3";
+}
+
+inline const char *
+taskName(Task t)
+{
+    return t == Task::PredatorPrey ? "predator-prey"
+                                   : "cooperative-navigation";
+}
+
+inline std::unique_ptr<env::Environment>
+makeEnvironment(Task task, std::size_t agents, std::uint64_t seed)
+{
+    return task == Task::PredatorPrey
+               ? env::makePredatorPreyEnv(agents, seed)
+               : env::makeCooperativeNavigationEnv(agents, seed);
+}
+
+inline std::vector<std::size_t>
+obsDims(const env::Environment &environment)
+{
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment.numAgents(); ++i)
+        dims.push_back(environment.obsDim(i));
+    return dims;
+}
+
+/** Observation dims for a task without building the environment. */
+inline std::vector<std::size_t>
+taskObsDims(Task task, std::size_t agents)
+{
+    if (task == Task::PredatorPrey) {
+        env::PredatorPreyConfig cfg;
+        cfg.numPredators = agents;
+        env::PredatorPreyScenario scenario(cfg);
+        std::vector<std::size_t> dims;
+        for (std::size_t i = 0; i < agents; ++i)
+            dims.push_back(scenario.observationDim(i));
+        return dims;
+    }
+    env::CooperativeNavigationConfig cfg;
+    cfg.numAgents = agents;
+    env::CooperativeNavigationScenario scenario(cfg);
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < agents; ++i)
+        dims.push_back(scenario.observationDim(i));
+    return dims;
+}
+
+inline std::unique_ptr<core::CtdeTrainerBase>
+makeTrainer(Algo algo, std::vector<std::size_t> dims,
+            std::size_t act_dim, core::TrainConfig config,
+            core::SamplerFactory factory)
+{
+    if (algo == Algo::Maddpg) {
+        return std::make_unique<core::MaddpgTrainer>(
+            std::move(dims), act_dim, std::move(config),
+            std::move(factory));
+    }
+    return std::make_unique<core::Matd3Trainer>(
+        std::move(dims), act_dim, std::move(config),
+        std::move(factory));
+}
+
+inline core::SamplerFactory
+uniformFactory()
+{
+    return [] { return std::make_unique<replay::UniformSampler>(); };
+}
+
+inline core::SamplerFactory
+localityFactory(std::size_t neighbors, std::size_t refs)
+{
+    return [=] {
+        return std::make_unique<replay::LocalityAwareSampler>(
+            replay::LocalityConfig{neighbors, refs});
+    };
+}
+
+inline core::SamplerFactory
+perFactory(BufferIndex capacity)
+{
+    return [=] {
+        replay::PerConfig cfg;
+        cfg.capacity = capacity;
+        return std::make_unique<replay::PrioritizedSampler>(cfg);
+    };
+}
+
+inline core::SamplerFactory
+infoPrioritizedFactory(BufferIndex capacity)
+{
+    return [=] {
+        replay::PerConfig cfg;
+        cfg.capacity = capacity;
+        return std::make_unique<
+            replay::InfoPrioritizedLocalitySampler>(cfg);
+    };
+}
+
+/** Transition shapes for (task, agents) with a given action dim. */
+inline std::vector<replay::TransitionShape>
+taskShapes(Task task, std::size_t agents, std::size_t act_dim = 5)
+{
+    std::vector<replay::TransitionShape> shapes;
+    for (std::size_t d : taskObsDims(task, agents))
+        shapes.push_back({d, act_dim});
+    return shapes;
+}
+
+/**
+ * Largest power-of-two capacity <= 1e6 whose total storage for the
+ * given shapes fits @p budget_bytes. Prints nothing; callers report
+ * the chosen scale.
+ */
+inline BufferIndex
+scaledCapacity(const std::vector<replay::TransitionShape> &shapes,
+               std::size_t budget_bytes = 2ull << 30)
+{
+    std::size_t bytes_per_entry = 0;
+    for (const auto &s : shapes)
+        bytes_per_entry += s.flatSize() * sizeof(Real);
+    BufferIndex capacity = 1 << 20; // Paper: 1e6 ~ 2^20.
+    while (capacity > 1024 &&
+           capacity * bytes_per_entry > budget_bytes) {
+        capacity >>= 1;
+    }
+    return capacity;
+}
+
+/**
+ * Fill every agent's buffer (and optionally the interleaved store)
+ * with synthetic random transitions up to @p count entries. Used by
+ * sampling-phase benches where environment dynamics are irrelevant
+ * but buffer volume is.
+ */
+inline void
+fillSynthetic(replay::MultiAgentBuffer &buffers, BufferIndex count,
+              Rng &rng,
+              replay::InterleavedReplayStore *store = nullptr)
+{
+    const std::size_t n = buffers.numAgents();
+    std::vector<std::vector<Real>> obs(n), act(n), next(n);
+    std::vector<Real> rew(n);
+    std::vector<bool> done(n, false);
+    for (std::size_t a = 0; a < n; ++a) {
+        const auto &shape = buffers.agent(a).shape();
+        obs[a].resize(shape.obsDim);
+        next[a].resize(shape.obsDim);
+        act[a].assign(shape.actDim, Real(0));
+    }
+    for (BufferIndex t = 0; t < count; ++t) {
+        for (std::size_t a = 0; a < n; ++a) {
+            for (auto &v : obs[a])
+                v = rng.uniformf();
+            for (auto &v : next[a])
+                v = rng.uniformf();
+            std::fill(act[a].begin(), act[a].end(), Real(0));
+            act[a][rng.randint(act[a].size())] = Real(1);
+            rew[a] = rng.uniformf();
+        }
+        buffers.add(obs, act, rew, next, done);
+        if (store)
+            store->append(obs, act, rew, next, done);
+    }
+}
+
+/** Print a separator + bench header. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+/** Percentage change from baseline to optimized wall-clock. */
+inline double
+pctReduction(double baseline, double optimized)
+{
+    return baseline > 0 ? 100.0 * (baseline - optimized) / baseline
+                        : 0.0;
+}
+
+} // namespace marlin::bench
+
+#endif // MARLIN_BENCH_COMMON_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared machinery for the Figure 12/13 cross-validation benches.
+ *
+ * Both figures evaluate MADDPG predator-prey on an Intel i7-9700K
+ * host; Figure 12 runs everything on the CPU, Figure 13 offloads
+ * the network phases to a GTX 1070. Neither platform is available
+ * here, so these benches are *fully simulated*: the mini-batch
+ * sampling phase is the trace-driven i7 memory model fed with the
+ * real samplers' address streams, and the network phases use either
+ * a CPU-throughput model or the GTX 1070 device model with an
+ * eager-framework dispatch overhead per op (the paper attributes
+ * the GPU platform's weaker gains to exactly this per-op
+ * transfer/launch pressure).
+ */
+
+#ifndef MARLIN_BENCH_CROSSVAL_COMMON_HH
+#define MARLIN_BENCH_CROSSVAL_COMMON_HH
+
+#include "hybrid_model.hh"
+
+namespace marlin::bench
+{
+
+/** Sustained FP32 throughput of the 8-core i7-9700K (FLOP/s). */
+inline constexpr double i7CpuFlops = 35e9;
+
+/**
+ * Eager-framework per-op dispatch overhead on the GPU path (s).
+ * TF2 eager mode dispatches each small op through Python + the
+ * CUDA driver; for the paper's tiny 64-unit networks this dominates
+ * the GPU compute itself, which is why the paper finds the GPU
+ * platform gains *less* from sampling optimizations (Section VI-B).
+ */
+inline constexpr double gpuOpOverhead = 200e-6;
+
+/** Ops dispatched per trainer per update on the GPU path. */
+inline constexpr double gpuOpsPerTrainer = 150.0;
+
+/** Simulated sampling seconds per update on the i7 memory model. */
+inline double
+simulatedSamplingSeconds(Task task, std::size_t agents,
+                         replay::Sampler &sampler,
+                         BufferIndex capacity, int updates)
+{
+    auto shapes = taskShapes(task, agents);
+    replay::MultiAgentBuffer buffers(shapes, capacity);
+    Rng fill_rng(agents * 7 + 5);
+    fillSynthetic(buffers, capacity, fill_rng);
+
+    auto preset =
+        memsim::makePlatform(memsim::PlatformId::CoreI7_9700K);
+    memsim::CacheHierarchy hierarchy(preset.hierarchy);
+    Rng rng(29);
+    std::vector<replay::AgentBatch> batches;
+    double seconds = 0;
+    for (int u = 0; u < updates; ++u) {
+        replay::AccessTrace trace;
+        for (std::size_t t = 0; t < agents; ++t) {
+            auto plan = sampler.plan(buffers.size(), 1024, rng);
+            replay::gatherAllAgents(buffers, plan, batches, &trace);
+        }
+        seconds += memsim::replayTrace(hierarchy, trace,
+                                       preset.frequencyHz)
+                       .memorySeconds;
+    }
+    return seconds / updates;
+}
+
+/** Total network FLOPs per update across all trainers. */
+inline double
+nnFlopsPerUpdate(Task task, std::size_t agents)
+{
+    const auto dims = taskObsDims(task, agents);
+    const std::size_t batch = 1024, hidden = 64, act = 5;
+    std::size_t joint = agents * act;
+    for (std::size_t d : dims)
+        joint += d;
+    double flops = 0;
+    for (std::size_t i = 0; i < agents; ++i) {
+        flops += targetQFlops(dims, act, batch, hidden, joint, false);
+        flops += qpLossFlops(dims[i], act, batch, hidden, joint,
+                             false);
+    }
+    return flops;
+}
+
+/** Bytes shipped to the device per update across all trainers. */
+inline double
+nnBytesPerUpdate(Task task, std::size_t agents)
+{
+    const auto dims = taskObsDims(task, agents);
+    const std::size_t batch = 1024, act = 5;
+    std::size_t joint = agents * act;
+    for (std::size_t d : dims)
+        joint += d;
+    double bytes = 0;
+    for (std::size_t i = 0; i < agents; ++i)
+        bytes += 4.0 * batch * (2.0 * joint + dims[i]);
+    return bytes;
+}
+
+/** Network seconds per update for the CPU-only platform. */
+inline double
+cpuNnSeconds(Task task, std::size_t agents)
+{
+    return nnFlopsPerUpdate(task, agents) / i7CpuFlops;
+}
+
+/** Network seconds per update for the CPU+GTX1070 platform. */
+inline double
+gpuNnSeconds(Task task, std::size_t agents)
+{
+    const auto gpu = memsim::makeGtx1070();
+    return offloadSeconds(gpu, nnFlopsPerUpdate(task, agents),
+                          nnBytesPerUpdate(task, agents),
+                          4.0 * 1024 * agents) +
+           agents * gpuOpsPerTrainer *
+               (gpu.launchLatency + gpuOpOverhead);
+}
+
+/** One row of a Figure 12/13 style table. */
+struct CrossvalRow
+{
+    double mbsBase = 0;     ///< Baseline sampling s/update.
+    double mbsN16 = 0;      ///< n16r64 sampling s/update.
+    double mbsN64 = 0;      ///< n64r16 sampling s/update.
+    double nnSeconds = 0;   ///< Network s/update (platform).
+};
+
+inline CrossvalRow
+crossvalRow(std::size_t agents, bool gpu, BufferIndex capacity)
+{
+    CrossvalRow row;
+    replay::UniformSampler uniform;
+    replay::LocalityAwareSampler n16({16, 64});
+    replay::LocalityAwareSampler n64({64, 16});
+    const int updates = agents >= 12 ? 1 : 2;
+    row.mbsBase = simulatedSamplingSeconds(
+        Task::PredatorPrey, agents, uniform, capacity, updates);
+    row.mbsN16 = simulatedSamplingSeconds(
+        Task::PredatorPrey, agents, n16, capacity, updates);
+    row.mbsN64 = simulatedSamplingSeconds(
+        Task::PredatorPrey, agents, n64, capacity, updates);
+    row.nnSeconds = gpu ? gpuNnSeconds(Task::PredatorPrey, agents)
+                        : cpuNnSeconds(Task::PredatorPrey, agents);
+    return row;
+}
+
+/**
+ * Print the MBS and total-time savings table for one platform.
+ * Total time per update = sampling + network phases (the per-step
+ * phases are platform-independent and small; Figure 12/13 percent
+ * comparisons are over the update-dominated regime).
+ */
+inline void
+printCrossval(const char *platform, bool gpu)
+{
+    std::printf("\nMADDPG predator-prey on %s\n", platform);
+    std::printf("%-8s %11s %11s %11s %11s\n", "agents",
+                "MBS16(%)", "TT16(%)", "MBS64(%)", "TT64(%)");
+    const BufferIndex capacity = 1 << 15;
+    for (std::size_t n : {3, 6, 12}) {
+        auto row = crossvalRow(n, gpu, capacity);
+        const double tt_base = row.mbsBase + row.nnSeconds;
+        const double tt16 = row.mbsN16 + row.nnSeconds;
+        const double tt64 = row.mbsN64 + row.nnSeconds;
+        std::printf("%-8zu %11.1f %11.1f %11.1f %11.1f\n", n,
+                    pctReduction(row.mbsBase, row.mbsN16),
+                    pctReduction(tt_base, tt16),
+                    pctReduction(row.mbsBase, row.mbsN64),
+                    pctReduction(tt_base, tt64));
+    }
+}
+
+} // namespace marlin::bench
+
+#endif // MARLIN_BENCH_CROSSVAL_COMMON_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Full command-line training driver: pick the algorithm, task,
+ * sampler, layout backend and hyper-parameters; optionally resume
+ * from / save to a checkpoint. This is the "run the paper" entry
+ * point for users who don't want to write C++.
+ *
+ *   ./marlin_cli --algo maddpg --task pp --agents 6 \
+ *       --sampler locality --neighbors 16 --episodes 2000 \
+ *       --save-checkpoint run.ckpt
+ */
+
+#include <cstdio>
+
+#include "marlin/base/args.hh"
+#include "marlin/core/checkpoint.hh"
+#include "marlin/env/physical_deception.hh"
+#include "marlin/marlin.hh"
+#include "marlin/replay/rank_sampler.hh"
+
+using namespace marlin;
+
+namespace
+{
+
+std::unique_ptr<env::Environment>
+buildEnvironment(const std::string &task, std::size_t agents,
+                 std::uint64_t seed)
+{
+    if (task == "pp")
+        return env::makePredatorPreyEnv(agents, seed);
+    if (task == "cn")
+        return env::makeCooperativeNavigationEnv(agents, seed);
+    if (task == "pd") {
+        env::PhysicalDeceptionConfig cfg;
+        cfg.numGoodAgents = agents > 1 ? agents - 1 : 1;
+        return std::make_unique<env::Environment>(
+            std::make_unique<env::PhysicalDeceptionScenario>(cfg),
+            seed);
+    }
+    fatal("unknown task '%s' (expected pp, cn or pd)", task.c_str());
+}
+
+core::SamplerFactory
+buildSamplerFactory(const std::string &sampler, std::size_t neighbors,
+                    BufferIndex capacity)
+{
+    if (sampler == "uniform") {
+        return [] {
+            return std::make_unique<replay::UniformSampler>();
+        };
+    }
+    if (sampler == "locality") {
+        return [neighbors] {
+            return std::make_unique<replay::LocalityAwareSampler>(
+                replay::LocalityConfig{neighbors, 0});
+        };
+    }
+    if (sampler == "per") {
+        return [capacity] {
+            replay::PerConfig cfg;
+            cfg.capacity = capacity;
+            return std::make_unique<replay::PrioritizedSampler>(cfg);
+        };
+    }
+    if (sampler == "per-rank") {
+        return [capacity] {
+            replay::PerConfig cfg;
+            cfg.capacity = capacity;
+            return std::make_unique<replay::RankBasedSampler>(cfg);
+        };
+    }
+    if (sampler == "ip") {
+        return [capacity] {
+            replay::PerConfig cfg;
+            cfg.capacity = capacity;
+            return std::make_unique<
+                replay::InfoPrioritizedLocalitySampler>(cfg);
+        };
+    }
+    fatal("unknown sampler '%s' (expected uniform, locality, per, "
+          "per-rank or ip)",
+          sampler.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("marlin_cli");
+    args.addOption("algo", "maddpg", "algorithm: maddpg or matd3");
+    args.addOption("task", "cn",
+                   "task: pp (predator-prey), cn (cooperative "
+                   "navigation), pd (physical deception)");
+    args.addOption("agents", "3", "number of trained agents");
+    args.addOption("episodes", "1000", "training episodes");
+    args.addOption("sampler", "uniform",
+                   "uniform, locality, per, per-rank or ip");
+    args.addOption("neighbors", "16",
+                   "neighbor run length for --sampler locality");
+    args.addOption("batch", "128", "mini-batch size");
+    args.addOption("buffer", "32768", "replay capacity");
+    args.addOption("update-every", "50",
+                   "insertions between updates");
+    args.addOption("lr", "0.01", "Adam learning rate");
+    args.addOption("gamma", "0.95", "discount factor");
+    args.addOption("seed", "7", "RNG seed");
+    args.addOption("save-checkpoint", "",
+                   "write trainer state here after training");
+    args.addOption("load-checkpoint", "",
+                   "restore trainer state before training");
+    args.addFlag("interleaved",
+                 "use the reorganized key-value replay layout");
+    args.addFlag("continuous",
+                 "tanh actors emitting 2D forces (OU exploration) "
+                 "instead of 5 discrete actions");
+    args.parse(argc, argv);
+
+    const auto agents =
+        static_cast<std::size_t>(args.getInt("agents"));
+    const auto episodes =
+        static_cast<std::size_t>(args.getInt("episodes"));
+
+    auto environment = buildEnvironment(
+        args.get("task"), agents,
+        static_cast<std::uint64_t>(args.getInt("seed")));
+
+    core::TrainConfig config;
+    config.batchSize = static_cast<std::size_t>(args.getInt("batch"));
+    config.bufferCapacity =
+        static_cast<BufferIndex>(args.getInt("buffer"));
+    config.updateEvery =
+        static_cast<std::size_t>(args.getInt("update-every"));
+    config.warmupTransitions = config.batchSize * 2;
+    config.lr = static_cast<Real>(args.getDouble("lr"));
+    config.gamma = static_cast<Real>(args.getDouble("gamma"));
+    config.epsilonDecayEpisodes = episodes / 2;
+    config.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    if (args.getFlag("interleaved"))
+        config.backend = core::SamplingBackend::Interleaved;
+    if (args.getFlag("continuous"))
+        config.actionMode = core::ActionMode::Continuous;
+
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment->numAgents(); ++i)
+        dims.push_back(environment->obsDim(i));
+
+    auto factory = buildSamplerFactory(
+        args.get("sampler"),
+        static_cast<std::size_t>(args.getInt("neighbors")),
+        config.bufferCapacity);
+
+    const std::size_t act_dim =
+        config.actionMode == core::ActionMode::Continuous
+            ? 2
+            : environment->actionDim();
+    std::unique_ptr<core::CtdeTrainerBase> trainer;
+    const std::string algo = args.get("algo");
+    if (algo == "maddpg") {
+        trainer = std::make_unique<core::MaddpgTrainer>(
+            dims, act_dim, config, factory);
+    } else if (algo == "matd3") {
+        trainer = std::make_unique<core::Matd3Trainer>(
+            dims, act_dim, config, factory);
+    } else {
+        fatal("unknown algo '%s'", algo.c_str());
+    }
+
+    if (!args.get("load-checkpoint").empty()) {
+        core::loadTrainerFile(args.get("load-checkpoint"), *trainer);
+        inform("restored checkpoint '%s'",
+               args.get("load-checkpoint").c_str());
+    }
+
+    core::TrainLoop loop(*environment, *trainer, config);
+    std::printf("%s on %s: %zu agents, %zu episodes, sampler=%s%s\n",
+                algo.c_str(),
+                environment->scenario().name().c_str(),
+                environment->numAgents(), episodes,
+                args.get("sampler").c_str(),
+                args.getFlag("interleaved") ? ", interleaved layout"
+                                            : "");
+
+    const std::size_t report =
+        std::max<std::size_t>(1, episodes / 10);
+    double window = 0;
+    auto result =
+        loop.run(episodes, [&](const core::EpisodeInfo &e) {
+            window += e.meanReward;
+            if ((e.episode + 1) % report == 0) {
+                std::printf("  episode %6zu  mean reward %9.2f\n",
+                            e.episode + 1, window / report);
+                window = 0;
+            }
+        });
+
+    std::printf("\nfinal score %.2f | %s\n", result.finalScore,
+                profile::formatTopLevel(
+                    profile::topLevelBreakdown(result.timer))
+                    .c_str());
+    std::printf("%s\n",
+                profile::formatUpdate(
+                    profile::updateBreakdown(result.timer))
+                    .c_str());
+
+    if (!args.get("save-checkpoint").empty()) {
+        core::saveTrainerFile(args.get("save-checkpoint"), *trainer);
+        inform("saved checkpoint '%s'",
+               args.get("save-checkpoint").c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,128 @@
+#include "marlin/base/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
+
+namespace marlin
+{
+
+ArgParser::ArgParser(std::string program_in)
+    : program(std::move(program_in))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name,
+                     const std::string &default_value,
+                     const std::string &help)
+{
+    options[name] = {default_value, help, false};
+    values[name] = default_value;
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    options[name] = {"false", help, true};
+    values[name] = "false";
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("%s", usage().c_str());
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positionals.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_inline = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+        auto it = options.find(name);
+        if (it == options.end())
+            fatal("unknown option '--%s'\n%s", name.c_str(),
+                  usage().c_str());
+        if (it->second.isFlag) {
+            values[name] = has_inline ? value : "true";
+        } else if (has_inline) {
+            values[name] = value;
+        } else {
+            if (i + 1 >= argc)
+                fatal("option '--%s' expects a value\n%s",
+                      name.c_str(), usage().c_str());
+            values[name] = argv[++i];
+        }
+    }
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    auto it = values.find(name);
+    if (it == values.end())
+        panic("option '%s' was never declared", name.c_str());
+    return it->second;
+}
+
+long
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string &raw = get(name);
+    char *end = nullptr;
+    const long v = std::strtol(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0')
+        fatal("option '--%s' expects an integer, got '%s'",
+              name.c_str(), raw.c_str());
+    return v;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string &raw = get(name);
+    char *end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0')
+        fatal("option '--%s' expects a number, got '%s'",
+              name.c_str(), raw.c_str());
+    return v;
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return get(name) == "true";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::string out = csprintf("usage: %s [options]\n", program.c_str());
+    for (const auto &[name, opt] : options) {
+        if (opt.isFlag) {
+            out += csprintf("  --%-20s %s\n", name.c_str(),
+                            opt.help.c_str());
+        } else {
+            out += csprintf("  --%-20s %s (default: %s)\n",
+                            (name + " <v>").c_str(),
+                            opt.help.c_str(),
+                            opt.defaultValue.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace marlin

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small command-line argument parser for the examples and tools:
+ * --name value / --name=value / --flag, with typed accessors,
+ * defaults, and an auto-generated usage string.
+ */
+
+#ifndef MARLIN_BASE_ARGS_HH
+#define MARLIN_BASE_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace marlin
+{
+
+/** Declarative option table + parsed values. */
+class ArgParser
+{
+  public:
+    /** @param program Name shown in the usage string. */
+    explicit ArgParser(std::string program);
+
+    /**
+     * Declare an option taking a value.
+     *
+     * @param name Long option name without dashes ("episodes").
+     * @param default_value Value when the flag is absent.
+     * @param help One-line description.
+     */
+    void addOption(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help);
+
+    /** Declare a boolean flag (false unless present). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Unknown options or missing values are reported
+     * via fatal() along with the usage text. "--help" prints usage
+     * and exits 0.
+     */
+    void parse(int argc, char **argv);
+
+    /** Raw string value of @p name. @pre the option was declared. */
+    const std::string &get(const std::string &name) const;
+
+    /** Typed accessors (fatal on malformed numbers). */
+    long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positionals;
+    }
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string defaultValue;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    std::string program;
+    std::map<std::string, Option> options;
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positionals;
+};
+
+} // namespace marlin
+
+#endif // MARLIN_BASE_ARGS_HH

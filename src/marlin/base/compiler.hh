@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Compiler portability helpers shared across MARLin.
+ */
+
+#ifndef MARLIN_BASE_COMPILER_HH
+#define MARLIN_BASE_COMPILER_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MARLIN_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MARLIN_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define MARLIN_ALWAYS_INLINE inline __attribute__((always_inline))
+#define MARLIN_NOINLINE __attribute__((noinline))
+#define MARLIN_RESTRICT __restrict__
+#else
+#define MARLIN_LIKELY(x) (x)
+#define MARLIN_UNLIKELY(x) (x)
+#define MARLIN_ALWAYS_INLINE inline
+#define MARLIN_NOINLINE
+#define MARLIN_RESTRICT
+#endif
+
+#endif // MARLIN_BASE_COMPILER_HH

@@ -1,0 +1,91 @@
+#include "marlin/base/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "marlin/base/string_utils.hh"
+
+namespace marlin
+{
+
+namespace
+{
+
+LogLevel global_level = LogLevel::Inform;
+
+void
+emit(const char *tag, const char *fmt, va_list args)
+{
+    std::string msg = vcsprintf(fmt, args);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (global_level < LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (global_level < LogLevel::Inform)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (global_level < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug", fmt, args);
+    va_end(args);
+}
+
+} // namespace marlin

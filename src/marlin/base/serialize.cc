@@ -1,0 +1,48 @@
+#include "marlin/base/serialize.hh"
+
+namespace marlin
+{
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<std::uint64_t>(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto len = readPod<std::uint64_t>(is);
+    std::string s(len, '\0');
+    is.read(s.data(), static_cast<std::streamsize>(len));
+    if (!is)
+        fatal("checkpoint truncated while reading string of %llu",
+              static_cast<unsigned long long>(len));
+    return s;
+}
+
+void
+writeHeader(std::ostream &os, std::uint32_t magic,
+            std::uint32_t version)
+{
+    writePod(os, magic);
+    writePod(os, version);
+}
+
+std::uint32_t
+readHeader(std::istream &is, std::uint32_t magic,
+           std::uint32_t max_version)
+{
+    const auto file_magic = readPod<std::uint32_t>(is);
+    if (file_magic != magic)
+        fatal("bad checkpoint magic 0x%08x (expected 0x%08x)",
+              file_magic, magic);
+    const auto version = readPod<std::uint32_t>(is);
+    if (version > max_version)
+        fatal("checkpoint version %u is newer than supported %u",
+              version, max_version);
+    return version;
+}
+
+} // namespace marlin

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal binary serialization helpers: little-endian PODs and
+ * length-prefixed vectors/strings over std::iostream, with a
+ * magic+version header utility for checkpoint files.
+ */
+
+#ifndef MARLIN_BASE_SERIALIZE_HH
+#define MARLIN_BASE_SERIALIZE_HH
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin
+{
+
+/** Write a trivially-copyable value. */
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "writePod requires a trivially copyable type");
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+/** Read a trivially-copyable value; fatal on short read. */
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "readPod requires a trivially copyable type");
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        fatal("checkpoint truncated while reading %zu bytes",
+              sizeof(T));
+    return value;
+}
+
+/** Write a vector of trivially-copyable values (u64 length prefix). */
+template <typename T>
+void
+writeVector(std::ostream &os, const std::vector<T> &values)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "writeVector requires trivially copyable elements");
+    writePod<std::uint64_t>(os, values.size());
+    os.write(reinterpret_cast<const char *>(values.data()),
+             static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+/** Read a vector written by writeVector. */
+template <typename T>
+std::vector<T>
+readVector(std::istream &is)
+{
+    const auto count = readPod<std::uint64_t>(is);
+    std::vector<T> values(count);
+    is.read(reinterpret_cast<char *>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    if (!is)
+        fatal("checkpoint truncated while reading vector of %llu",
+              static_cast<unsigned long long>(count));
+    return values;
+}
+
+/** Write a length-prefixed string. */
+void writeString(std::ostream &os, const std::string &s);
+
+/** Read a length-prefixed string. */
+std::string readString(std::istream &is);
+
+/** Write a 4-byte magic + u32 version header. */
+void writeHeader(std::ostream &os, std::uint32_t magic,
+                 std::uint32_t version);
+
+/**
+ * Read and validate a header; fatal on magic mismatch or on a
+ * version newer than @p max_version.
+ * @return The file's version.
+ */
+std::uint32_t readHeader(std::istream &is, std::uint32_t magic,
+                         std::uint32_t max_version);
+
+} // namespace marlin
+
+#endif // MARLIN_BASE_SERIALIZE_HH

@@ -1,0 +1,63 @@
+#include "marlin/base/string_utils.hh"
+
+#include <cstdio>
+
+namespace marlin
+{
+
+std::string
+vcsprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return {};
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vcsprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+tokenize(const std::string &s, char delim)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(delim, start);
+        if (end == std::string::npos)
+            end = s.size();
+        if (end > start)
+            fields.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return fields;
+}
+
+std::string
+formatBytes(std::size_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return csprintf("%zu B", bytes);
+    return csprintf("%.2f %s", value, units[unit]);
+}
+
+} // namespace marlin

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * printf-style std::string formatting helpers (csprintf analog).
+ */
+
+#ifndef MARLIN_BASE_STRING_UTILS_HH
+#define MARLIN_BASE_STRING_UTILS_HH
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace marlin
+{
+
+/**
+ * Format a printf-style format string into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted string.
+ */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of csprintf(). */
+std::string vcsprintf(const char *fmt, va_list args);
+
+/** Split @p s on @p delim, dropping empty fields. */
+std::vector<std::string> tokenize(const std::string &s, char delim);
+
+/** Render a byte count as a human-friendly string ("32 KiB"). */
+std::string formatBytes(std::size_t bytes);
+
+} // namespace marlin
+
+#endif // MARLIN_BASE_STRING_UTILS_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Common scalar type aliases used throughout MARLin.
+ */
+
+#ifndef MARLIN_BASE_TYPES_HH
+#define MARLIN_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace marlin
+{
+
+/** Index of an agent within a multi-agent environment. */
+using AgentId = int;
+
+/** Index into a replay buffer (supports capacities beyond 2^31). */
+using BufferIndex = std::size_t;
+
+/** Count of environment steps / training iterations. */
+using StepCount = std::uint64_t;
+
+/** Scalar type used by the numeric and NN substrates. */
+using Real = float;
+
+} // namespace marlin
+
+#endif // MARLIN_BASE_TYPES_HH

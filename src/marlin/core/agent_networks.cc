@@ -1,0 +1,99 @@
+#include "marlin/core/agent_networks.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::core
+{
+
+namespace
+{
+
+nn::MlpConfig
+actorConfig(const AgentNetworksConfig &c)
+{
+    nn::MlpConfig m;
+    m.inputDim = c.obsDim;
+    m.hiddenDims = c.hiddenDims;
+    m.outputDim = c.actDim;
+    m.outputActivation = c.actorOutput;
+    return m;
+}
+
+nn::MlpConfig
+criticConfig(const AgentNetworksConfig &c)
+{
+    nn::MlpConfig m;
+    m.inputDim = c.jointDim;
+    m.hiddenDims = c.hiddenDims;
+    m.outputDim = 1;
+    return m;
+}
+
+nn::AdamConfig
+adamConfig(Real lr)
+{
+    nn::AdamConfig a;
+    a.lr = lr;
+    return a;
+}
+
+std::vector<nn::Param *>
+criticParams(Mlp &critic, std::unique_ptr<Mlp> &critic2)
+{
+    std::vector<nn::Param *> params = critic.params();
+    if (critic2) {
+        for (nn::Param *p : critic2->params())
+            params.push_back(p);
+    }
+    return params;
+}
+
+} // namespace
+
+AgentNetworks::AgentNetworks(const AgentNetworksConfig &config,
+                             Rng &rng)
+    : actor(actorConfig(config), rng),
+      critic(criticConfig(config), rng),
+      targetActor(actorConfig(config), rng),
+      targetCritic(criticConfig(config), rng),
+      critic2(config.twinCritic
+                  ? std::make_unique<Mlp>(criticConfig(config), rng)
+                  : nullptr),
+      targetCritic2(config.twinCritic
+                        ? std::make_unique<Mlp>(criticConfig(config),
+                                                rng)
+                        : nullptr),
+      actorOpt(actor.params(), adamConfig(config.lr)),
+      criticOpt(criticParams(critic, critic2), adamConfig(config.lr))
+{
+    MARLIN_ASSERT(config.obsDim > 0 && config.actDim > 0 &&
+                      config.jointDim > 0,
+                  "AgentNetworks requires positive dimensions");
+    // Targets start as exact copies for stable early training.
+    targetActor.copyFrom(actor);
+    targetCritic.copyFrom(critic);
+    if (critic2)
+        targetCritic2->copyFrom(*critic2);
+}
+
+void
+AgentNetworks::softUpdateTargets(Real tau)
+{
+    targetActor.softUpdateFrom(actor, tau);
+    targetCritic.softUpdateFrom(critic, tau);
+    if (critic2)
+        targetCritic2->softUpdateFrom(*critic2, tau);
+}
+
+std::size_t
+AgentNetworks::paramCount() const
+{
+    std::size_t n = actor.paramCount() + critic.paramCount() +
+                    targetActor.paramCount() +
+                    targetCritic.paramCount();
+    if (critic2)
+        n += critic2->paramCount() + targetCritic2->paramCount();
+    return n;
+}
+
+} // namespace marlin::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The four (or six, for twin-critic MATD3) networks each agent owns
+ * in the CTDE architecture: decentralized actor + centralized critic
+ * with their target copies, plus bound Adam optimizers.
+ */
+
+#ifndef MARLIN_CORE_AGENT_NETWORKS_HH
+#define MARLIN_CORE_AGENT_NETWORKS_HH
+
+#include <memory>
+
+#include "marlin/nn/adam.hh"
+#include "marlin/nn/mlp.hh"
+
+namespace marlin::core
+{
+
+using nn::Mlp;
+
+/** Shape inputs for AgentNetworks. */
+struct AgentNetworksConfig
+{
+    std::size_t obsDim = 0;      ///< This agent's observation size.
+    std::size_t actDim = 0;      ///< Discrete action count.
+    std::size_t jointDim = 0;    ///< Sum over agents of obs+act dims.
+    std::vector<std::size_t> hiddenDims = {64, 64};
+    Real lr = Real(0.01);
+    bool twinCritic = false;     ///< MATD3's second critic.
+    /** Identity for discrete logits, Tanh for continuous control. */
+    nn::Activation actorOutput = nn::Activation::Identity;
+};
+
+/**
+ * Per-agent network bundle. Non-copyable and non-movable: the Adam
+ * optimizers hold stable pointers into the networks' parameters.
+ */
+class AgentNetworks
+{
+  public:
+    AgentNetworks(const AgentNetworksConfig &config, Rng &rng);
+
+    AgentNetworks(const AgentNetworks &) = delete;
+    AgentNetworks &operator=(const AgentNetworks &) = delete;
+
+    Mlp actor;        ///< obs -> action logits.
+    Mlp critic;       ///< joint obs+act -> Q.
+    Mlp targetActor;
+    Mlp targetCritic;
+    /** Twin critic (MATD3); null unless twinCritic was set. */
+    std::unique_ptr<Mlp> critic2;
+    std::unique_ptr<Mlp> targetCritic2;
+
+    nn::AdamOptimizer actorOpt;
+    nn::AdamOptimizer criticOpt; ///< Covers critic2 too when present.
+
+    /** Polyak-update all target networks. */
+    void softUpdateTargets(Real tau);
+
+    /** Total trainable parameter count across live networks. */
+    std::size_t paramCount() const;
+};
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_AGENT_NETWORKS_HH

@@ -1,0 +1,88 @@
+#include "marlin/core/checkpoint.hh"
+
+#include <fstream>
+
+#include "marlin/base/serialize.hh"
+#include "marlin/nn/serialize.hh"
+
+namespace marlin::core
+{
+
+void
+saveTrainer(std::ostream &os, CtdeTrainerBase &trainer)
+{
+    writeHeader(os, checkpointMagic, checkpointVersion);
+    writeString(os, trainer.name());
+    writePod<std::uint64_t>(os, trainer.numAgents());
+    for (std::size_t i = 0; i < trainer.numAgents(); ++i) {
+        AgentNetworks &net = trainer.networks(i);
+        const bool twin = net.critic2 != nullptr;
+        writePod<std::uint8_t>(os, twin ? 1 : 0);
+        nn::saveMlp(os, net.actor);
+        nn::saveMlp(os, net.critic);
+        nn::saveMlp(os, net.targetActor);
+        nn::saveMlp(os, net.targetCritic);
+        if (twin) {
+            nn::saveMlp(os, *net.critic2);
+            nn::saveMlp(os, *net.targetCritic2);
+        }
+        nn::saveAdam(os, net.actorOpt);
+        nn::saveAdam(os, net.criticOpt);
+    }
+}
+
+void
+loadTrainer(std::istream &is, CtdeTrainerBase &trainer)
+{
+    readHeader(is, checkpointMagic, checkpointVersion);
+    const std::string algo = readString(is);
+    if (algo != trainer.name())
+        fatal("checkpoint was written by '%s' but trainer is '%s'",
+              algo.c_str(), trainer.name().c_str());
+    const auto agents = readPod<std::uint64_t>(is);
+    if (agents != trainer.numAgents())
+        fatal("checkpoint has %llu agents, trainer has %zu",
+              static_cast<unsigned long long>(agents),
+              trainer.numAgents());
+    for (std::size_t i = 0; i < trainer.numAgents(); ++i) {
+        AgentNetworks &net = trainer.networks(i);
+        const bool twin_ckpt = readPod<std::uint8_t>(is) != 0;
+        const bool twin = net.critic2 != nullptr;
+        if (twin_ckpt != twin)
+            fatal("checkpoint twin-critic flag mismatch for agent "
+                  "%zu",
+                  i);
+        nn::loadMlp(is, net.actor);
+        nn::loadMlp(is, net.critic);
+        nn::loadMlp(is, net.targetActor);
+        nn::loadMlp(is, net.targetCritic);
+        if (twin) {
+            nn::loadMlp(is, *net.critic2);
+            nn::loadMlp(is, *net.targetCritic2);
+        }
+        nn::loadAdam(is, net.actorOpt);
+        nn::loadAdam(is, net.criticOpt);
+    }
+}
+
+void
+saveTrainerFile(const std::string &path, CtdeTrainerBase &trainer)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveTrainer(os, trainer);
+    if (!os)
+        fatal("failed while writing checkpoint '%s'", path.c_str());
+}
+
+void
+loadTrainerFile(const std::string &path, CtdeTrainerBase &trainer)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open checkpoint '%s'", path.c_str());
+    loadTrainer(is, trainer);
+}
+
+} // namespace marlin::core

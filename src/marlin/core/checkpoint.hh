@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trainer checkpointing: save/restore every agent's networks and
+ * optimizer state so long MARL runs (the paper's take days at 24+
+ * agents) can stop and resume.
+ */
+
+#ifndef MARLIN_CORE_CHECKPOINT_HH
+#define MARLIN_CORE_CHECKPOINT_HH
+
+#include <iostream>
+#include <string>
+
+#include "marlin/core/maddpg.hh"
+
+namespace marlin::core
+{
+
+/** Magic tag of MARLin trainer checkpoints ("MRLC"). */
+inline constexpr std::uint32_t checkpointMagic = 0x4d524c43;
+
+/** Current checkpoint format version. */
+inline constexpr std::uint32_t checkpointVersion = 1;
+
+/**
+ * Serialize @p trainer (all agents' actor/critic/target networks +
+ * Adam moments) to a stream.
+ */
+void saveTrainer(std::ostream &os, CtdeTrainerBase &trainer);
+
+/**
+ * Restore a checkpoint into an architecture-matching trainer.
+ * Fatal on magic/shape/algorithm mismatch.
+ */
+void loadTrainer(std::istream &is, CtdeTrainerBase &trainer);
+
+/** Convenience file wrappers; fatal on IO failure. */
+void saveTrainerFile(const std::string &path,
+                     CtdeTrainerBase &trainer);
+void loadTrainerFile(const std::string &path,
+                     CtdeTrainerBase &trainer);
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_CHECKPOINT_HH

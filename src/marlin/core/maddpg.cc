@@ -1,0 +1,406 @@
+#include "marlin/core/maddpg.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "marlin/base/logging.hh"
+#include "marlin/nn/loss.hh"
+#include "marlin/numeric/ops.hh"
+#include "marlin/replay/gather.hh"
+
+namespace marlin::core
+{
+
+using profile::Phase;
+using profile::ScopedPhase;
+
+CtdeTrainerBase::CtdeTrainerBase(std::vector<std::size_t> obs_dims,
+                                 std::size_t act_dim,
+                                 TrainConfig config,
+                                 SamplerFactory sampler_factory,
+                                 bool twin_critic)
+    : _config(std::move(config)), obsDims(std::move(obs_dims)),
+      actDim(act_dim), rng(_config.seed),
+      epsilon(_config.epsilonStart, _config.epsilonEnd,
+              _config.epsilonDecayEpisodes)
+{
+    MARLIN_ASSERT(!obsDims.empty(), "trainer needs at least one agent");
+    MARLIN_ASSERT(actDim > 0, "trainer needs a nonzero action space");
+    MARLIN_ASSERT(sampler_factory != nullptr,
+                  "trainer needs a sampler factory");
+
+    sumObsDims = std::accumulate(obsDims.begin(), obsDims.end(),
+                                 std::size_t{0});
+    jointDim = sumObsDims + obsDims.size() * actDim;
+
+    const bool continuous =
+        _config.actionMode == ActionMode::Continuous;
+    nets.reserve(obsDims.size());
+    samplers.reserve(obsDims.size());
+    for (std::size_t i = 0; i < obsDims.size(); ++i) {
+        AgentNetworksConfig nc;
+        nc.obsDim = obsDims[i];
+        nc.actDim = actDim;
+        nc.jointDim = jointDim;
+        nc.hiddenDims = _config.hiddenDims;
+        nc.lr = _config.lr;
+        nc.twinCritic = twin_critic;
+        nc.actorOutput = continuous ? nn::Activation::Tanh
+                                    : nn::Activation::Identity;
+        nets.push_back(std::make_unique<AgentNetworks>(nc, rng));
+        samplers.push_back(sampler_factory());
+        if (continuous) {
+            ouNoise.emplace_back(actDim, Real(0.15),
+                                 _config.ouSigma);
+        }
+    }
+}
+
+std::vector<replay::TransitionShape>
+CtdeTrainerBase::transitionShapes() const
+{
+    std::vector<replay::TransitionShape> shapes;
+    shapes.reserve(obsDims.size());
+    for (std::size_t d : obsDims)
+        shapes.push_back({d, actDim});
+    return shapes;
+}
+
+std::vector<int>
+CtdeTrainerBase::selectActions(
+    const std::vector<std::vector<Real>> &obs, std::size_t episode)
+{
+    MARLIN_ASSERT(obs.size() == obsDims.size(),
+                  "one observation per agent required");
+    const Real eps = epsilon.value(episode);
+    std::vector<int> actions(obs.size());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        if (rng.uniform() < eps) {
+            actions[i] = static_cast<int>(rng.randint(actDim));
+            continue;
+        }
+        Matrix x(1, obsDims[i],
+                 std::vector<Real>(obs[i].begin(), obs[i].end()));
+        Matrix logits = nets[i]->actor.forward(x);
+        // Gumbel draw == sampling the softmax policy: the stochastic
+        // policy itself provides exploration.
+        actions[i] = static_cast<int>(
+            numeric::gumbelArgmaxRows(logits, rng)[0]);
+    }
+    return actions;
+}
+
+std::vector<int>
+CtdeTrainerBase::greedyActions(
+    const std::vector<std::vector<Real>> &obs)
+{
+    MARLIN_ASSERT(obs.size() == obsDims.size(),
+                  "one observation per agent required");
+    std::vector<int> actions(obs.size());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        Matrix x(1, obsDims[i],
+                 std::vector<Real>(obs[i].begin(), obs[i].end()));
+        Matrix logits = nets[i]->actor.forward(x);
+        actions[i] =
+            static_cast<int>(numeric::argmaxRows(logits)[0]);
+    }
+    return actions;
+}
+
+std::vector<std::array<Real, 2>>
+CtdeTrainerBase::selectContinuousActions(
+    const std::vector<std::vector<Real>> &obs, std::size_t episode)
+{
+    MARLIN_ASSERT(_config.actionMode == ActionMode::Continuous,
+                  "trainer was built for discrete actions");
+    MARLIN_ASSERT(obs.size() == obsDims.size(),
+                  "one observation per agent required");
+    std::vector<std::array<Real, 2>> actions(obs.size());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        Matrix x(1, obsDims[i],
+                 std::vector<Real>(obs[i].begin(), obs[i].end()));
+        Matrix a = nets[i]->actor.forward(x); // Tanh-squashed.
+        const auto &noise = ouNoise[i].step(rng);
+        for (std::size_t c = 0; c < 2; ++c) {
+            actions[i][c] = std::clamp(a(0, c) + noise[c], Real(-1),
+                                       Real(1));
+        }
+    }
+    (void)episode;
+    return actions;
+}
+
+std::vector<std::array<Real, 2>>
+CtdeTrainerBase::greedyContinuousActions(
+    const std::vector<std::vector<Real>> &obs)
+{
+    MARLIN_ASSERT(_config.actionMode == ActionMode::Continuous,
+                  "trainer was built for discrete actions");
+    MARLIN_ASSERT(obs.size() == obsDims.size(),
+                  "one observation per agent required");
+    std::vector<std::array<Real, 2>> actions(obs.size());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        Matrix x(1, obsDims[i],
+                 std::vector<Real>(obs[i].begin(), obs[i].end()));
+        Matrix a = nets[i]->actor.forward(x);
+        actions[i] = {a(0, 0), a(0, 1)};
+    }
+    return actions;
+}
+
+void
+CtdeTrainerBase::onTransitionAdded(BufferIndex idx)
+{
+    for (auto &s : samplers)
+        s->onAdd(idx);
+}
+
+UpdateStats
+CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
+                        const replay::InterleavedReplayStore *store,
+                        profile::PhaseTimer &timer)
+{
+    MARLIN_ASSERT(buffers.numAgents() == obsDims.size(),
+                  "buffer/trainer agent count mismatch");
+    UpdateStats stats;
+    for (std::size_t i = 0; i < obsDims.size(); ++i) {
+        replay::IndexPlan plan;
+        {
+            ScopedPhase sp(timer, Phase::Sampling);
+            plan = samplers[i]->plan(buffers.size(),
+                                     _config.batchSize, rng);
+            if (store != nullptr) {
+                store->gatherAllAgents(plan, scratchBatches);
+            } else {
+                replay::gatherAllAgents(buffers, plan,
+                                        scratchBatches);
+            }
+        }
+        updateAgent(i, scratchBatches, plan, timer, stats);
+    }
+    const Real inv = Real(1) / static_cast<Real>(obsDims.size());
+    stats.criticLoss *= inv;
+    stats.actorLoss *= inv;
+    stats.meanAbsTd *= inv;
+    ++updates;
+    return stats;
+}
+
+std::vector<Matrix>
+CtdeTrainerBase::targetNextActions(
+    const std::vector<AgentBatch> &batches)
+{
+    // The N x (N-1) cross-agent policy reads the paper describes:
+    // every trainer evaluates every agent's target actor.
+    const bool discrete =
+        _config.actionMode == ActionMode::Discrete;
+    std::vector<Matrix> next_actions(batches.size());
+    for (std::size_t j = 0; j < batches.size(); ++j) {
+        next_actions[j] =
+            nets[j]->targetActor.forward(batches[j].nextObs);
+        // Discrete: softmax relaxation over logits. Continuous:
+        // the Tanh output activation already squashes.
+        if (discrete)
+            numeric::softmaxRows(next_actions[j]);
+    }
+    return next_actions;
+}
+
+Matrix
+CtdeTrainerBase::buildJointCurrent(
+    const std::vector<AgentBatch> &batches,
+    std::vector<const Matrix *> &scratch) const
+{
+    scratch.clear();
+    for (const AgentBatch &b : batches)
+        scratch.push_back(&b.obs);
+    for (const AgentBatch &b : batches)
+        scratch.push_back(&b.actions);
+    return numeric::hconcat(scratch);
+}
+
+Matrix
+CtdeTrainerBase::buildJointNext(
+    const std::vector<AgentBatch> &batches,
+    const std::vector<Matrix> &next_actions,
+    std::vector<const Matrix *> &scratch) const
+{
+    scratch.clear();
+    for (const AgentBatch &b : batches)
+        scratch.push_back(&b.nextObs);
+    for (const Matrix &a : next_actions)
+        scratch.push_back(&a);
+    return numeric::hconcat(scratch);
+}
+
+Matrix
+CtdeTrainerBase::tdTarget(const AgentBatch &batch,
+                          const Matrix &q_next) const
+{
+    Matrix y(q_next.rows(), 1);
+    for (std::size_t r = 0; r < q_next.rows(); ++r) {
+        const Real not_done = Real(1) - batch.dones(r, 0);
+        y(r, 0) = batch.rewards(r, 0) +
+                  _config.gamma * not_done * q_next(r, 0);
+    }
+    return y;
+}
+
+std::size_t
+CtdeTrainerBase::actionColumn(std::size_t i) const
+{
+    return sumObsDims + i * actDim;
+}
+
+void
+CtdeTrainerBase::criticActorStep(std::size_t i,
+                                 const std::vector<AgentBatch> &batches,
+                                 const replay::IndexPlan &plan,
+                                 const Matrix &y, bool update_actor,
+                                 UpdateStats &stats)
+{
+    AgentNetworks &net = *nets[i];
+    std::vector<const Matrix *> scratch;
+    const Matrix joint = buildJointCurrent(batches, scratch);
+
+    // ---- Critic (Q loss) ----
+    Matrix q1 = net.critic.forward(joint);
+    Matrix dq;
+    Real critic_loss;
+    if (plan.weights.empty()) {
+        critic_loss = nn::mseLoss(q1, y, dq);
+    } else {
+        critic_loss = nn::weightedMseLoss(q1, y, plan.weights, dq);
+    }
+    net.critic.backward(dq);
+    if (net.critic2) {
+        Matrix q2 = net.critic2->forward(joint);
+        Matrix dq2;
+        if (plan.weights.empty()) {
+            critic_loss += nn::mseLoss(q2, y, dq2);
+        } else {
+            critic_loss +=
+                nn::weightedMseLoss(q2, y, plan.weights, dq2);
+        }
+        net.critic2->backward(dq2);
+    }
+    net.criticOpt.step();
+    stats.criticLoss += critic_loss;
+
+    // Refresh priorities from the fresh TD errors (no-op for
+    // unprioritized samplers).
+    if (!plan.priorityIds.empty()) {
+        const std::vector<Real> td = nn::absTdError(q1, y);
+        samplers[i]->updatePriorities(plan.priorityIds, td);
+        Real mean_td = 0;
+        for (Real t : td)
+            mean_td += t;
+        stats.meanAbsTd +=
+            mean_td / static_cast<Real>(td.size());
+    } else {
+        const std::vector<Real> td = nn::absTdError(q1, y);
+        Real mean_td = 0;
+        for (Real t : td)
+            mean_td += t;
+        stats.meanAbsTd +=
+            mean_td / static_cast<Real>(td.size());
+    }
+
+    if (!update_actor)
+        return;
+
+    // ---- Actor (P loss) ----
+    // Differentiable path: replace agent i's stored action block
+    // with the current policy's action relaxation (softmax over
+    // logits for discrete, tanh output for continuous), run the
+    // critic, and backprop -Q through the critic input into the
+    // actor.
+    const bool discrete =
+        _config.actionMode == ActionMode::Discrete;
+    Matrix logits = net.actor.forward(batches[i].obs);
+    Matrix soft = logits;
+    if (discrete)
+        numeric::softmaxRows(soft);
+
+    Matrix joint_pi = joint;
+    const std::size_t col = actionColumn(i);
+    for (std::size_t r = 0; r < joint_pi.rows(); ++r) {
+        Real *dst = joint_pi.row(r) + col;
+        const Real *src = soft.row(r);
+        for (std::size_t c = 0; c < actDim; ++c)
+            dst[c] = src[c];
+    }
+
+    Matrix q_pi = net.critic.forward(joint_pi);
+    Matrix dq_pi;
+    const Real actor_loss = nn::policyLoss(q_pi, dq_pi);
+    Matrix d_joint;
+    net.critic.backward(dq_pi, &d_joint);
+    // The critic is frozen during the actor step: discard the
+    // gradients this pass accumulated into it.
+    net.critic.zeroGrad();
+
+    Matrix d_soft(q_pi.rows(), actDim);
+    for (std::size_t r = 0; r < d_joint.rows(); ++r) {
+        const Real *src = d_joint.row(r) + col;
+        Real *dst = d_soft.row(r);
+        for (std::size_t c = 0; c < actDim; ++c)
+            dst[c] = src[c];
+    }
+
+    Matrix d_logits;
+    if (discrete) {
+        numeric::softmaxBackwardRows(soft, d_soft, d_logits);
+        // Logit magnitude regularization (reference implementations
+        // use mean(logits^2) * 1e-3) keeps the relaxation from
+        // saturating.
+        const Real reg =
+            Real(2e-3) / static_cast<Real>(logits.size());
+        for (std::size_t k = 0; k < d_logits.size(); ++k)
+            d_logits.data()[k] += reg * logits.data()[k];
+    } else {
+        // Continuous: the actor's Tanh output activation owns the
+        // squashing derivative inside backward().
+        d_logits = d_soft;
+    }
+
+    net.actor.backward(d_logits);
+    net.actorOpt.step();
+    stats.actorLoss += actor_loss;
+}
+
+MaddpgTrainer::MaddpgTrainer(std::vector<std::size_t> obs_dims,
+                             std::size_t act_dim, TrainConfig config,
+                             SamplerFactory sampler_factory)
+    : CtdeTrainerBase(std::move(obs_dims), act_dim, std::move(config),
+                      std::move(sampler_factory), false)
+{
+}
+
+void
+MaddpgTrainer::updateAgent(std::size_t i,
+                           const std::vector<AgentBatch> &batches,
+                           const replay::IndexPlan &plan,
+                           profile::PhaseTimer &timer,
+                           UpdateStats &stats)
+{
+    Matrix y;
+    {
+        ScopedPhase sp(timer, Phase::TargetQ);
+        const std::vector<Matrix> next_actions =
+            targetNextActions(batches);
+        std::vector<const Matrix *> scratch;
+        const Matrix joint_next =
+            buildJointNext(batches, next_actions, scratch);
+        const Matrix q_next =
+            nets[i]->targetCritic.forward(joint_next);
+        y = tdTarget(batches[i], q_next);
+    }
+    {
+        ScopedPhase sp(timer, Phase::QPLoss);
+        criticActorStep(i, batches, plan, y, true, stats);
+        nets[i]->softUpdateTargets(_config.tau);
+    }
+}
+
+} // namespace marlin::core

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * MADDPG (Lowe et al., 2017) with the CTDE structure the paper
+ * characterizes: decentralized actors, centralized critics over the
+ * joint observation-action space, target networks, and a pluggable
+ * mini-batch sampling strategy.
+ *
+ * The shared base class CtdeTrainerBase implements everything common
+ * to MADDPG and MATD3 — action selection, the per-agent sampling /
+ * target-Q / loss phase structure, and the joint-input assembly —
+ * so the two workloads differ only where the algorithms differ.
+ */
+
+#ifndef MARLIN_CORE_MADDPG_HH
+#define MARLIN_CORE_MADDPG_HH
+
+#include "marlin/core/agent_networks.hh"
+#include "marlin/core/noise.hh"
+#include "marlin/core/trainer.hh"
+
+namespace marlin::core
+{
+
+using numeric::Matrix;
+using replay::AgentBatch;
+
+/** Common machinery for centralized-critic actor-critic trainers. */
+class CtdeTrainerBase : public Trainer
+{
+  public:
+    /**
+     * @param obs_dims Observation dimension per agent.
+     * @param act_dim Discrete action count (shared).
+     * @param config Hyper-parameters.
+     * @param sampler_factory Builds one sampler per agent trainer.
+     * @param twin_critic Allocate MATD3's second critic.
+     */
+    CtdeTrainerBase(std::vector<std::size_t> obs_dims,
+                    std::size_t act_dim, TrainConfig config,
+                    SamplerFactory sampler_factory, bool twin_critic);
+
+    std::size_t numAgents() const override { return obsDims.size(); }
+
+    std::vector<int>
+    selectActions(const std::vector<std::vector<Real>> &obs,
+                  std::size_t episode) override;
+
+    std::vector<int>
+    greedyActions(const std::vector<std::vector<Real>> &obs) override;
+
+    std::vector<std::array<Real, 2>>
+    selectContinuousActions(const std::vector<std::vector<Real>> &obs,
+                            std::size_t episode) override;
+
+    std::vector<std::array<Real, 2>>
+    greedyContinuousActions(
+        const std::vector<std::vector<Real>> &obs) override;
+
+    void onTransitionAdded(BufferIndex idx) override;
+
+    UpdateStats update(const replay::MultiAgentBuffer &buffers,
+                       const replay::InterleavedReplayStore *store,
+                       profile::PhaseTimer &timer) override;
+
+    const TrainConfig &config() const { return _config; }
+    AgentNetworks &networks(std::size_t i) { return *nets[i]; }
+    replay::Sampler &sampler(std::size_t i) { return *samplers[i]; }
+
+    /** Total updates applied so far (all agents count as one). */
+    StepCount updateCount() const { return updates; }
+
+    /** Per-agent replay shapes matching this trainer. */
+    std::vector<replay::TransitionShape> transitionShapes() const;
+
+  protected:
+    /**
+     * Per-agent algorithm step, called inside update() after the
+     * mini-batch gather. Implementations charge their work to the
+     * TargetQ / QPLoss phases of @p timer.
+     */
+    virtual void updateAgent(std::size_t i,
+                             const std::vector<AgentBatch> &batches,
+                             const replay::IndexPlan &plan,
+                             profile::PhaseTimer &timer,
+                             UpdateStats &stats) = 0;
+
+    /**
+     * Target next actions for every agent: target-actor forward on
+     * next observations followed by a softmax relaxation. MATD3
+     * overrides to inject clipped smoothing noise into the logits.
+     */
+    virtual std::vector<Matrix>
+    targetNextActions(const std::vector<AgentBatch> &batches);
+
+    /** [obs_0..obs_{N-1} | act_0..act_{N-1}] from stored samples. */
+    Matrix buildJointCurrent(const std::vector<AgentBatch> &batches,
+                             std::vector<const Matrix *> &scratch) const;
+
+    /** Same layout from next observations and given next actions. */
+    Matrix buildJointNext(const std::vector<AgentBatch> &batches,
+                          const std::vector<Matrix> &next_actions,
+                          std::vector<const Matrix *> &scratch) const;
+
+    /** TD target y = r + gamma * (1 - done) * q_next. */
+    Matrix tdTarget(const AgentBatch &batch, const Matrix &q_next) const;
+
+    /** Column where agent @p i's action block starts in the joint. */
+    std::size_t actionColumn(std::size_t i) const;
+
+    /**
+     * Critic-loss + actor-loss + optimizer step shared by both
+     * algorithms (MATD3 passes its twin critic and defers the actor
+     * by gating @p update_actor).
+     */
+    void criticActorStep(std::size_t i,
+                         const std::vector<AgentBatch> &batches,
+                         const replay::IndexPlan &plan, const Matrix &y,
+                         bool update_actor, UpdateStats &stats);
+
+    TrainConfig _config;
+    std::vector<std::size_t> obsDims;
+    std::size_t actDim;
+    std::size_t jointDim;
+    std::size_t sumObsDims;
+    Rng rng;
+    EpsilonSchedule epsilon;
+    std::vector<std::unique_ptr<AgentNetworks>> nets;
+    std::vector<std::unique_ptr<replay::Sampler>> samplers;
+    /** Per-agent OU exploration processes (continuous mode only). */
+    std::vector<OrnsteinUhlenbeckNoise> ouNoise;
+    StepCount updates = 0;
+
+    // Per-update scratch reused across agents.
+    std::vector<AgentBatch> scratchBatches;
+};
+
+/** The baseline workload of the paper. */
+class MaddpgTrainer : public CtdeTrainerBase
+{
+  public:
+    MaddpgTrainer(std::vector<std::size_t> obs_dims,
+                  std::size_t act_dim, TrainConfig config,
+                  SamplerFactory sampler_factory);
+
+    std::string name() const override { return "maddpg"; }
+
+  protected:
+    void updateAgent(std::size_t i,
+                     const std::vector<AgentBatch> &batches,
+                     const replay::IndexPlan &plan,
+                     profile::PhaseTimer &timer,
+                     UpdateStats &stats) override;
+};
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_MADDPG_HH

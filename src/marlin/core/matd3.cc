@@ -1,0 +1,88 @@
+#include "marlin/core/matd3.hh"
+
+#include <algorithm>
+
+#include "marlin/numeric/ops.hh"
+
+namespace marlin::core
+{
+
+using profile::Phase;
+using profile::ScopedPhase;
+
+Matd3Trainer::Matd3Trainer(std::vector<std::size_t> obs_dims,
+                           std::size_t act_dim, TrainConfig config,
+                           SamplerFactory sampler_factory)
+    : CtdeTrainerBase(std::move(obs_dims), act_dim, std::move(config),
+                      std::move(sampler_factory), true),
+      criticSteps(numAgents(), 0)
+{
+}
+
+std::vector<Matrix>
+Matd3Trainer::targetNextActions(const std::vector<AgentBatch> &batches)
+{
+    const bool discrete =
+        _config.actionMode == ActionMode::Discrete;
+    std::vector<Matrix> next_actions(batches.size());
+    for (std::size_t j = 0; j < batches.size(); ++j) {
+        Matrix out =
+            nets[j]->targetActor.forward(batches[j].nextObs);
+        // Target policy smoothing: clipped Gaussian noise on the
+        // logits before the softmax relaxation (discrete), or on
+        // the squashed action re-clamped to the action box
+        // (continuous, as in TD3).
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            Real noise = static_cast<Real>(
+                rng.gaussian(0.0, _config.targetNoiseStd));
+            noise = std::clamp(noise, -_config.targetNoiseClip,
+                               _config.targetNoiseClip);
+            out.data()[k] += noise;
+        }
+        if (discrete) {
+            numeric::softmaxRows(out);
+        } else {
+            numeric::clampInPlace(out, Real(-1), Real(1));
+        }
+        next_actions[j] = std::move(out);
+    }
+    return next_actions;
+}
+
+void
+Matd3Trainer::updateAgent(std::size_t i,
+                          const std::vector<AgentBatch> &batches,
+                          const replay::IndexPlan &plan,
+                          profile::PhaseTimer &timer,
+                          UpdateStats &stats)
+{
+    AgentNetworks &net = *nets[i];
+    Matrix y;
+    {
+        ScopedPhase sp(timer, Phase::TargetQ);
+        const std::vector<Matrix> next_actions =
+            targetNextActions(batches);
+        std::vector<const Matrix *> scratch;
+        const Matrix joint_next =
+            buildJointNext(batches, next_actions, scratch);
+        // Clipped double-Q: the minimum of the twin target critics
+        // counters over-estimation bias.
+        Matrix q1 = net.targetCritic.forward(joint_next);
+        const Matrix q2 = net.targetCritic2->forward(joint_next);
+        for (std::size_t r = 0; r < q1.rows(); ++r)
+            q1(r, 0) = std::min(q1(r, 0), q2(r, 0));
+        y = tdTarget(batches[i], q1);
+    }
+    {
+        ScopedPhase sp(timer, Phase::QPLoss);
+        ++criticSteps[i];
+        const bool update_actor =
+            (criticSteps[i] % std::max<std::size_t>(
+                                  1, _config.policyDelay)) == 0;
+        criticActorStep(i, batches, plan, y, update_actor, stats);
+        if (update_actor)
+            net.softUpdateTargets(_config.tau);
+    }
+}
+
+} // namespace marlin::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * MATD3 (Ackermann et al., 2019): MADDPG plus the three TD3
+ * stabilizers — twin centralized critics taking the minimum target
+ * Q, clipped Gaussian smoothing noise on target actions, and
+ * delayed actor / target-network updates.
+ */
+
+#ifndef MARLIN_CORE_MATD3_HH
+#define MARLIN_CORE_MATD3_HH
+
+#include "marlin/core/maddpg.hh"
+
+namespace marlin::core
+{
+
+/** Twin-delayed variant of the CTDE trainer. */
+class Matd3Trainer : public CtdeTrainerBase
+{
+  public:
+    Matd3Trainer(std::vector<std::size_t> obs_dims, std::size_t act_dim,
+                 TrainConfig config, SamplerFactory sampler_factory);
+
+    std::string name() const override { return "matd3"; }
+
+  protected:
+    void updateAgent(std::size_t i,
+                     const std::vector<AgentBatch> &batches,
+                     const replay::IndexPlan &plan,
+                     profile::PhaseTimer &timer,
+                     UpdateStats &stats) override;
+
+    /** Adds clipped Gaussian noise to the target logits. */
+    std::vector<Matrix>
+    targetNextActions(const std::vector<AgentBatch> &batches) override;
+
+  private:
+    /** Per-agent critic-update counters driving the policy delay. */
+    std::vector<StepCount> criticSteps;
+};
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_MATD3_HH

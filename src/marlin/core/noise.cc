@@ -1,0 +1,43 @@
+#include "marlin/core/noise.hh"
+
+#include <cmath>
+
+namespace marlin::core
+{
+
+Real
+EpsilonSchedule::value(std::size_t episode) const
+{
+    if (decayEpisodes == 0 || episode >= decayEpisodes)
+        return _end;
+    const Real frac = static_cast<Real>(episode) /
+                      static_cast<Real>(decayEpisodes);
+    return _start + (_end - _start) * frac;
+}
+
+OrnsteinUhlenbeckNoise::OrnsteinUhlenbeckNoise(std::size_t dim,
+                                               Real theta_in,
+                                               Real sigma_in,
+                                               Real dt_in)
+    : theta(theta_in), sigma(sigma_in), dt(dt_in), x(dim, Real(0))
+{
+}
+
+const std::vector<Real> &
+OrnsteinUhlenbeckNoise::step(Rng &rng)
+{
+    const Real sqrt_dt = std::sqrt(dt);
+    for (Real &v : x) {
+        v += theta * (Real(0) - v) * dt +
+             sigma * sqrt_dt * static_cast<Real>(rng.gaussian());
+    }
+    return x;
+}
+
+void
+OrnsteinUhlenbeckNoise::reset()
+{
+    std::fill(x.begin(), x.end(), Real(0));
+}
+
+} // namespace marlin::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Exploration helpers for discrete particle-env actions.
+ */
+
+#ifndef MARLIN_CORE_NOISE_HH
+#define MARLIN_CORE_NOISE_HH
+
+#include <cstddef>
+
+#include "marlin/base/random.hh"
+#include "marlin/base/types.hh"
+
+namespace marlin::core
+{
+
+/**
+ * Linear epsilon schedule: epsilon(e) interpolates from start to end
+ * over decayEpisodes episodes, then stays at end.
+ */
+class EpsilonSchedule
+{
+  public:
+    EpsilonSchedule(Real start, Real end, std::size_t decay_episodes)
+        : _start(start), _end(end), decayEpisodes(decay_episodes)
+    {
+    }
+
+    /** Epsilon for episode @p episode. */
+    Real value(std::size_t episode) const;
+
+  private:
+    Real _start;
+    Real _end;
+    std::size_t decayEpisodes;
+};
+
+/**
+ * Ornstein-Uhlenbeck process, provided for continuous-action MARL
+ * variants: x += theta * (mu - x) * dt + sigma * sqrt(dt) * N(0,1).
+ */
+class OrnsteinUhlenbeckNoise
+{
+  public:
+    OrnsteinUhlenbeckNoise(std::size_t dim, Real theta = Real(0.15),
+                           Real sigma = Real(0.2), Real dt = Real(1e-2));
+
+    /** Advance the process and return the current sample. */
+    const std::vector<Real> &step(Rng &rng);
+
+    /** Reset the state to mu (zero). */
+    void reset();
+
+    const std::vector<Real> &state() const { return x; }
+
+  private:
+    Real theta;
+    Real sigma;
+    Real dt;
+    std::vector<Real> x;
+};
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_NOISE_HH

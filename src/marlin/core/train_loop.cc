@@ -1,0 +1,147 @@
+#include "marlin/core/train_loop.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::core
+{
+
+using profile::Phase;
+using profile::ScopedPhase;
+
+namespace
+{
+
+std::vector<replay::TransitionShape>
+shapesFor(const env::Environment &environment,
+          const TrainConfig &config)
+{
+    // Continuous control stores the 2D force instead of a one-hot.
+    const std::size_t act_dim =
+        config.actionMode == ActionMode::Continuous
+            ? 2
+            : environment.actionDim();
+    std::vector<replay::TransitionShape> shapes;
+    shapes.reserve(environment.numAgents());
+    for (std::size_t i = 0; i < environment.numAgents(); ++i)
+        shapes.push_back({environment.obsDim(i), act_dim});
+    return shapes;
+}
+
+} // namespace
+
+TrainLoop::TrainLoop(env::Environment &environment_in,
+                     Trainer &trainer_in, TrainConfig config_in)
+    : environment(environment_in), trainer(trainer_in),
+      config(std::move(config_in)),
+      buffers(shapesFor(environment_in, config), config.bufferCapacity)
+{
+    MARLIN_ASSERT(trainer.numAgents() == environment.numAgents(),
+                  "trainer/environment agent count mismatch");
+    if (config.backend == SamplingBackend::Interleaved) {
+        store = std::make_unique<replay::InterleavedReplayStore>(
+            shapesFor(environment, config), config.bufferCapacity);
+    }
+}
+
+std::vector<Real>
+TrainLoop::oneHotAction(int action) const
+{
+    std::vector<Real> onehot(environment.actionDim(), Real(0));
+    onehot[static_cast<std::size_t>(action)] = Real(1);
+    return onehot;
+}
+
+TrainResult
+TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
+{
+    TrainResult result;
+    result.episodeRewards.reserve(episodes);
+    const std::size_t n = environment.numAgents();
+
+    for (std::size_t episode = 0; episode < episodes; ++episode) {
+        std::vector<std::vector<Real>> obs = environment.reset();
+        Real episode_reward = 0;
+
+        for (std::size_t t = 0; t < config.maxEpisodeLength; ++t) {
+            const bool continuous =
+                config.actionMode == ActionMode::Continuous;
+            std::vector<int> actions;
+            std::vector<std::array<Real, 2>> forces;
+            {
+                ScopedPhase sp(result.timer, Phase::ActionSelection);
+                if (continuous) {
+                    forces = trainer.selectContinuousActions(obs,
+                                                             episode);
+                } else {
+                    actions = trainer.selectActions(obs, episode);
+                }
+            }
+
+            env::StepResult step;
+            {
+                ScopedPhase sp(result.timer, Phase::EnvStep);
+                if (continuous) {
+                    std::vector<env::Vec2> vec_forces(n);
+                    for (std::size_t i = 0; i < n; ++i)
+                        vec_forces[i] = {forces[i][0], forces[i][1]};
+                    step = environment.stepContinuous(vec_forces);
+                } else {
+                    step = environment.step(actions);
+                }
+            }
+            ++result.envSteps;
+
+            std::vector<std::vector<Real>> onehots(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (continuous) {
+                    onehots[i] = {forces[i][0], forces[i][1]};
+                } else {
+                    onehots[i] = oneHotAction(actions[i]);
+                }
+            }
+            {
+                ScopedPhase sp(result.timer, Phase::BufferAdd);
+                const BufferIndex slot = buffers.agent(0).position();
+                buffers.add(obs, onehots, step.rewards,
+                            step.observations, step.dones);
+                trainer.onTransitionAdded(slot);
+            }
+            if (store) {
+                ScopedPhase reorg(result.timer, Phase::LayoutReorg);
+                store->append(obs, onehots, step.rewards,
+                              step.observations, step.dones);
+            }
+            ++insertionsSinceUpdate;
+
+            for (Real r : step.rewards)
+                episode_reward += r / static_cast<Real>(n);
+            obs = std::move(step.observations);
+
+            const bool warm =
+                buffers.size() >= config.warmupTransitions &&
+                buffers.size() >=
+                    static_cast<BufferIndex>(config.batchSize);
+            if (warm && insertionsSinceUpdate >= config.updateEvery) {
+                insertionsSinceUpdate = 0;
+                trainer.update(buffers, store.get(), result.timer);
+                ++result.updateCalls;
+            }
+        }
+
+        result.episodeRewards.push_back(episode_reward);
+        if (callback)
+            callback({episode, episode_reward, 0});
+    }
+
+    // Final score: mean over the last 10% (at least one episode).
+    const std::size_t tail =
+        std::max<std::size_t>(1, episodes / 10);
+    Real total = 0;
+    for (std::size_t e = episodes - tail; e < episodes; ++e)
+        total += result.episodeRewards[e];
+    result.finalScore = episodes ? total / static_cast<Real>(tail)
+                                 : Real(0);
+    return result;
+}
+
+} // namespace marlin::core

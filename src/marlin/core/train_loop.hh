@@ -1,0 +1,88 @@
+/**
+ * @file
+ * End-to-end training loop with the paper's phase structure:
+ * action selection -> environment step -> replay insertion ->
+ * (periodically) update all trainers.
+ */
+
+#ifndef MARLIN_CORE_TRAIN_LOOP_HH
+#define MARLIN_CORE_TRAIN_LOOP_HH
+
+#include <functional>
+#include <memory>
+
+#include "marlin/core/trainer.hh"
+#include "marlin/env/environment.hh"
+
+namespace marlin::core
+{
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    /** Mean (over agents) episode return, one entry per episode. */
+    std::vector<Real> episodeRewards;
+    /** Accumulated phase timings for the whole run. */
+    profile::PhaseTimer timer;
+    StepCount envSteps = 0;
+    StepCount updateCalls = 0;
+    /** Mean reward over the final 10% of episodes. */
+    Real finalScore = 0;
+};
+
+/** Per-episode progress callback. */
+struct EpisodeInfo
+{
+    std::size_t episode = 0;
+    Real meanReward = 0;
+    Real epsilonUnused = 0;
+};
+
+using EpisodeCallback = std::function<void(const EpisodeInfo &)>;
+
+/**
+ * Owns the replay storage and drives the environment/trainer pair.
+ *
+ * With SamplingBackend::Interleaved the loop also maintains the
+ * reorganized key-value store next to the per-agent buffers,
+ * charging its maintenance to the LayoutReorg phase.
+ */
+class TrainLoop
+{
+  public:
+    /**
+     * @param environment Environment to train in (not owned).
+     * @param trainer MADDPG/MATD3 trainer (not owned).
+     * @param config Must match the trainer's config.
+     */
+    TrainLoop(env::Environment &environment, Trainer &trainer,
+              TrainConfig config);
+
+    /** Train for @p episodes episodes. */
+    TrainResult run(std::size_t episodes,
+                    const EpisodeCallback &callback = nullptr);
+
+    const replay::MultiAgentBuffer &buffer() const { return buffers; }
+
+    /** Null unless the interleaved backend is active. */
+    const replay::InterleavedReplayStore *
+    interleavedStore() const
+    {
+        return store.get();
+    }
+
+  private:
+    env::Environment &environment;
+    Trainer &trainer;
+    TrainConfig config;
+    replay::MultiAgentBuffer buffers;
+    std::unique_ptr<replay::InterleavedReplayStore> store;
+    StepCount insertionsSinceUpdate = 0;
+
+    /** One-hot encode a discrete action. */
+    std::vector<Real> oneHotAction(int action) const;
+};
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_TRAIN_LOOP_HH

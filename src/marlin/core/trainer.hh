@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Abstract trainer interface consumed by the training loop, plus the
+ * sampler-factory type that selects the paper's sampling strategy.
+ */
+
+#ifndef MARLIN_CORE_TRAINER_HH
+#define MARLIN_CORE_TRAINER_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "marlin/core/config.hh"
+#include "marlin/profile/timer.hh"
+#include "marlin/replay/interleaved_store.hh"
+#include "marlin/replay/replay_buffer.hh"
+#include "marlin/replay/sampler.hh"
+
+namespace marlin::core
+{
+
+/** Per-update diagnostics averaged over agents. */
+struct UpdateStats
+{
+    Real criticLoss = 0;
+    Real actorLoss = 0;
+    Real meanAbsTd = 0;
+};
+
+/**
+ * Creates one Sampler per agent trainer. Called N times so that
+ * prioritized samplers keep independent per-agent priority trees.
+ */
+using SamplerFactory =
+    std::function<std::unique_ptr<replay::Sampler>()>;
+
+/** Trainer interface: action selection plus update-all-trainers. */
+class Trainer
+{
+  public:
+    virtual ~Trainer() = default;
+
+    /** Workload name ("maddpg", "matd3"). */
+    virtual std::string name() const = 0;
+
+    virtual std::size_t numAgents() const = 0;
+
+    /**
+     * Action-selection phase: one discrete action per agent from the
+     * current policies (with exploration).
+     *
+     * @param obs Per-agent observations.
+     * @param episode Episode number (drives epsilon decay).
+     */
+    virtual std::vector<int>
+    selectActions(const std::vector<std::vector<Real>> &obs,
+                  std::size_t episode) = 0;
+
+    /** Greedy actions (no exploration), for evaluation. */
+    virtual std::vector<int>
+    greedyActions(const std::vector<std::vector<Real>> &obs) = 0;
+
+    /**
+     * Continuous-control action selection (ActionMode::Continuous
+     * trainers only): one clipped 2D force per agent with
+     * exploration noise. Panics on discrete trainers.
+     */
+    virtual std::vector<std::array<Real, 2>>
+    selectContinuousActions(const std::vector<std::vector<Real>> &obs,
+                            std::size_t episode)
+    {
+        panic("trainer '%s' does not support continuous actions",
+              name().c_str());
+    }
+
+    /** Greedy continuous actions (no exploration). */
+    virtual std::vector<std::array<Real, 2>>
+    greedyContinuousActions(const std::vector<std::vector<Real>> &obs)
+    {
+        panic("trainer '%s' does not support continuous actions",
+              name().c_str());
+    }
+
+    /** Notify samplers that slot @p idx was (over)written. */
+    virtual void onTransitionAdded(BufferIndex idx) = 0;
+
+    /**
+     * The paper's update-all-trainers stage: for every agent, sample
+     * a mini-batch, compute target Q, and update critic/actor.
+     *
+     * @param buffers Per-agent replay storage.
+     * @param store Interleaved layout (only when the config selected
+     *              SamplingBackend::Interleaved), else nullptr.
+     * @param timer Phase accounting sink.
+     */
+    virtual UpdateStats
+    update(const replay::MultiAgentBuffer &buffers,
+           const replay::InterleavedReplayStore *store,
+           profile::PhaseTimer &timer) = 0;
+};
+
+} // namespace marlin::core
+
+#endif // MARLIN_CORE_TRAINER_HH

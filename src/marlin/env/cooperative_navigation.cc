@@ -1,0 +1,131 @@
+#include "marlin/env/cooperative_navigation.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
+
+namespace marlin::env
+{
+
+CooperativeNavigationScenario::CooperativeNavigationScenario(
+    CooperativeNavigationConfig config)
+    : _config(config)
+{
+    MARLIN_ASSERT(_config.numAgents >= 1,
+                  "cooperative navigation needs at least one agent");
+    if (_config.numLandmarks == 0)
+        _config.numLandmarks = _config.numAgents;
+}
+
+void
+CooperativeNavigationScenario::makeWorld(World &world)
+{
+    world.agents.clear();
+    world.landmarks.clear();
+    for (std::size_t i = 0; i < _config.numAgents; ++i) {
+        Agent a;
+        a.name = csprintf("agent_%zu", i);
+        a.movable = true;
+        a.collide = true;
+        a.size = Real(0.15);
+        a.accel = Real(3);
+        world.agents.push_back(a);
+    }
+    for (std::size_t i = 0; i < _config.numLandmarks; ++i) {
+        Entity lm;
+        lm.name = csprintf("landmark_%zu", i);
+        lm.size = Real(0.05);
+        lm.movable = false;
+        lm.collide = false;
+        world.landmarks.push_back(lm);
+    }
+}
+
+void
+CooperativeNavigationScenario::resetWorld(World &world, Rng &rng)
+{
+    for (Agent &a : world.agents) {
+        a.pos = {static_cast<Real>(rng.uniform(-1.0, 1.0)),
+                 static_cast<Real>(rng.uniform(-1.0, 1.0))};
+        a.vel = {};
+        a.actionForce = {};
+    }
+    for (Entity &lm : world.landmarks) {
+        lm.pos = {static_cast<Real>(rng.uniform(-1.0, 1.0)),
+                  static_cast<Real>(rng.uniform(-1.0, 1.0))};
+        lm.vel = {};
+    }
+}
+
+std::size_t
+CooperativeNavigationScenario::learnableAgents(const World &world) const
+{
+    return _config.numAgents;
+}
+
+std::vector<Real>
+CooperativeNavigationScenario::observation(const World &world,
+                                           std::size_t i) const
+{
+    // Layout (MPE simple_spread): self vel(2), self pos(2),
+    // landmark rel pos(2L), other agent rel pos(2*(N-1)),
+    // communication channels (2*(N-1), zeros — agents don't emit).
+    const Agent &self = world.agents[i];
+    std::vector<Real> obs;
+    obs.reserve(observationDim(i));
+    obs.push_back(self.vel.x);
+    obs.push_back(self.vel.y);
+    obs.push_back(self.pos.x);
+    obs.push_back(self.pos.y);
+    for (const Entity &lm : world.landmarks) {
+        obs.push_back(lm.pos.x - self.pos.x);
+        obs.push_back(lm.pos.y - self.pos.y);
+    }
+    for (std::size_t j = 0; j < world.agents.size(); ++j) {
+        if (j == i)
+            continue;
+        obs.push_back(world.agents[j].pos.x - self.pos.x);
+        obs.push_back(world.agents[j].pos.y - self.pos.y);
+    }
+    // Communication slots (silent in this task, kept for parity with
+    // the reference observation size).
+    for (std::size_t j = 0; j + 1 < world.agents.size(); ++j) {
+        obs.push_back(0);
+        obs.push_back(0);
+    }
+    return obs;
+}
+
+std::size_t
+CooperativeNavigationScenario::observationDim(std::size_t i) const
+{
+    return 4 + 2 * _config.numLandmarks +
+           4 * (_config.numAgents - 1);
+}
+
+Real
+CooperativeNavigationScenario::reward(const World &world,
+                                      std::size_t i) const
+{
+    // Shared coverage term: negative sum over landmarks of the
+    // nearest-agent distance; plus a local collision penalty.
+    Real r = 0;
+    for (const Entity &lm : world.landmarks) {
+        Real min_dist = std::numeric_limits<Real>::max();
+        for (const Agent &a : world.agents)
+            min_dist = std::min(min_dist, distance(a.pos, lm.pos));
+        r -= min_dist;
+    }
+    const Agent &self = world.agents[i];
+    for (std::size_t j = 0; j < world.agents.size(); ++j) {
+        if (j == i)
+            continue;
+        if (World::isCollision(self, world.agents[j]))
+            r -= _config.collisionPenalty;
+    }
+    return r;
+}
+
+} // namespace marlin::env

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cooperative Navigation (simple_spread): N agents cover N landmarks
+ * while avoiding collisions. Observation dim is 6N, matching the
+ * paper (Box(18) at 3 agents ... Box(144) at 24).
+ */
+
+#ifndef MARLIN_ENV_COOPERATIVE_NAVIGATION_HH
+#define MARLIN_ENV_COOPERATIVE_NAVIGATION_HH
+
+#include "marlin/env/scenario.hh"
+
+namespace marlin::env
+{
+
+/** Roster and shaping parameters for CooperativeNavigationScenario. */
+struct CooperativeNavigationConfig
+{
+    std::size_t numAgents = 3;
+    /** Landmarks; 0 = one per agent (the MPE default). */
+    std::size_t numLandmarks = 0;
+    /** Penalty per inter-agent collision. */
+    Real collisionPenalty = Real(1);
+};
+
+/** Cooperative coverage task with a shared distance-based reward. */
+class CooperativeNavigationScenario : public Scenario
+{
+  public:
+    explicit CooperativeNavigationScenario(
+        CooperativeNavigationConfig config = {});
+
+    std::string name() const override { return "cooperative_navigation"; }
+
+    void makeWorld(World &world) override;
+    void resetWorld(World &world, Rng &rng) override;
+    std::size_t learnableAgents(const World &world) const override;
+    std::vector<Real> observation(const World &world,
+                                  std::size_t i) const override;
+    std::size_t observationDim(std::size_t i) const override;
+    Real reward(const World &world, std::size_t i) const override;
+
+    const CooperativeNavigationConfig &config() const { return _config; }
+
+  private:
+    CooperativeNavigationConfig _config;
+};
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_COOPERATIVE_NAVIGATION_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Entities of the multi-agent particle world: agents and landmarks.
+ */
+
+#ifndef MARLIN_ENV_ENTITY_HH
+#define MARLIN_ENV_ENTITY_HH
+
+#include <string>
+
+#include "marlin/env/vec2.hh"
+
+namespace marlin::env
+{
+
+/** Physical state shared by agents and landmarks. */
+struct Entity
+{
+    std::string name;
+    Vec2 pos;
+    Vec2 vel;
+    Real size = Real(0.05);  ///< Collision radius.
+    Real mass = Real(1);
+    bool movable = false;
+    bool collide = true;
+};
+
+/** Controllable (or scripted) agent in the world. */
+struct Agent : Entity
+{
+    /** Force applied this step from the selected discrete action. */
+    Vec2 actionForce;
+    /** Acceleration multiplier applied to action forces. */
+    Real accel = Real(3);
+    /** Hard speed cap; <= 0 means uncapped. */
+    Real maxSpeed = Real(-1);
+    /** True for environment-controlled agents (e.g. MPE prey). */
+    bool scripted = false;
+    /** Adversary flag (predator in predator-prey). */
+    bool adversary = false;
+};
+
+/** Number of discrete actions: noop, +x, -x, +y, -y. */
+inline constexpr int numDiscreteActions = 5;
+
+/** Map a discrete action index to a unit force direction. */
+inline Vec2
+discreteActionDirection(int action)
+{
+    switch (action) {
+      case 0:
+        return {0, 0};
+      case 1:
+        return {1, 0};
+      case 2:
+        return {-1, 0};
+      case 3:
+        return {0, 1};
+      case 4:
+        return {0, -1};
+      default:
+        return {0, 0};
+    }
+}
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_ENTITY_HH

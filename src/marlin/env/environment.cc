@@ -1,0 +1,132 @@
+#include "marlin/env/environment.hh"
+
+#include <algorithm>
+
+#include "marlin/base/logging.hh"
+#include "marlin/env/cooperative_navigation.hh"
+#include "marlin/env/predator_prey.hh"
+
+namespace marlin::env
+{
+
+Environment::Environment(std::unique_ptr<Scenario> scenario,
+                         std::uint64_t seed, WorldConfig world_config)
+    : _scenario(std::move(scenario)), _world(world_config), rng(seed)
+{
+    MARLIN_ASSERT(_scenario != nullptr, "Environment needs a scenario");
+    _scenario->makeWorld(_world);
+    _numAgents = _scenario->learnableAgents(_world);
+    MARLIN_ASSERT(_numAgents > 0 &&
+                      _numAgents <= _world.numAgents(),
+                  "scenario reported an invalid learnable agent count");
+}
+
+std::size_t
+Environment::obsDim(std::size_t i) const
+{
+    MARLIN_ASSERT(i < _numAgents, "obsDim index out of range");
+    return _scenario->observationDim(i);
+}
+
+std::vector<std::vector<Real>>
+Environment::reset()
+{
+    _scenario->resetWorld(_world, rng);
+    return gatherObservations();
+}
+
+StepResult
+Environment::step(const std::vector<int> &actions)
+{
+    MARLIN_ASSERT(actions.size() == _numAgents,
+                  "one action per learnable agent required");
+
+    for (std::size_t i = 0; i < _world.numAgents(); ++i) {
+        Agent &a = _world.agents[i];
+        int action;
+        if (i < _numAgents) {
+            action = actions[i];
+            MARLIN_ASSERT(action >= 0 && action < numDiscreteActions,
+                          "discrete action out of range");
+        } else {
+            action = a.scripted
+                         ? _scenario->scriptedAction(_world, i, rng)
+                         : 0;
+        }
+        a.actionForce = discreteActionDirection(action);
+    }
+
+    _world.step();
+
+    StepResult result;
+    result.observations = gatherObservations();
+    result.rewards.resize(_numAgents);
+    result.dones.assign(_numAgents, false);
+    for (std::size_t i = 0; i < _numAgents; ++i)
+        result.rewards[i] = _scenario->reward(_world, i);
+    return result;
+}
+
+StepResult
+Environment::stepContinuous(const std::vector<Vec2> &forces)
+{
+    MARLIN_ASSERT(forces.size() == _numAgents,
+                  "one force per learnable agent required");
+
+    for (std::size_t i = 0; i < _world.numAgents(); ++i) {
+        Agent &a = _world.agents[i];
+        if (i < _numAgents) {
+            a.actionForce = {std::clamp(forces[i].x, Real(-1),
+                                        Real(1)),
+                             std::clamp(forces[i].y, Real(-1),
+                                        Real(1))};
+        } else {
+            const int action =
+                a.scripted ? _scenario->scriptedAction(_world, i, rng)
+                           : 0;
+            a.actionForce = discreteActionDirection(action);
+        }
+    }
+
+    _world.step();
+
+    StepResult result;
+    result.observations = gatherObservations();
+    result.rewards.resize(_numAgents);
+    result.dones.assign(_numAgents, false);
+    for (std::size_t i = 0; i < _numAgents; ++i)
+        result.rewards[i] = _scenario->reward(_world, i);
+    return result;
+}
+
+std::vector<std::vector<Real>>
+Environment::gatherObservations() const
+{
+    std::vector<std::vector<Real>> obs(_numAgents);
+    for (std::size_t i = 0; i < _numAgents; ++i) {
+        obs[i] = _scenario->observation(_world, i);
+        MARLIN_ASSERT(obs[i].size() == _scenario->observationDim(i),
+                      "observation size does not match declared dim");
+    }
+    return obs;
+}
+
+std::unique_ptr<Environment>
+makePredatorPreyEnv(std::size_t num_agents, std::uint64_t seed)
+{
+    PredatorPreyConfig config;
+    config.numPredators = num_agents;
+    return std::make_unique<Environment>(
+        std::make_unique<PredatorPreyScenario>(config), seed);
+}
+
+std::unique_ptr<Environment>
+makeCooperativeNavigationEnv(std::size_t num_agents, std::uint64_t seed)
+{
+    CooperativeNavigationConfig config;
+    config.numAgents = num_agents;
+    return std::make_unique<Environment>(
+        std::make_unique<CooperativeNavigationScenario>(config), seed);
+}
+
+} // namespace marlin::env

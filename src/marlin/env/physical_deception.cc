@@ -1,0 +1,135 @@
+#include "marlin/env/physical_deception.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
+
+namespace marlin::env
+{
+
+PhysicalDeceptionScenario::PhysicalDeceptionScenario(
+    PhysicalDeceptionConfig config)
+    : _config(config)
+{
+    MARLIN_ASSERT(_config.numGoodAgents >= 1,
+                  "physical deception needs a good team");
+    if (_config.numLandmarks == 0)
+        _config.numLandmarks = _config.numGoodAgents;
+}
+
+void
+PhysicalDeceptionScenario::makeWorld(World &world)
+{
+    world.agents.clear();
+    world.landmarks.clear();
+
+    Agent adversary;
+    adversary.name = "adversary_0";
+    adversary.adversary = true;
+    adversary.movable = true;
+    adversary.collide = false;
+    adversary.size = Real(0.075);
+    adversary.accel = Real(3);
+    world.agents.push_back(adversary);
+
+    for (std::size_t i = 0; i < _config.numGoodAgents; ++i) {
+        Agent a;
+        a.name = csprintf("good_%zu", i);
+        a.movable = true;
+        a.collide = false;
+        a.size = Real(0.05);
+        a.accel = Real(3);
+        world.agents.push_back(a);
+    }
+    for (std::size_t i = 0; i < _config.numLandmarks; ++i) {
+        Entity lm;
+        lm.name = csprintf("landmark_%zu", i);
+        lm.size = Real(0.08);
+        lm.movable = false;
+        lm.collide = false;
+        world.landmarks.push_back(lm);
+    }
+}
+
+void
+PhysicalDeceptionScenario::resetWorld(World &world, Rng &rng)
+{
+    for (Agent &a : world.agents) {
+        a.pos = {static_cast<Real>(rng.uniform(-1.0, 1.0)),
+                 static_cast<Real>(rng.uniform(-1.0, 1.0))};
+        a.vel = {};
+        a.actionForce = {};
+    }
+    for (Entity &lm : world.landmarks) {
+        lm.pos = {static_cast<Real>(rng.uniform(-0.9, 0.9)),
+                  static_cast<Real>(rng.uniform(-0.9, 0.9))};
+        lm.vel = {};
+    }
+    goal = static_cast<std::size_t>(
+        rng.randint(world.landmarks.size()));
+}
+
+std::size_t
+PhysicalDeceptionScenario::learnableAgents(const World &world) const
+{
+    return 1 + _config.numGoodAgents;
+}
+
+std::vector<Real>
+PhysicalDeceptionScenario::observation(const World &world,
+                                       std::size_t i) const
+{
+    // Good agents: goal rel pos, landmark rel pos, other agents rel
+    // pos. The adversary sees the same minus the goal (it must
+    // infer the goal from the good team's behaviour).
+    const Agent &self = world.agents[i];
+    std::vector<Real> obs;
+    obs.reserve(observationDim(i));
+    if (i != 0) {
+        const Entity &g = world.landmarks[goal];
+        obs.push_back(g.pos.x - self.pos.x);
+        obs.push_back(g.pos.y - self.pos.y);
+    }
+    for (const Entity &lm : world.landmarks) {
+        obs.push_back(lm.pos.x - self.pos.x);
+        obs.push_back(lm.pos.y - self.pos.y);
+    }
+    for (std::size_t j = 0; j < world.agents.size(); ++j) {
+        if (j == i)
+            continue;
+        obs.push_back(world.agents[j].pos.x - self.pos.x);
+        obs.push_back(world.agents[j].pos.y - self.pos.y);
+    }
+    return obs;
+}
+
+std::size_t
+PhysicalDeceptionScenario::observationDim(std::size_t i) const
+{
+    const std::size_t total = 1 + _config.numGoodAgents;
+    const std::size_t base =
+        2 * _config.numLandmarks + 2 * (total - 1);
+    return i == 0 ? base : base + 2;
+}
+
+Real
+PhysicalDeceptionScenario::reward(const World &world,
+                                  std::size_t i) const
+{
+    const Entity &g = world.landmarks[goal];
+    const Real adv_dist = distance(world.agents[0].pos, g.pos);
+    Real best_good = std::numeric_limits<Real>::max();
+    for (std::size_t j = 1; j < world.agents.size(); ++j)
+        best_good = std::min(best_good,
+                             distance(world.agents[j].pos, g.pos));
+    if (i == 0) {
+        // Adversary: wants to sit on the goal.
+        return -adv_dist;
+    }
+    // Good team (shared): cover the goal, keep the adversary away.
+    return adv_dist - best_good;
+}
+
+} // namespace marlin::env

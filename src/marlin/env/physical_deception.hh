@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Physical Deception (mixed cooperative/competitive), modeled on
+ * MPE simple_adversary: N good agents must cover the goal landmark
+ * while deceiving one adversary that does not know which landmark
+ * is the goal. Included as the third task class (the paper's
+ * Section II-B motivates cooperative, competitive and *mixed*
+ * particle tasks).
+ */
+
+#ifndef MARLIN_ENV_PHYSICAL_DECEPTION_HH
+#define MARLIN_ENV_PHYSICAL_DECEPTION_HH
+
+#include "marlin/env/scenario.hh"
+
+namespace marlin::env
+{
+
+/** Roster parameters for PhysicalDeceptionScenario. */
+struct PhysicalDeceptionConfig
+{
+    /** Cooperating (good) agents; the adversary is extra. */
+    std::size_t numGoodAgents = 2;
+    /** Landmarks; 0 = one per good agent. */
+    std::size_t numLandmarks = 0;
+};
+
+/**
+ * Mixed task: agent 0 is the adversary, agents 1..N are the good
+ * team. All agents are learnable. The good team shares a reward of
+ * (adversary distance to goal) - (closest good agent distance to
+ * goal); the adversary's reward is the negated distance term.
+ */
+class PhysicalDeceptionScenario : public Scenario
+{
+  public:
+    explicit PhysicalDeceptionScenario(
+        PhysicalDeceptionConfig config = {});
+
+    std::string name() const override { return "physical_deception"; }
+
+    void makeWorld(World &world) override;
+    void resetWorld(World &world, Rng &rng) override;
+    std::size_t learnableAgents(const World &world) const override;
+    std::vector<Real> observation(const World &world,
+                                  std::size_t i) const override;
+    std::size_t observationDim(std::size_t i) const override;
+    Real reward(const World &world, std::size_t i) const override;
+
+    const PhysicalDeceptionConfig &config() const { return _config; }
+    std::size_t goalIndex() const { return goal; }
+
+  private:
+    PhysicalDeceptionConfig _config;
+    std::size_t goal = 0; ///< Which landmark is the true goal.
+};
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_PHYSICAL_DECEPTION_HH

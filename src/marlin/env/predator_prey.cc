@@ -1,0 +1,221 @@
+#include "marlin/env/predator_prey.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
+
+namespace marlin::env
+{
+
+PredatorPreyScenario::PredatorPreyScenario(PredatorPreyConfig config)
+    : _config(config)
+{
+    MARLIN_ASSERT(_config.numPredators >= 1,
+                  "predator-prey needs at least one predator");
+    if (_config.numPrey == 0) {
+        _config.numPrey =
+            std::max<std::size_t>(1, _config.numPredators / 3);
+    }
+    if (_config.numLandmarks == 0) {
+        _config.numLandmarks =
+            std::max<std::size_t>(2, _config.numPredators / 3);
+    }
+}
+
+void
+PredatorPreyScenario::makeWorld(World &world)
+{
+    world.agents.clear();
+    world.landmarks.clear();
+
+    for (std::size_t i = 0; i < _config.numPredators; ++i) {
+        Agent a;
+        a.name = csprintf("predator_%zu", i);
+        a.adversary = true;
+        a.movable = true;
+        a.collide = true;
+        a.size = Real(0.075);
+        a.accel = Real(3);
+        a.maxSpeed = Real(1.0);
+        world.agents.push_back(a);
+    }
+    for (std::size_t i = 0; i < _config.numPrey; ++i) {
+        Agent a;
+        a.name = csprintf("prey_%zu", i);
+        a.adversary = false;
+        a.scripted = true;
+        a.movable = true;
+        a.collide = true;
+        a.size = Real(0.05);
+        a.accel = Real(4);
+        a.maxSpeed = Real(1.3);
+        world.agents.push_back(a);
+    }
+    for (std::size_t i = 0; i < _config.numLandmarks; ++i) {
+        Entity lm;
+        lm.name = csprintf("landmark_%zu", i);
+        lm.size = Real(0.2);
+        lm.movable = false;
+        lm.collide = true;
+        world.landmarks.push_back(lm);
+    }
+}
+
+void
+PredatorPreyScenario::resetWorld(World &world, Rng &rng)
+{
+    for (Agent &a : world.agents) {
+        a.pos = {static_cast<Real>(rng.uniform(-1.0, 1.0)),
+                 static_cast<Real>(rng.uniform(-1.0, 1.0))};
+        a.vel = {};
+        a.actionForce = {};
+    }
+    for (Entity &lm : world.landmarks) {
+        lm.pos = {static_cast<Real>(rng.uniform(-0.9, 0.9)),
+                  static_cast<Real>(rng.uniform(-0.9, 0.9))};
+        lm.vel = {};
+    }
+}
+
+std::size_t
+PredatorPreyScenario::learnableAgents(const World &world) const
+{
+    return _config.numPredators;
+}
+
+std::vector<Real>
+PredatorPreyScenario::observation(const World &world,
+                                  std::size_t i) const
+{
+    // Layout (MPE simple_tag):
+    //   self vel(2), self pos(2), landmark rel pos(2L),
+    //   other agents rel pos(2*(n-1)),
+    //   prey velocities (2*numPrey for predators,
+    //                    2*(numPrey-1) for prey).
+    const Agent &self = world.agents[i];
+    std::vector<Real> obs;
+    obs.reserve(observationDim(i));
+    obs.push_back(self.vel.x);
+    obs.push_back(self.vel.y);
+    obs.push_back(self.pos.x);
+    obs.push_back(self.pos.y);
+    for (const Entity &lm : world.landmarks) {
+        obs.push_back(lm.pos.x - self.pos.x);
+        obs.push_back(lm.pos.y - self.pos.y);
+    }
+    for (std::size_t j = 0; j < world.agents.size(); ++j) {
+        if (j == i)
+            continue;
+        const Agent &other = world.agents[j];
+        obs.push_back(other.pos.x - self.pos.x);
+        obs.push_back(other.pos.y - self.pos.y);
+    }
+    for (std::size_t j = 0; j < world.agents.size(); ++j) {
+        if (j == i)
+            continue;
+        const Agent &other = world.agents[j];
+        if (!other.adversary) {
+            obs.push_back(other.vel.x);
+            obs.push_back(other.vel.y);
+        }
+    }
+    return obs;
+}
+
+std::size_t
+PredatorPreyScenario::observationDim(std::size_t i) const
+{
+    const std::size_t total =
+        _config.numPredators + _config.numPrey;
+    const bool is_prey = i >= _config.numPredators;
+    const std::size_t prey_vels =
+        is_prey ? _config.numPrey - 1 : _config.numPrey;
+    return 4 + 2 * _config.numLandmarks + 2 * (total - 1) +
+           2 * prey_vels;
+}
+
+Real
+PredatorPreyScenario::reward(const World &world, std::size_t i) const
+{
+    const Agent &self = world.agents[i];
+    Real r = 0;
+    if (self.adversary) {
+        // Predators: +tag per touched prey, shaped toward nearest.
+        Real min_dist = std::numeric_limits<Real>::max();
+        for (std::size_t j = _config.numPredators;
+             j < world.agents.size(); ++j) {
+            const Agent &prey = world.agents[j];
+            min_dist = std::min(min_dist,
+                                distance(self.pos, prey.pos));
+            if (World::isCollision(self, prey))
+                r += _config.tagReward;
+        }
+        r -= _config.shapingCoeff * min_dist;
+    } else {
+        // Prey: fly from predators, penalized on contact and for
+        // leaving the arena.
+        for (std::size_t j = 0; j < _config.numPredators; ++j) {
+            const Agent &pred = world.agents[j];
+            r += _config.shapingCoeff *
+                 distance(self.pos, pred.pos);
+            if (World::isCollision(self, pred))
+                r -= _config.tagReward;
+        }
+        auto boundary_penalty = [](Real x) -> Real {
+            const Real ax = std::abs(x);
+            if (ax < Real(0.9))
+                return 0;
+            if (ax < Real(1.0))
+                return (ax - Real(0.9)) * Real(10);
+            return std::min(std::exp(Real(2) * ax - Real(2)),
+                            Real(10));
+        };
+        r -= boundary_penalty(self.pos.x);
+        r -= boundary_penalty(self.pos.y);
+    }
+    return r;
+}
+
+int
+PredatorPreyScenario::scriptedAction(const World &world,
+                                     std::size_t i, Rng &rng) const
+{
+    // Greedy flee: pick the discrete action whose direction best
+    // aligns with the vector away from the nearest predator, with a
+    // small chance of random motion so prey are not fully
+    // predictable.
+    if (rng.uniform() < 0.1)
+        return static_cast<int>(rng.randint(numDiscreteActions));
+
+    const Agent &self = world.agents[i];
+    Real best_dist = std::numeric_limits<Real>::max();
+    Vec2 away;
+    for (std::size_t j = 0; j < _config.numPredators; ++j) {
+        const Real d = distance(self.pos, world.agents[j].pos);
+        if (d < best_dist) {
+            best_dist = d;
+            away = (self.pos - world.agents[j].pos).normalized();
+        }
+    }
+    // Steer back toward the arena when near the edge.
+    if (std::abs(self.pos.x) > Real(1.0))
+        away.x = self.pos.x > 0 ? Real(-1) : Real(1);
+    if (std::abs(self.pos.y) > Real(1.0))
+        away.y = self.pos.y > 0 ? Real(-1) : Real(1);
+
+    int best_action = 0;
+    Real best_dot = -std::numeric_limits<Real>::max();
+    for (int a = 1; a < numDiscreteActions; ++a) {
+        const Vec2 dir = discreteActionDirection(a);
+        const Real dot = dir.x * away.x + dir.y * away.y;
+        if (dot > best_dot) {
+            best_dot = dot;
+            best_action = a;
+        }
+    }
+    return best_action;
+}
+
+} // namespace marlin::env

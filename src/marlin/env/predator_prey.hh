@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Predator-Prey (competitive) scenario, modeled on MPE simple_tag.
+ *
+ * N slow predators are trained to tag faster, environment-controlled
+ * prey; immovable landmarks act as obstacles. Observation layout
+ * reproduces the paper's dimensionalities:
+ *   3 predators, 1 prey, 2 landmarks -> Box(16) / Box(14)
+ *   24 predators, 8 prey, 8 landmarks -> Box(98) / Box(96)
+ */
+
+#ifndef MARLIN_ENV_PREDATOR_PREY_HH
+#define MARLIN_ENV_PREDATOR_PREY_HH
+
+#include "marlin/env/scenario.hh"
+
+namespace marlin::env
+{
+
+/** Roster and shaping parameters for PredatorPreyScenario. */
+struct PredatorPreyConfig
+{
+    /** Trained predators (the paper's "number of agents"). */
+    std::size_t numPredators = 3;
+    /** Environment-controlled prey; 0 = derive as max(1, N/3). */
+    std::size_t numPrey = 0;
+    /** Obstacle landmarks; 0 = derive as max(2, N/3). */
+    std::size_t numLandmarks = 0;
+    /** Reward per predator-prey collision. */
+    Real tagReward = Real(10);
+    /** Distance-shaping coefficient for predators. */
+    Real shapingCoeff = Real(0.1);
+};
+
+/** Competitive tag task with scripted fleeing prey. */
+class PredatorPreyScenario : public Scenario
+{
+  public:
+    explicit PredatorPreyScenario(PredatorPreyConfig config = {});
+
+    std::string name() const override { return "predator_prey"; }
+
+    void makeWorld(World &world) override;
+    void resetWorld(World &world, Rng &rng) override;
+    std::size_t learnableAgents(const World &world) const override;
+    std::vector<Real> observation(const World &world,
+                                  std::size_t i) const override;
+    std::size_t observationDim(std::size_t i) const override;
+    Real reward(const World &world, std::size_t i) const override;
+    int scriptedAction(const World &world, std::size_t i,
+                       Rng &rng) const override;
+
+    const PredatorPreyConfig &config() const { return _config; }
+    std::size_t numPrey() const { return _config.numPrey; }
+    std::size_t numLandmarks() const { return _config.numLandmarks; }
+
+  private:
+    PredatorPreyConfig _config;
+};
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_PREDATOR_PREY_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal 2D vector used by the particle world.
+ */
+
+#ifndef MARLIN_ENV_VEC2_HH
+#define MARLIN_ENV_VEC2_HH
+
+#include <cmath>
+
+#include "marlin/base/types.hh"
+
+namespace marlin::env
+{
+
+/** 2D vector of Real with the handful of ops the physics needs. */
+struct Vec2
+{
+    Real x = 0;
+    Real y = 0;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(Real s) const { return {x * s, y * s}; }
+
+    Vec2 &
+    operator+=(const Vec2 &o)
+    {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+
+    Vec2 &
+    operator*=(Real s)
+    {
+        x *= s;
+        y *= s;
+        return *this;
+    }
+
+    Real normSq() const { return x * x + y * y; }
+    Real norm() const { return std::sqrt(normSq()); }
+
+    /** Unit vector (zero vector maps to zero). */
+    Vec2
+    normalized() const
+    {
+        const Real n = norm();
+        return n > Real(0) ? Vec2{x / n, y / n} : Vec2{};
+    }
+
+    bool operator==(const Vec2 &o) const = default;
+};
+
+/** Euclidean distance between two points. */
+inline Real
+distance(const Vec2 &a, const Vec2 &b)
+{
+    return (a - b).norm();
+}
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_VEC2_HH

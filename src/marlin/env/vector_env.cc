@@ -1,0 +1,60 @@
+#include "marlin/env/vector_env.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::env
+{
+
+VectorEnvironment::VectorEnvironment(const EnvFactory &factory,
+                                     std::size_t count)
+{
+    MARLIN_ASSERT(count >= 1, "vector env needs at least one lane");
+    MARLIN_ASSERT(factory != nullptr, "vector env needs a factory");
+    lanes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        lanes.push_back(factory(i));
+        MARLIN_ASSERT(lanes.back() != nullptr,
+                      "factory returned a null environment");
+    }
+    const std::size_t agents = lanes.front()->numAgents();
+    for (const auto &lane_env : lanes) {
+        MARLIN_ASSERT(lane_env->numAgents() == agents,
+                      "vector env lanes must be homogeneous");
+        for (std::size_t a = 0; a < agents; ++a) {
+            MARLIN_ASSERT(lane_env->obsDim(a) ==
+                              lanes.front()->obsDim(a),
+                          "vector env lanes must share obs shapes");
+        }
+    }
+}
+
+std::vector<std::vector<std::vector<Real>>>
+VectorEnvironment::reset()
+{
+    std::vector<std::vector<std::vector<Real>>> obs;
+    obs.reserve(lanes.size());
+    for (auto &lane_env : lanes)
+        obs.push_back(lane_env->reset());
+    return obs;
+}
+
+std::vector<std::vector<Real>>
+VectorEnvironment::resetLane(std::size_t i)
+{
+    MARLIN_ASSERT(i < lanes.size(), "lane index out of range");
+    return lanes[i]->reset();
+}
+
+std::vector<StepResult>
+VectorEnvironment::step(const std::vector<std::vector<int>> &actions)
+{
+    MARLIN_ASSERT(actions.size() == lanes.size(),
+                  "one action vector per lane required");
+    std::vector<StepResult> results;
+    results.reserve(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+        results.push_back(lanes[i]->step(actions[i]));
+    return results;
+}
+
+} // namespace marlin::env

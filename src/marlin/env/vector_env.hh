@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Vectorized environment: K independent copies of a scenario
+ * stepped together, amortizing per-call overhead during data
+ * collection (the pattern WarpDrive-style systems scale up; here it
+ * is the CPU building block for filling replay buffers quickly).
+ */
+
+#ifndef MARLIN_ENV_VECTOR_ENV_HH
+#define MARLIN_ENV_VECTOR_ENV_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "marlin/env/environment.hh"
+
+namespace marlin::env
+{
+
+/** Builds one environment instance for lane @p lane. */
+using EnvFactory =
+    std::function<std::unique_ptr<Environment>(std::size_t lane)>;
+
+/**
+ * A batch of homogeneous environments. All lanes share the same
+ * agent count and observation shapes (checked at construction).
+ */
+class VectorEnvironment
+{
+  public:
+    /**
+     * @param factory Called with lane indices 0..count-1; seed each
+     *        lane differently inside the factory for decorrelated
+     *        rollouts.
+     * @param count Number of lanes (>= 1).
+     */
+    VectorEnvironment(const EnvFactory &factory, std::size_t count);
+
+    std::size_t numLanes() const { return lanes.size(); }
+    std::size_t numAgents() const { return lanes.front()->numAgents(); }
+
+    Environment &lane(std::size_t i) { return *lanes[i]; }
+    const Environment &lane(std::size_t i) const { return *lanes[i]; }
+
+    /** Reset every lane; returns observations[lane][agent]. */
+    std::vector<std::vector<std::vector<Real>>> reset();
+
+    /** Reset one lane only (episode boundary). */
+    std::vector<std::vector<Real>> resetLane(std::size_t i);
+
+    /**
+     * Step every lane with actions[lane][agent].
+     * @return One StepResult per lane.
+     */
+    std::vector<StepResult>
+    step(const std::vector<std::vector<int>> &actions);
+
+  private:
+    std::vector<std::unique_ptr<Environment>> lanes;
+};
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_VECTOR_ENV_HH

@@ -1,0 +1,90 @@
+#include "marlin/env/world.hh"
+
+#include <cmath>
+
+namespace marlin::env
+{
+
+bool
+World::isCollision(const Entity &a, const Entity &b)
+{
+    if (!a.collide || !b.collide || &a == &b)
+        return false;
+    const Real min_dist = a.size + b.size;
+    return (a.pos - b.pos).normSq() < min_dist * min_dist;
+}
+
+Vec2
+World::contactForceOn(const Entity &a, const Entity &b) const
+{
+    if (!a.collide || !b.collide || &a == &b)
+        return {};
+    const Vec2 delta = a.pos - b.pos;
+    const Real dist = delta.norm();
+    const Real min_dist = a.size + b.size;
+    // Softened interpenetration (MPE): smooth max(0, min_dist-dist).
+    // Evaluated in double: the exponent reaches several hundred for
+    // overlapping spawns, which overflows in single precision.
+    const double k = static_cast<double>(_config.contactMargin);
+    const double x = -(static_cast<double>(dist) -
+                       static_cast<double>(min_dist)) / k;
+    // log1p(exp(x)) == x + log1p(exp(-x)) for large x, avoiding
+    // overflow for any penetration depth.
+    const double softplus =
+        x > 30.0 ? x + std::log1p(std::exp(-x))
+                 : std::log1p(std::exp(x));
+    const Real penetration = static_cast<Real>(softplus * k);
+    const Vec2 dir = dist > Real(0) ? Vec2{delta.x / dist,
+                                           delta.y / dist}
+                                    : Vec2{1, 0};
+    return dir * (_config.contactForce * penetration);
+}
+
+void
+World::step()
+{
+    const std::size_t n = agents.size();
+    std::vector<Vec2> forces(n);
+
+    // Action forces scaled by per-agent acceleration.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (agents[i].movable)
+            forces[i] = agents[i].actionForce * agents[i].accel;
+    }
+
+    // Pairwise agent-agent contact forces (symmetric).
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const Vec2 f = contactForceOn(agents[i], agents[j]);
+            if (agents[i].movable)
+                forces[i] += f;
+            if (agents[j].movable)
+                forces[j] += f * Real(-1);
+        }
+    }
+
+    // Agent-landmark contacts (landmarks are immovable obstacles).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!agents[i].movable)
+            continue;
+        for (const Entity &lm : landmarks)
+            forces[i] += contactForceOn(agents[i], lm);
+    }
+
+    // Semi-implicit integration with damping and speed cap.
+    for (std::size_t i = 0; i < n; ++i) {
+        Agent &a = agents[i];
+        if (!a.movable)
+            continue;
+        a.vel *= (Real(1) - _config.damping);
+        a.vel += forces[i] * (_config.dt / a.mass);
+        if (a.maxSpeed > Real(0)) {
+            const Real speed = a.vel.norm();
+            if (speed > a.maxSpeed)
+                a.vel *= a.maxSpeed / speed;
+        }
+        a.pos += a.vel * _config.dt;
+    }
+}
+
+} // namespace marlin::env

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The 2D particle world: double-integrator agents with soft contact
+ * forces, matching the dynamics of OpenAI's multiagent-particle-envs.
+ */
+
+#ifndef MARLIN_ENV_WORLD_HH
+#define MARLIN_ENV_WORLD_HH
+
+#include <vector>
+
+#include "marlin/env/entity.hh"
+
+namespace marlin::env
+{
+
+/** Integration and contact parameters (MPE defaults). */
+struct WorldConfig
+{
+    Real dt = Real(0.1);
+    Real damping = Real(0.25);
+    Real contactForce = Real(100);
+    Real contactMargin = Real(0.001);
+};
+
+/**
+ * Container for all entities plus the physics step.
+ *
+ * Agents apply action forces; colliding entity pairs exchange a soft
+ * penetration-based repulsion; velocities are damped, capped at each
+ * agent's maxSpeed, and integrated explicitly.
+ */
+class World
+{
+  public:
+    explicit World(WorldConfig config = {}) : _config(config) {}
+
+    const WorldConfig &config() const { return _config; }
+
+    std::vector<Agent> agents;
+    std::vector<Entity> landmarks;
+
+    std::size_t numAgents() const { return agents.size(); }
+    std::size_t numLandmarks() const { return landmarks.size(); }
+
+    /** Advance the physics by one dt using current action forces. */
+    void step();
+
+    /**
+     * True when entities @p a and @p b overlap (distance below the
+     * sum of radii) and both are collidable.
+     */
+    static bool isCollision(const Entity &a, const Entity &b);
+
+    /**
+     * Soft contact force exerted on @p a by @p b
+     * (equal and opposite on b).
+     */
+    Vec2 contactForceOn(const Entity &a, const Entity &b) const;
+
+  private:
+    WorldConfig _config;
+};
+
+} // namespace marlin::env
+
+#endif // MARLIN_ENV_WORLD_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header: include everything a downstream MARLin user
+ * typically needs.
+ */
+
+#ifndef MARLIN_MARLIN_HH
+#define MARLIN_MARLIN_HH
+
+#include "marlin/base/args.hh"
+#include "marlin/base/logging.hh"
+#include "marlin/base/random.hh"
+#include "marlin/base/string_utils.hh"
+#include "marlin/core/checkpoint.hh"
+#include "marlin/core/config.hh"
+#include "marlin/core/evaluator.hh"
+#include "marlin/core/maddpg.hh"
+#include "marlin/core/matd3.hh"
+#include "marlin/core/train_loop.hh"
+#include "marlin/env/cooperative_navigation.hh"
+#include "marlin/env/environment.hh"
+#include "marlin/env/physical_deception.hh"
+#include "marlin/env/predator_prey.hh"
+#include "marlin/env/vector_env.hh"
+#include "marlin/memsim/platform.hh"
+#include "marlin/memsim/trace_replay.hh"
+#include "marlin/profile/report.hh"
+#include "marlin/replay/aos_buffer.hh"
+#include "marlin/replay/info_prioritized_sampler.hh"
+#include "marlin/replay/locality_sampler.hh"
+#include "marlin/replay/prioritized_sampler.hh"
+#include "marlin/replay/rank_sampler.hh"
+#include "marlin/replay/uniform_sampler.hh"
+
+#endif // MARLIN_MARLIN_HH

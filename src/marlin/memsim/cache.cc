@@ -1,0 +1,120 @@
+#include "marlin/memsim/cache.hh"
+
+namespace marlin::memsim
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheModel::CacheModel(CacheConfig config) : _config(config)
+{
+    MARLIN_ASSERT(_config.lineBytes > 0 && isPow2(_config.lineBytes),
+                  "cache line size must be a power of two");
+    MARLIN_ASSERT(_config.ways > 0, "cache needs at least one way");
+    const std::uint64_t num_lines =
+        _config.sizeBytes / _config.lineBytes;
+    MARLIN_ASSERT(num_lines >= _config.ways,
+                  "cache smaller than one set");
+    // Non-power-of-two set counts are fine: set = line % sets and
+    // tag = line / sets still uniquely identify a line.
+    sets = num_lines / _config.ways;
+    lines.resize(sets * _config.ways);
+}
+
+CacheModel::Line *
+CacheModel::lookup(std::uint64_t addr, bool &hit)
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = lines.data() + set * _config.ways;
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            hit = true;
+            return &line;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid &&
+                   line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    hit = false;
+    return victim;
+}
+
+bool
+CacheModel::access(std::uint64_t addr)
+{
+    bool hit = false;
+    Line *line = lookup(addr, hit);
+    ++useClock;
+    if (hit) {
+        ++_stats.hits;
+        if (line->prefetched) {
+            ++_stats.prefetchHits;
+            line->prefetched = false;
+        }
+    } else {
+        ++_stats.misses;
+        if (line->valid)
+            ++_stats.evictions;
+        line->valid = true;
+        line->tag = tagOf(addr);
+        line->prefetched = false;
+    }
+    line->lastUse = useClock;
+    return hit;
+}
+
+void
+CacheModel::prefetchFill(std::uint64_t addr)
+{
+    bool hit = false;
+    Line *line = lookup(addr, hit);
+    ++useClock;
+    if (!hit) {
+        if (line->valid)
+            ++_stats.evictions;
+        line->valid = true;
+        line->tag = tagOf(addr);
+        line->prefetched = true;
+        ++_stats.prefetchFills;
+        // Prefetches fill at LRU+1 priority: cheap approximation is
+        // to stamp them like a normal use.
+        line->lastUse = useClock;
+    }
+}
+
+bool
+CacheModel::contains(std::uint64_t addr) const
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Line *base = lines.data() + set * _config.ways;
+    for (std::uint32_t w = 0; w < _config.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (Line &line : lines)
+        line = Line{};
+    _stats = CacheStats{};
+    useClock = 0;
+}
+
+} // namespace marlin::memsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Single-level set-associative cache model with LRU replacement.
+ * Trace-driven: it models hit/miss behaviour (not contents), which
+ * is all the paper's counter-style results need.
+ */
+
+#ifndef MARLIN_MEMSIM_CACHE_HH
+#define MARLIN_MEMSIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::memsim
+{
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+};
+
+/** Hit/miss accounting for one cache level. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t prefetchHits = 0; ///< Demand hits on prefetched lines.
+    std::uint64_t evictions = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    missRate() const
+    {
+        const std::uint64_t a = accesses();
+        return a ? static_cast<double>(misses) /
+                       static_cast<double>(a)
+                 : 0.0;
+    }
+};
+
+/**
+ * Set-associative LRU cache. Addresses are byte addresses; the
+ * model tracks one tag per line.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(CacheConfig config);
+
+    const CacheConfig &config() const { return _config; }
+    const CacheStats &stats() const { return _stats; }
+    std::uint64_t numSets() const { return sets; }
+
+    /**
+     * Demand access to byte address @p addr. Updates LRU and
+     * stats.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Fill a line without demand accounting (prefetch). */
+    void prefetchFill(std::uint64_t addr);
+
+    /** Line-presence probe with no state change. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Drop all lines and zero the stats. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool prefetched = false;
+    };
+
+    CacheConfig _config;
+    CacheStats _stats;
+    std::uint64_t sets;
+    std::uint64_t useClock = 0;
+    std::vector<Line> lines; ///< sets x ways, row-major.
+
+    std::uint64_t
+    setOf(std::uint64_t addr) const
+    {
+        return (addr / _config.lineBytes) % sets;
+    }
+
+    std::uint64_t
+    tagOf(std::uint64_t addr) const
+    {
+        return (addr / _config.lineBytes) / sets;
+    }
+
+    /** Find the line for addr, or the LRU victim; fills on miss. */
+    Line *lookup(std::uint64_t addr, bool &hit);
+};
+
+} // namespace marlin::memsim
+
+#endif // MARLIN_MEMSIM_CACHE_HH

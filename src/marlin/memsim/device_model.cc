@@ -1,0 +1,54 @@
+#include "marlin/memsim/device_model.hh"
+
+namespace marlin::memsim
+{
+
+DeviceConfig
+makeRtx3090()
+{
+    DeviceConfig d;
+    d.name = "rtx_3090";
+    d.launchLatency = 8e-6;
+    d.pcieBandwidth = 24e9; // PCIe 4.0 x16, effective.
+    d.flops = 29e12;        // FP32 sustained (of 35.6 peak).
+    d.present = true;
+    return d;
+}
+
+DeviceConfig
+makeGtx1070()
+{
+    DeviceConfig d;
+    d.name = "gtx_1070";
+    d.launchLatency = 12e-6;
+    d.pcieBandwidth = 11e9; // PCIe 3.0 x16, effective.
+    d.flops = 5.5e12;       // FP32 sustained (of 6.5 peak).
+    d.present = true;
+    return d;
+}
+
+double
+offloadSeconds(const DeviceConfig &device, double flop,
+               double bytes_to_device, double bytes_to_host)
+{
+    if (!device.present)
+        return 0.0;
+    const double transfer =
+        (bytes_to_device + bytes_to_host) / device.pcieBandwidth;
+    const double compute = flop / device.flops;
+    return device.launchLatency + transfer + compute;
+}
+
+double
+mlpForwardFlops(std::size_t batch, std::size_t in, std::size_t hidden,
+                std::size_t out)
+{
+    // Two hidden layers: in->h, h->h, h->out; 2 FLOPs per MAC.
+    const double b = static_cast<double>(batch);
+    const double i = static_cast<double>(in);
+    const double h = static_cast<double>(hidden);
+    const double o = static_cast<double>(out);
+    return 2.0 * b * (i * h + h * h + h * o);
+}
+
+} // namespace marlin::memsim

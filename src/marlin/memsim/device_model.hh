@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic GPU offload cost model. The paper observes (Figs. 12-13)
+ * that a CPU-only platform can out-gain a CPU+GPU one at small
+ * agent counts because PCIe transfers and kernel launches swamp the
+ * small network computations; this model reproduces that effect
+ * without a GPU.
+ */
+
+#ifndef MARLIN_MEMSIM_DEVICE_MODEL_HH
+#define MARLIN_MEMSIM_DEVICE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace marlin::memsim
+{
+
+/** Device throughput/latency parameters. */
+struct DeviceConfig
+{
+    std::string name = "none";
+    /** Kernel launch + driver overhead per offloaded op (s). */
+    double launchLatency = 10e-6;
+    /** Host<->device bandwidth (bytes/s). */
+    double pcieBandwidth = 12e9;
+    /** Sustained FP32 throughput (FLOP/s). */
+    double flops = 8e12;
+    /** True when a device is present (false = CPU-only platform). */
+    bool present = false;
+};
+
+/** RTX 3090 on PCIe 4.0 (paper Table II). */
+DeviceConfig makeRtx3090();
+
+/** GTX 1070 on PCIe 3.0 (paper Section VI-B). */
+DeviceConfig makeGtx1070();
+
+/**
+ * Time for one offloaded dense computation of @p flop floating
+ * point operations moving @p bytes_to_device and @p bytes_to_host
+ * across PCIe.
+ */
+double offloadSeconds(const DeviceConfig &device, double flop,
+                      double bytes_to_device, double bytes_to_host);
+
+/**
+ * Estimated FLOPs of a 2-hidden-layer MLP forward pass.
+ *
+ * @param batch Batch rows.
+ * @param in Input features.
+ * @param hidden Hidden width (both layers).
+ * @param out Output features.
+ */
+double mlpForwardFlops(std::size_t batch, std::size_t in,
+                       std::size_t hidden, std::size_t out);
+
+} // namespace marlin::memsim
+
+#endif // MARLIN_MEMSIM_DEVICE_MODEL_HH

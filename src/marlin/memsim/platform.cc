@@ -1,0 +1,57 @@
+#include "marlin/memsim/platform.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::memsim
+{
+
+PlatformPreset
+makePlatform(PlatformId id)
+{
+    PlatformPreset p;
+    switch (id) {
+      case PlatformId::Threadripper3975WX:
+        // Zen2: 32 KiB 8-way L1d, 512 KiB 8-way L2 per core, large
+        // shared L3 (Table II lists 128 MiB; one core sees its CCX
+        // slice but the single-threaded sampler can spill widely, so
+        // model a 16 MiB effective slice), 3072-entry dTLB.
+        p.name = "threadripper_3975wx";
+        p.hierarchy.l1 = {32 * 1024, 64, 8};
+        p.hierarchy.l2 = {512 * 1024, 64, 8};
+        p.hierarchy.l3 = {16 * 1024 * 1024, 64, 16};
+        p.hierarchy.tlb = {3072, 12, 4096};
+        p.hierarchy.l1Latency = 4;
+        p.hierarchy.l2Latency = 12;
+        p.hierarchy.l3Latency = 38;
+        p.hierarchy.memLatency = 210;
+        p.frequencyHz = 3.5e9;
+        break;
+      case PlatformId::CoreI7_9700K:
+        // Coffee Lake: 32 KiB 8-way L1d, 256 KiB 4-way L2,
+        // 12 MiB 16-way shared L3, 1536-entry L2 dTLB.
+        p.name = "core_i7_9700k";
+        p.hierarchy.l1 = {32 * 1024, 64, 8};
+        p.hierarchy.l2 = {256 * 1024, 64, 4};
+        p.hierarchy.l3 = {12 * 1024 * 1024, 64, 16};
+        p.hierarchy.tlb = {1536, 12, 4096};
+        p.hierarchy.l1Latency = 4;
+        p.hierarchy.l2Latency = 14;
+        p.hierarchy.l3Latency = 42;
+        p.hierarchy.memLatency = 190;
+        p.frequencyHz = 3.6e9;
+        break;
+    }
+    return p;
+}
+
+PlatformId
+platformFromString(const std::string &name)
+{
+    if (name == "threadripper")
+        return PlatformId::Threadripper3975WX;
+    if (name == "i7-9700k")
+        return PlatformId::CoreI7_9700K;
+    fatal("unknown platform '%s'", name.c_str());
+}
+
+} // namespace marlin::memsim

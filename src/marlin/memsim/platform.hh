@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Platform presets mirroring the paper's evaluation hardware: the
+ * primary AMD Ryzen Threadripper 3975WX host (Table II) and the
+ * Intel i7-9700K used for cross-validation (Section VI-B), plus the
+ * GPU device models for the RTX 3090 and GTX 1070.
+ */
+
+#ifndef MARLIN_MEMSIM_PLATFORM_HH
+#define MARLIN_MEMSIM_PLATFORM_HH
+
+#include <string>
+
+#include "marlin/memsim/device_model.hh"
+#include "marlin/memsim/hierarchy.hh"
+
+namespace marlin::memsim
+{
+
+/** Known platform presets. */
+enum class PlatformId
+{
+    Threadripper3975WX, ///< Paper Table II host.
+    CoreI7_9700K,       ///< Cross-validation host (Fig. 12/13).
+};
+
+/** Everything the benches need to model one evaluation platform. */
+struct PlatformPreset
+{
+    std::string name;
+    HierarchyConfig hierarchy;
+    /** Nominal core frequency (Hz) for cycle->second conversion. */
+    double frequencyHz = 3.5e9;
+};
+
+/** Build the preset for @p id. */
+PlatformPreset makePlatform(PlatformId id);
+
+/** Parse "threadripper" / "i7-9700k" (case-sensitive). */
+PlatformId platformFromString(const std::string &name);
+
+} // namespace marlin::memsim
+
+#endif // MARLIN_MEMSIM_PLATFORM_HH

@@ -1,0 +1,85 @@
+#include "marlin/memsim/prefetcher.hh"
+
+namespace marlin::memsim
+{
+
+StreamPrefetcher::StreamPrefetcher(PrefetcherConfig config)
+    : _config(config), streams(config.streams)
+{
+}
+
+void
+StreamPrefetcher::observe(std::uint64_t line,
+                          std::vector<std::uint64_t> &out)
+{
+    out.clear();
+    if (!_config.enabled)
+        return;
+    ++useClock;
+
+    // Try to match an existing stream (distance 1 or 2 in either
+    // direction tolerates the skip patterns of strided gathers).
+    Stream *lru = &streams[0];
+    for (Stream &s : streams) {
+        if (!s.valid) {
+            lru = &s;
+            continue;
+        }
+        if (s.lastUse < lru->lastUse || !lru->valid)
+            lru = &s;
+
+        const std::int64_t delta = static_cast<std::int64_t>(line) -
+                                   static_cast<std::int64_t>(
+                                       s.lastLine);
+        if (delta == 0)
+            return; // Same line; nothing to learn.
+        if (delta >= -2 && delta <= 2) {
+            const std::int32_t dir = delta > 0 ? 1 : -1;
+            if (s.direction == dir || s.direction == 0) {
+                if (s.direction == 0)
+                    s.direction = dir;
+                if (s.confidence < _config.trainThreshold)
+                    ++s.confidence;
+                s.lastLine = line;
+                s.lastUse = useClock;
+                if (s.confidence >= _config.trainThreshold) {
+                    if (s.confidence == _config.trainThreshold) {
+                        ++_stats.trained;
+                        ++s.confidence; // Count training once.
+                    }
+                    for (std::uint32_t d = 1; d <= _config.degree;
+                         ++d) {
+                        const std::int64_t target =
+                            static_cast<std::int64_t>(line) +
+                            static_cast<std::int64_t>(d) *
+                                s.direction;
+                        if (target >= 0) {
+                            out.push_back(static_cast<std::uint64_t>(
+                                target));
+                            ++_stats.issued;
+                        }
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    // No stream matched: allocate (replace LRU).
+    lru->valid = true;
+    lru->lastLine = line;
+    lru->direction = 0;
+    lru->confidence = 1;
+    lru->lastUse = useClock;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (Stream &s : streams)
+        s = Stream{};
+    _stats = PrefetcherStats{};
+    useClock = 0;
+}
+
+} // namespace marlin::memsim

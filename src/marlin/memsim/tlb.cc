@@ -1,0 +1,58 @@
+#include "marlin/memsim/tlb.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::memsim
+{
+
+TlbModel::TlbModel(TlbConfig config) : _config(config)
+{
+    MARLIN_ASSERT(_config.ways > 0 &&
+                      _config.entries >= _config.ways,
+                  "TLB needs at least one set");
+    sets = _config.entries / _config.ways;
+    MARLIN_ASSERT(sets > 0 && (sets & (sets - 1)) == 0,
+                  "TLB set count must be a power of two");
+    table.resize(sets * _config.ways);
+}
+
+bool
+TlbModel::access(std::uint64_t addr)
+{
+    const std::uint64_t page = addr / _config.pageBytes;
+    const std::uint64_t set = page % sets;
+    const std::uint64_t tag = page / sets;
+    ++useClock;
+
+    Entry *base = table.data() + set * _config.ways;
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            e.lastUse = useClock;
+            ++_stats.hits;
+            return true;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    ++_stats.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+void
+TlbModel::reset()
+{
+    for (Entry &e : table)
+        e = Entry{};
+    _stats = TlbStats{};
+    useClock = 0;
+}
+
+} // namespace marlin::memsim

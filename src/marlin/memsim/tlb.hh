@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Data TLB model (set-associative LRU over 4 KiB pages), backing
+ * the dTLB-load-miss trend of the paper's Figure 4.
+ */
+
+#ifndef MARLIN_MEMSIM_TLB_HH
+#define MARLIN_MEMSIM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace marlin::memsim
+{
+
+/** TLB geometry. */
+struct TlbConfig
+{
+    /** Total entries (paper platform: 3072 4K pages). */
+    std::uint32_t entries = 3072;
+    /** Associativity; entries/ways must be a power of two. */
+    std::uint32_t ways = 12;
+    std::uint32_t pageBytes = 4096;
+};
+
+/** TLB accounting. */
+struct TlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    missRate() const
+    {
+        const std::uint64_t a = accesses();
+        return a ? static_cast<double>(misses) /
+                       static_cast<double>(a)
+                 : 0.0;
+    }
+};
+
+/** Set-associative LRU TLB (O(ways) per access). */
+class TlbModel
+{
+  public:
+    explicit TlbModel(TlbConfig config = {});
+
+    const TlbConfig &config() const { return _config; }
+    const TlbStats &stats() const { return _stats; }
+
+    /** Translate the page containing @p addr. @return true on hit. */
+    bool access(std::uint64_t addr);
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    TlbConfig _config;
+    TlbStats _stats;
+    std::uint64_t sets;
+    std::uint64_t useClock = 0;
+    std::vector<Entry> table; ///< sets x ways.
+};
+
+} // namespace marlin::memsim
+
+#endif // MARLIN_MEMSIM_TLB_HH

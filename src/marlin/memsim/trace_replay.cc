@@ -1,0 +1,24 @@
+#include "marlin/memsim/trace_replay.hh"
+
+namespace marlin::memsim
+{
+
+TraceReplayResult
+replayTrace(CacheHierarchy &hierarchy,
+            const replay::AccessTrace &trace, double frequency_hz)
+{
+    const std::uint64_t cycles_before = hierarchy.stats().cycles;
+    for (const replay::MemAccess &a : trace.entries())
+        hierarchy.access(a.addr, a.bytes);
+
+    TraceReplayResult result;
+    result.stats = hierarchy.stats();
+    result.traceEntries = trace.size();
+    result.bytes = trace.totalBytes();
+    result.memorySeconds =
+        static_cast<double>(result.stats.cycles - cycles_before) /
+        frequency_hz;
+    return result;
+}
+
+} // namespace marlin::memsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Replay of gather access traces through the cache hierarchy — the
+ * bridge between the replay samplers and the Figure-4 style
+ * hardware-counter results.
+ */
+
+#ifndef MARLIN_MEMSIM_TRACE_REPLAY_HH
+#define MARLIN_MEMSIM_TRACE_REPLAY_HH
+
+#include "marlin/memsim/hierarchy.hh"
+#include "marlin/replay/access_trace.hh"
+
+namespace marlin::memsim
+{
+
+/** Counter summary of one trace replay. */
+struct TraceReplayResult
+{
+    HierarchyStats stats;
+    std::uint64_t traceEntries = 0;
+    std::uint64_t bytes = 0;
+    /** Estimated memory-subsystem seconds at the given frequency. */
+    double memorySeconds = 0;
+};
+
+/**
+ * Feed every access of @p trace through @p hierarchy (which keeps
+ * its warm state across calls so multi-iteration traces model
+ * steady-state reuse).
+ *
+ * @param frequency_hz Converts cycle counts into memorySeconds.
+ */
+TraceReplayResult replayTrace(CacheHierarchy &hierarchy,
+                              const replay::AccessTrace &trace,
+                              double frequency_hz = 3.5e9);
+
+} // namespace marlin::memsim
+
+#endif // MARLIN_MEMSIM_TRACE_REPLAY_HH

@@ -1,0 +1,82 @@
+#include "marlin/nn/activation.hh"
+
+#include <cmath>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::nn
+{
+
+Activation
+activationFromString(const std::string &name)
+{
+    if (name == "relu")
+        return Activation::ReLU;
+    if (name == "tanh")
+        return Activation::Tanh;
+    if (name == "identity")
+        return Activation::Identity;
+    fatal("unknown activation '%s'", name.c_str());
+}
+
+const char *
+activationName(Activation a)
+{
+    switch (a) {
+      case Activation::Identity:
+        return "identity";
+      case Activation::ReLU:
+        return "relu";
+      case Activation::Tanh:
+        return "tanh";
+    }
+    return "?";
+}
+
+void
+ActivationLayer::forward(const Matrix &x, Matrix &y)
+{
+    y = x;
+    switch (_kind) {
+      case Activation::Identity:
+        break;
+      case Activation::ReLU:
+        cached = x;
+        for (std::size_t i = 0; i < y.size(); ++i)
+            if (y.data()[i] < Real(0))
+                y.data()[i] = Real(0);
+        break;
+      case Activation::Tanh:
+        for (std::size_t i = 0; i < y.size(); ++i)
+            y.data()[i] = std::tanh(y.data()[i]);
+        cached = y;
+        break;
+    }
+}
+
+void
+ActivationLayer::backward(const Matrix &grad_y, Matrix &grad_x) const
+{
+    grad_x = grad_y;
+    switch (_kind) {
+      case Activation::Identity:
+        break;
+      case Activation::ReLU:
+        MARLIN_ASSERT(cached.size() == grad_y.size(),
+                      "ReLU backward without forward");
+        for (std::size_t i = 0; i < grad_x.size(); ++i)
+            if (cached.data()[i] <= Real(0))
+                grad_x.data()[i] = Real(0);
+        break;
+      case Activation::Tanh:
+        MARLIN_ASSERT(cached.size() == grad_y.size(),
+                      "Tanh backward without forward");
+        for (std::size_t i = 0; i < grad_x.size(); ++i) {
+            const Real t = cached.data()[i];
+            grad_x.data()[i] *= (Real(1) - t * t);
+        }
+        break;
+    }
+}
+
+} // namespace marlin::nn

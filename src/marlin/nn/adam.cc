@@ -1,0 +1,98 @@
+#include "marlin/nn/adam.hh"
+
+#include <cmath>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::nn
+{
+
+AdamOptimizer::AdamOptimizer(std::vector<Param *> params,
+                             AdamConfig config)
+    : _config(config), bound(std::move(params))
+{
+    MARLIN_ASSERT(!bound.empty(), "AdamOptimizer with no parameters");
+    m.reserve(bound.size());
+    v.reserve(bound.size());
+    for (Param *p : bound) {
+        m.emplace_back(p->value.rows(), p->value.cols());
+        v.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void
+AdamOptimizer::step()
+{
+    if (_config.gradClipNorm > Real(0))
+        clipGradNorm(_config.gradClipNorm);
+    ++t;
+    const Real b1t = Real(1) - std::pow(_config.beta1,
+                                        static_cast<Real>(t));
+    const Real b2t = Real(1) - std::pow(_config.beta2,
+                                        static_cast<Real>(t));
+    for (std::size_t i = 0; i < bound.size(); ++i) {
+        Param &p = *bound[i];
+        Real *w = p.value.data();
+        Real *g = p.grad.data();
+        Real *mi = m[i].data();
+        Real *vi = v[i].data();
+        const std::size_t n = p.value.size();
+        for (std::size_t j = 0; j < n; ++j) {
+            mi[j] = _config.beta1 * mi[j] +
+                    (Real(1) - _config.beta1) * g[j];
+            vi[j] = _config.beta2 * vi[j] +
+                    (Real(1) - _config.beta2) * g[j] * g[j];
+            const Real mhat = mi[j] / b1t;
+            const Real vhat = vi[j] / b2t;
+            w[j] -= _config.lr * mhat /
+                    (std::sqrt(vhat) + _config.epsilon);
+        }
+        p.zeroGrad();
+    }
+}
+
+void
+AdamOptimizer::zeroGrad()
+{
+    for (Param *p : bound)
+        p->zeroGrad();
+}
+
+void
+AdamOptimizer::setState(std::vector<Matrix> m1, std::vector<Matrix> m2,
+                        std::uint64_t step_count)
+{
+    MARLIN_ASSERT(m1.size() == bound.size() &&
+                      m2.size() == bound.size(),
+                  "Adam state count mismatch");
+    for (std::size_t i = 0; i < bound.size(); ++i) {
+        MARLIN_ASSERT(m1[i].rows() == bound[i]->value.rows() &&
+                          m1[i].cols() == bound[i]->value.cols() &&
+                          m2[i].rows() == bound[i]->value.rows() &&
+                          m2[i].cols() == bound[i]->value.cols(),
+                      "Adam state shape mismatch");
+    }
+    m = std::move(m1);
+    v = std::move(m2);
+    t = step_count;
+}
+
+Real
+AdamOptimizer::clipGradNorm(Real max_norm)
+{
+    double total = 0.0;
+    for (Param *p : bound) {
+        const Real *g = p->grad.data();
+        for (std::size_t j = 0; j < p->grad.size(); ++j)
+            total += static_cast<double>(g[j]) * g[j];
+    }
+    const Real norm = static_cast<Real>(std::sqrt(total));
+    if (norm > max_norm && norm > Real(0)) {
+        const Real scale = max_norm / norm;
+        for (Param *p : bound)
+            p->grad *= scale;
+    }
+    return norm;
+}
+
+} // namespace marlin::nn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Adam optimizer (Kingma & Ba, 2014) — the paper trains with Adam at
+ * learning rate 0.01.
+ */
+
+#ifndef MARLIN_NN_ADAM_HH
+#define MARLIN_NN_ADAM_HH
+
+#include <vector>
+
+#include "marlin/nn/linear.hh"
+
+namespace marlin::nn
+{
+
+/** Adam hyper-parameters (paper defaults). */
+struct AdamConfig
+{
+    Real lr = Real(0.01);
+    Real beta1 = Real(0.9);
+    Real beta2 = Real(0.999);
+    Real epsilon = Real(1e-8);
+    /** Optional global-norm gradient clip; <= 0 disables. */
+    Real gradClipNorm = Real(0.5);
+};
+
+/**
+ * Adam with per-parameter first/second moment state. Bound to a
+ * fixed parameter set at construction; step() applies one update
+ * from the currently accumulated gradients and zeroes them.
+ */
+class AdamOptimizer
+{
+  public:
+    AdamOptimizer(std::vector<Param *> params, AdamConfig config = {});
+
+    const AdamConfig &config() const { return _config; }
+    std::uint64_t stepCount() const { return t; }
+
+    /** Apply one Adam update and zero the gradients. */
+    void step();
+
+    /** Zero gradients without updating. */
+    void zeroGrad();
+
+    /**
+     * Scale gradients so their global L2 norm is at most
+     * @p max_norm. Returns the pre-clip norm.
+     */
+    Real clipGradNorm(Real max_norm);
+
+    // Checkpoint access (see nn/serialize.hh).
+    const std::vector<Matrix> &moments1() const { return m; }
+    const std::vector<Matrix> &moments2() const { return v; }
+
+    /** Restore moments and step counter (shapes must match). */
+    void setState(std::vector<Matrix> m1, std::vector<Matrix> m2,
+                  std::uint64_t step_count);
+
+  private:
+    AdamConfig _config;
+    std::vector<Param *> bound;
+    std::vector<Matrix> m; ///< First moment per param.
+    std::vector<Matrix> v; ///< Second moment per param.
+    std::uint64_t t = 0;
+};
+
+} // namespace marlin::nn
+
+#endif // MARLIN_NN_ADAM_HH

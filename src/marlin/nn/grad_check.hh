@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Finite-difference gradient verification for Mlp networks; used by
+ * the test suite to validate the manual backprop implementation.
+ */
+
+#ifndef MARLIN_NN_GRAD_CHECK_HH
+#define MARLIN_NN_GRAD_CHECK_HH
+
+#include <functional>
+
+#include "marlin/nn/mlp.hh"
+
+namespace marlin::nn
+{
+
+/** Result of a gradient check over one network. */
+struct GradCheckResult
+{
+    Real maxAbsError = 0;   ///< max |analytic - numeric|
+    Real maxRelError = 0;   ///< max relative error
+    std::size_t checked = 0; ///< number of scalar params compared
+};
+
+/**
+ * Compare analytic parameter gradients of @p net against central
+ * finite differences of the scalar loss
+ * L(x) = mse(net(x), target).
+ *
+ * @param net Network under test (parameters are perturbed and
+ *            restored in place).
+ * @param x Input batch.
+ * @param target Regression target (same shape as net output).
+ * @param epsilon Finite-difference step.
+ * @param stride Check every stride-th scalar parameter (1 = all).
+ */
+GradCheckResult checkMlpGradients(Mlp &net, const Matrix &x,
+                                  const Matrix &target,
+                                  Real epsilon = Real(1e-2),
+                                  std::size_t stride = 1);
+
+/**
+ * Check the input gradient dL/dx produced by backward() against
+ * finite differences.
+ */
+GradCheckResult checkInputGradients(Mlp &net, const Matrix &x,
+                                    const Matrix &target,
+                                    Real epsilon = Real(1e-2),
+                                    std::size_t stride = 1);
+
+} // namespace marlin::nn
+
+#endif // MARLIN_NN_GRAD_CHECK_HH

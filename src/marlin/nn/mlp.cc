@@ -1,0 +1,131 @@
+#include "marlin/nn/mlp.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::nn
+{
+
+Mlp::Mlp(const MlpConfig &config, Rng &rng) : _config(config)
+{
+    MARLIN_ASSERT(config.inputDim > 0 && config.outputDim > 0,
+                  "Mlp requires nonzero input/output dims");
+    std::size_t prev = config.inputDim;
+    for (std::size_t h : config.hiddenDims) {
+        layers.emplace_back(prev, h, rng);
+        acts.emplace_back(config.hiddenActivation);
+        prev = h;
+    }
+    layers.emplace_back(prev, config.outputDim, rng);
+    acts.emplace_back(config.outputActivation);
+    preact.resize(layers.size());
+    postact.resize(layers.size());
+}
+
+void
+Mlp::forward(const Matrix &x, Matrix &y)
+{
+    const Matrix *cur = &x;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        layers[i].forward(*cur, preact[i]);
+        acts[i].forward(preact[i], postact[i]);
+        cur = &postact[i];
+    }
+    y = *cur;
+}
+
+Matrix
+Mlp::forward(const Matrix &x)
+{
+    Matrix y;
+    forward(x, y);
+    return y;
+}
+
+void
+Mlp::backward(const Matrix &grad_y, Matrix *grad_x)
+{
+    MARLIN_ASSERT(!layers.empty(), "backward on empty Mlp");
+    Matrix grad = grad_y;
+    Matrix next;
+    for (std::size_t i = layers.size(); i-- > 0;) {
+        Matrix d_pre;
+        acts[i].backward(grad, d_pre);
+        if (i == 0 && grad_x == nullptr) {
+            // Still must accumulate the first layer's weight grads;
+            // reuse `next` as a discard buffer.
+            layers[i].backward(d_pre, next);
+        } else {
+            layers[i].backward(d_pre, next);
+        }
+        grad = next;
+    }
+    if (grad_x)
+        *grad_x = grad;
+}
+
+std::vector<Param *>
+Mlp::params()
+{
+    std::vector<Param *> out;
+    for (auto &layer : layers)
+        for (Param *p : layer.params())
+            out.push_back(p);
+    return out;
+}
+
+std::vector<const Param *>
+Mlp::params() const
+{
+    std::vector<const Param *> out;
+    for (const auto &layer : layers)
+        for (const Param *p : layer.params())
+            out.push_back(p);
+    return out;
+}
+
+std::size_t
+Mlp::paramCount() const
+{
+    std::size_t n = 0;
+    for (const Param *p : params())
+        n += p->value.size();
+    return n;
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (Param *p : params())
+        p->zeroGrad();
+}
+
+void
+Mlp::copyFrom(const Mlp &src)
+{
+    auto dst_params = params();
+    auto src_params = src.params();
+    MARLIN_ASSERT(dst_params.size() == src_params.size(),
+                  "copyFrom network shape mismatch");
+    for (std::size_t i = 0; i < dst_params.size(); ++i)
+        dst_params[i]->value = src_params[i]->value;
+}
+
+void
+Mlp::softUpdateFrom(const Mlp &src, Real tau)
+{
+    auto dst_params = params();
+    auto src_params = src.params();
+    MARLIN_ASSERT(dst_params.size() == src_params.size(),
+                  "softUpdateFrom network shape mismatch");
+    for (std::size_t i = 0; i < dst_params.size(); ++i) {
+        Matrix &d = dst_params[i]->value;
+        const Matrix &s = src_params[i]->value;
+        MARLIN_ASSERT(d.size() == s.size(), "param size mismatch");
+        for (std::size_t j = 0; j < d.size(); ++j) {
+            d.data()[j] = tau * s.data()[j] +
+                          (Real(1) - tau) * d.data()[j];
+        }
+    }
+}
+
+} // namespace marlin::nn

@@ -1,0 +1,93 @@
+#include "marlin/nn/serialize.hh"
+
+#include "marlin/base/serialize.hh"
+
+namespace marlin::nn
+{
+
+void
+saveMatrix(std::ostream &os, const Matrix &m)
+{
+    writePod<std::uint64_t>(os, m.rows());
+    writePod<std::uint64_t>(os, m.cols());
+    os.write(reinterpret_cast<const char *>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(Real)));
+}
+
+Matrix
+loadMatrix(std::istream &is)
+{
+    const auto rows = readPod<std::uint64_t>(is);
+    const auto cols = readPod<std::uint64_t>(is);
+    Matrix m(rows, cols);
+    is.read(reinterpret_cast<char *>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(Real)));
+    if (!is)
+        fatal("checkpoint truncated while reading %llux%llu matrix",
+              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(cols));
+    return m;
+}
+
+void
+saveMlp(std::ostream &os, const Mlp &net)
+{
+    const auto params = net.params();
+    writePod<std::uint64_t>(os, params.size());
+    for (const Param *p : params)
+        saveMatrix(os, p->value);
+}
+
+void
+loadMlp(std::istream &is, Mlp &net)
+{
+    const auto count = readPod<std::uint64_t>(is);
+    auto params = net.params();
+    if (count != params.size())
+        fatal("checkpoint has %llu tensors, network expects %zu",
+              static_cast<unsigned long long>(count), params.size());
+    for (Param *p : params) {
+        Matrix value = loadMatrix(is);
+        if (value.rows() != p->value.rows() ||
+            value.cols() != p->value.cols()) {
+            fatal("checkpoint tensor %zux%zu does not match network "
+                  "tensor %zux%zu",
+                  value.rows(), value.cols(), p->value.rows(),
+                  p->value.cols());
+        }
+        p->value = std::move(value);
+    }
+}
+
+void
+saveAdam(std::ostream &os, const AdamOptimizer &opt)
+{
+    writePod<std::uint64_t>(os, opt.stepCount());
+    writePod<std::uint64_t>(os, opt.moments1().size());
+    for (const Matrix &m : opt.moments1())
+        saveMatrix(os, m);
+    for (const Matrix &v : opt.moments2())
+        saveMatrix(os, v);
+}
+
+void
+loadAdam(std::istream &is, AdamOptimizer &opt)
+{
+    const auto step_count = readPod<std::uint64_t>(is);
+    const auto count = readPod<std::uint64_t>(is);
+    if (count != opt.moments1().size())
+        fatal("Adam checkpoint has %llu moment tensors, optimizer "
+              "expects %zu",
+              static_cast<unsigned long long>(count),
+              opt.moments1().size());
+    std::vector<Matrix> m1, m2;
+    m1.reserve(count);
+    m2.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        m1.push_back(loadMatrix(is));
+    for (std::uint64_t i = 0; i < count; ++i)
+        m2.push_back(loadMatrix(is));
+    opt.setState(std::move(m1), std::move(m2), step_count);
+}
+
+} // namespace marlin::nn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary serialization of matrices, MLPs and Adam optimizer state,
+ * used by trainer checkpoints.
+ */
+
+#ifndef MARLIN_NN_SERIALIZE_HH
+#define MARLIN_NN_SERIALIZE_HH
+
+#include <iostream>
+
+#include "marlin/nn/adam.hh"
+#include "marlin/nn/mlp.hh"
+
+namespace marlin::nn
+{
+
+/** Write a matrix (shape + row-major data). */
+void saveMatrix(std::ostream &os, const Matrix &m);
+
+/** Read a matrix written by saveMatrix. */
+Matrix loadMatrix(std::istream &is);
+
+/**
+ * Write an Mlp's parameter values (shape-checked on load; the
+ * loading network must already have the same architecture).
+ */
+void saveMlp(std::ostream &os, const Mlp &net);
+
+/** Load parameter values into an architecture-matching Mlp. */
+void loadMlp(std::istream &is, Mlp &net);
+
+/** Write Adam moments + step counter. */
+void saveAdam(std::ostream &os, const AdamOptimizer &opt);
+
+/** Restore Adam moments + step counter (same parameter set). */
+void loadAdam(std::istream &is, AdamOptimizer &opt);
+
+} // namespace marlin::nn
+
+#endif // MARLIN_NN_SERIALIZE_HH

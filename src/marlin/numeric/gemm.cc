@@ -1,0 +1,104 @@
+#include "marlin/numeric/gemm.hh"
+
+#include <cstring>
+
+#include "marlin/base/compiler.hh"
+
+namespace marlin::numeric
+{
+
+namespace
+{
+
+// Block sizes tuned for ~32 KiB L1d with Real = float.
+constexpr std::size_t blockM = 64;
+constexpr std::size_t blockK = 64;
+
+void
+gemmKernel(const Matrix &a, const Matrix &b, Matrix &c, bool accumulate)
+{
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    MARLIN_ASSERT(b.rows() == k, "gemm inner dimension mismatch");
+    if (!accumulate)
+        c.resize(m, n);
+    MARLIN_ASSERT(c.rows() == m && c.cols() == n,
+                  "gemm output shape mismatch");
+
+    // i-k-j loop order with blocking: the inner j loop streams rows
+    // of B and C, which vectorizes well.
+    for (std::size_t i0 = 0; i0 < m; i0 += blockM) {
+        const std::size_t i1 = std::min(i0 + blockM, m);
+        for (std::size_t k0 = 0; k0 < k; k0 += blockK) {
+            const std::size_t k1 = std::min(k0 + blockK, k);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const Real *MARLIN_RESTRICT arow = a.row(i);
+                Real *MARLIN_RESTRICT crow = c.row(i);
+                for (std::size_t kk = k0; kk < k1; ++kk) {
+                    const Real aik = arow[kk];
+                    if (aik == Real(0))
+                        continue;
+                    const Real *MARLIN_RESTRICT brow = b.row(kk);
+                    for (std::size_t j = 0; j < n; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+gemm(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    gemmKernel(a, b, c, false);
+}
+
+void
+gemmAcc(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    gemmKernel(a, b, c, true);
+}
+
+void
+gemmTN(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    MARLIN_ASSERT(b.rows() == k, "gemmTN inner dimension mismatch");
+    c.resize(m, n);
+    // C(m,n) = sum_k A(k,m)^T B(k,n): stream rows of A and B together.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const Real *MARLIN_RESTRICT arow = a.row(kk);
+        const Real *MARLIN_RESTRICT brow = b.row(kk);
+        for (std::size_t i = 0; i < m; ++i) {
+            const Real aki = arow[i];
+            if (aki == Real(0))
+                continue;
+            Real *MARLIN_RESTRICT crow = c.row(i);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+}
+
+void
+gemmNT(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    MARLIN_ASSERT(b.cols() == k, "gemmNT inner dimension mismatch");
+    c.resize(m, n);
+    // C(i,j) = dot(A.row(i), B.row(j)): both operands stream row-wise.
+    for (std::size_t i = 0; i < m; ++i) {
+        const Real *MARLIN_RESTRICT arow = a.row(i);
+        Real *MARLIN_RESTRICT crow = c.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const Real *MARLIN_RESTRICT brow = b.row(j);
+            Real acc = 0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace marlin::numeric

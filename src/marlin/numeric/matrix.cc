@@ -1,0 +1,88 @@
+#include "marlin/numeric/matrix.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace marlin::numeric
+{
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Real>> rows_init)
+{
+    _rows = rows_init.size();
+    _cols = _rows ? rows_init.begin()->size() : 0;
+    _data.reserve(_rows * _cols);
+    for (const auto &r : rows_init) {
+        MARLIN_ASSERT(r.size() == _cols, "ragged initializer list");
+        _data.insert(_data.end(), r.begin(), r.end());
+    }
+}
+
+void
+Matrix::zero()
+{
+    std::fill(_data.begin(), _data.end(), Real(0));
+}
+
+void
+Matrix::fill(Real value)
+{
+    std::fill(_data.begin(), _data.end(), value);
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    _rows = rows;
+    _cols = cols;
+    _data.assign(rows * cols, Real(0));
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    MARLIN_ASSERT(_rows == other._rows && _cols == other._cols,
+                  "shape mismatch in +=");
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        _data[i] += other._data[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &other)
+{
+    MARLIN_ASSERT(_rows == other._rows && _cols == other._cols,
+                  "shape mismatch in -=");
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        _data[i] -= other._data[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(Real scale)
+{
+    for (auto &v : _data)
+        v *= scale;
+    return *this;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(_cols, _rows);
+    for (std::size_t r = 0; r < _rows; ++r)
+        for (std::size_t c = 0; c < _cols; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+void
+Matrix::copyRowFrom(std::size_t dst_row, const Matrix &src,
+                    std::size_t src_row)
+{
+    MARLIN_ASSERT(_cols == src._cols, "column mismatch in copyRowFrom");
+    MARLIN_ASSERT(dst_row < _rows && src_row < src._rows,
+                  "row out of range in copyRowFrom");
+    std::memcpy(row(dst_row), src.row(src_row), _cols * sizeof(Real));
+}
+
+} // namespace marlin::numeric

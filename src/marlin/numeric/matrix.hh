@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Row-major dense matrix of Real, the storage type of the NN
+ * substrate. Rows are mini-batch entries; columns are features.
+ */
+
+#ifndef MARLIN_NUMERIC_MATRIX_HH
+#define MARLIN_NUMERIC_MATRIX_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/types.hh"
+
+namespace marlin::numeric
+{
+
+/**
+ * Dense row-major matrix. Designed for small/medium shapes (the
+ * paper's networks are batch=1024 by <=~2500 features), so the
+ * implementation favours simplicity and cache-friendly traversal
+ * over vendor BLAS.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : _rows(rows), _cols(cols), _data(rows * cols, Real(0)) {}
+
+    /** Matrix with explicit contents (row-major). */
+    Matrix(std::size_t rows, std::size_t cols, std::vector<Real> data)
+        : _rows(rows), _cols(cols), _data(std::move(data))
+    {
+        MARLIN_ASSERT(_data.size() == _rows * _cols,
+                      "matrix data size mismatch");
+    }
+
+    /** Build from nested initializer lists (test convenience). */
+    Matrix(std::initializer_list<std::initializer_list<Real>> rows_init);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    std::size_t size() const { return _data.size(); }
+    bool empty() const { return _data.empty(); }
+
+    Real *data() { return _data.data(); }
+    const Real *data() const { return _data.data(); }
+
+    /** Pointer to the start of row @p r. */
+    Real *row(std::size_t r) { return _data.data() + r * _cols; }
+    const Real *
+    row(std::size_t r) const
+    {
+        return _data.data() + r * _cols;
+    }
+
+    Real &
+    operator()(std::size_t r, std::size_t c)
+    {
+        return _data[r * _cols + c];
+    }
+
+    Real
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return _data[r * _cols + c];
+    }
+
+    /** Reset all elements to zero without reallocating. */
+    void zero();
+
+    /** Fill with a constant. */
+    void fill(Real value);
+
+    /** Resize (contents become undefined zeroes). */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /** Elementwise in-place operations. */
+    Matrix &operator+=(const Matrix &other);
+    Matrix &operator-=(const Matrix &other);
+    Matrix &operator*=(Real scale);
+
+    /** Returns the transpose (new storage). */
+    Matrix transposed() const;
+
+    /**
+     * Copy @p src_row of @p src into @p dst_row of this matrix.
+     * Column counts must match.
+     */
+    void copyRowFrom(std::size_t dst_row, const Matrix &src,
+                     std::size_t src_row);
+
+    /** True when shapes and all elements match exactly. */
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<Real> _data;
+};
+
+} // namespace marlin::numeric
+
+#endif // MARLIN_NUMERIC_MATRIX_HH

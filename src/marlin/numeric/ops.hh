@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Elementwise and reduction operations on Matrix plus small
+ * vector helpers used by the environments and trainers.
+ */
+
+#ifndef MARLIN_NUMERIC_OPS_HH
+#define MARLIN_NUMERIC_OPS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "marlin/base/random.hh"
+#include "marlin/numeric/matrix.hh"
+
+namespace marlin::numeric
+{
+
+/** out = a + b (shape-checked). */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** out = a - b. */
+Matrix sub(const Matrix &a, const Matrix &b);
+
+/** out = a * scale. */
+Matrix scale(const Matrix &a, Real factor);
+
+/** Add row-vector @p bias (1 x cols) to every row of @p m in place. */
+void addRowBias(Matrix &m, const Matrix &bias);
+
+/** Sum of rows -> 1 x cols matrix (bias gradient reduction). */
+Matrix sumRows(const Matrix &m);
+
+/** Mean of all elements. */
+Real mean(const Matrix &m);
+
+/** Sum of all elements. */
+Real sum(const Matrix &m);
+
+/** Max |element|. */
+Real maxAbs(const Matrix &m);
+
+/** True if any element is NaN or infinite. */
+bool hasNonFinite(const Matrix &m);
+
+/** Row-wise softmax in place. */
+void softmaxRows(Matrix &m);
+
+/**
+ * Backward pass of a row-wise softmax.
+ *
+ * @param softmax_out The forward result S (rows of probabilities).
+ * @param grad_out dL/dS.
+ * @param grad_in Receives dL/dx where S = softmax(x):
+ *        dx_j = S_j * (dS_j - sum_k dS_k * S_k) per row.
+ */
+void softmaxBackwardRows(const Matrix &softmax_out,
+                         const Matrix &grad_out, Matrix &grad_in);
+
+/**
+ * Gumbel-softmax style discrete action sampling: adds Gumbel noise to
+ * each row of logits and returns per-row argmax indices.
+ */
+std::vector<std::size_t> gumbelArgmaxRows(const Matrix &logits, Rng &rng);
+
+/** Per-row argmax indices. */
+std::vector<std::size_t> argmaxRows(const Matrix &m);
+
+/** Build a rows x classes one-hot matrix from indices. */
+Matrix oneHot(const std::vector<std::size_t> &indices,
+              std::size_t classes);
+
+/**
+ * Horizontal concatenation: out = [a | b | ...]. All inputs must
+ * share a row count. Used to build joint observation-action inputs
+ * for the centralized critic.
+ */
+Matrix hconcat(const std::vector<const Matrix *> &parts);
+
+/** Fill @p m with uniform values in [lo, hi). */
+void fillUniform(Matrix &m, Rng &rng, Real lo, Real hi);
+
+/** Fill @p m with N(0, sigma) noise. */
+void fillGaussian(Matrix &m, Rng &rng, Real sigma);
+
+/** Elementwise clamp in place. */
+void clampInPlace(Matrix &m, Real lo, Real hi);
+
+} // namespace marlin::numeric
+
+#endif // MARLIN_NUMERIC_OPS_HH

@@ -1,0 +1,121 @@
+#include "marlin/profile/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marlin/base/string_utils.hh"
+
+namespace marlin::profile
+{
+
+void
+Distribution::sample(double value)
+{
+    if (n == 0) {
+        _min = value;
+        _max = value;
+    } else {
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+    ++n;
+    total += value;
+    sumSq += value * value;
+}
+
+double
+Distribution::variance() const
+{
+    if (n < 2)
+        return 0;
+    const double m = mean();
+    const double var =
+        (sumSq - static_cast<double>(n) * m * m) /
+        static_cast<double>(n - 1);
+    return var > 0 ? var : 0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution{};
+}
+
+void
+StatsRegistry::inc(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+std::uint64_t
+StatsRegistry::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatsRegistry::sample(const std::string &name, double value)
+{
+    dists[name].sample(value);
+}
+
+const Distribution &
+StatsRegistry::dist(const std::string &name) const
+{
+    static const Distribution empty;
+    auto it = dists.find(name);
+    return it == dists.end() ? empty : it->second;
+}
+
+std::vector<std::string>
+StatsRegistry::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters.size());
+    for (const auto &[name, value] : counters)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+StatsRegistry::distNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(dists.size());
+    for (const auto &[name, value] : dists)
+        names.push_back(name);
+    return names;
+}
+
+std::string
+StatsRegistry::dump() const
+{
+    std::string out;
+    for (const auto &[name, value] : counters)
+        out += csprintf("%-40s %20llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+    for (const auto &[name, d] : dists) {
+        out += csprintf("%-40s mean=%.4g min=%.4g max=%.4g sd=%.4g "
+                        "n=%llu\n",
+                        name.c_str(), d.mean(), d.min(), d.max(),
+                        d.stddev(),
+                        static_cast<unsigned long long>(d.count()));
+    }
+    return out;
+}
+
+void
+StatsRegistry::reset()
+{
+    counters.clear();
+    dists.clear();
+}
+
+} // namespace marlin::profile

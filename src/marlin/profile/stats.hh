@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight named statistics registry (gem5-stats inspired):
+ * scalar counters and streaming distributions keyed by name, used by
+ * trainers and benches to report non-timing metrics.
+ */
+
+#ifndef MARLIN_PROFILE_STATS_HH
+#define MARLIN_PROFILE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace marlin::profile
+{
+
+/** Streaming mean/min/max/stddev accumulator. */
+class Distribution
+{
+  public:
+    void sample(double value);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0; }
+    double min() const { return n ? _min : 0; }
+    double max() const { return n ? _max : 0; }
+    double variance() const;
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0;
+    double sumSq = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/** Name -> counter/distribution registry. */
+class StatsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Counter value (0 if absent). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Record @p value into distribution @p name. */
+    void sample(const std::string &name, double value);
+
+    /** Distribution accessor (empty distribution if absent). */
+    const Distribution &dist(const std::string &name) const;
+
+    /** Sorted counter names. */
+    std::vector<std::string> counterNames() const;
+
+    /** Sorted distribution names. */
+    std::vector<std::string> distNames() const;
+
+    /** Render all stats as "name value" lines. */
+    std::string dump() const;
+
+    void reset();
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, Distribution> dists;
+};
+
+} // namespace marlin::profile
+
+#endif // MARLIN_PROFILE_STATS_HH

@@ -1,0 +1,39 @@
+#include "marlin/profile/timer.hh"
+
+namespace marlin::profile
+{
+
+double
+PhaseTimer::totalSeconds() const
+{
+    std::uint64_t total = 0;
+    for (const Slot &s : slots)
+        total += s.ns;
+    return static_cast<double>(total) * 1e-9;
+}
+
+double
+PhaseTimer::updateAllTrainersSeconds() const
+{
+    double total = 0;
+    for (Phase p : updateAllTrainersPhases)
+        total += seconds(p);
+    return total;
+}
+
+void
+PhaseTimer::reset()
+{
+    slots.fill({});
+}
+
+void
+PhaseTimer::merge(const PhaseTimer &other)
+{
+    for (std::size_t i = 0; i < numPhases; ++i) {
+        slots[i].ns += other.slots[i].ns;
+        slots[i].count += other.slots[i].count;
+    }
+}
+
+} // namespace marlin::profile

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Phase accounting: accumulated wall-clock per training phase, with
+ * a RAII scope guard for the hot paths.
+ */
+
+#ifndef MARLIN_PROFILE_TIMER_HH
+#define MARLIN_PROFILE_TIMER_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "marlin/profile/phase.hh"
+
+namespace marlin::profile
+{
+
+/** Monotonic clock used by all MARLin timing. */
+using Clock = std::chrono::steady_clock;
+
+/** Accumulated time and entry count per phase. */
+class PhaseTimer
+{
+  public:
+    /** Add @p ns nanoseconds to phase @p p. */
+    void
+    add(Phase p, std::uint64_t ns)
+    {
+        auto &slot = slots[static_cast<std::size_t>(p)];
+        slot.ns += ns;
+        ++slot.count;
+    }
+
+    /** Accumulated seconds in phase @p p. */
+    double
+    seconds(Phase p) const
+    {
+        return static_cast<double>(
+                   slots[static_cast<std::size_t>(p)].ns) *
+               1e-9;
+    }
+
+    /** Times phase @p p was entered. */
+    std::uint64_t
+    count(Phase p) const
+    {
+        return slots[static_cast<std::size_t>(p)].count;
+    }
+
+    /** Sum over all phases, in seconds. */
+    double totalSeconds() const;
+
+    /** Seconds in the paper's update-all-trainers super-phase. */
+    double updateAllTrainersSeconds() const;
+
+    /** Zero all accumulators. */
+    void reset();
+
+    /** Merge another timer's accumulators into this one. */
+    void merge(const PhaseTimer &other);
+
+  private:
+    struct Slot
+    {
+        std::uint64_t ns = 0;
+        std::uint64_t count = 0;
+    };
+
+    std::array<Slot, numPhases> slots{};
+};
+
+/** RAII guard accumulating the enclosed scope into one phase. */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseTimer &timer, Phase phase)
+        : _timer(timer), _phase(phase), start(Clock::now())
+    {
+    }
+
+    ~ScopedPhase()
+    {
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count();
+        _timer.add(_phase, static_cast<std::uint64_t>(ns));
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseTimer &_timer;
+    Phase _phase;
+    Clock::time_point start;
+};
+
+/** Simple stopwatch for ad-hoc measurements. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(Clock::now()) {}
+
+    /** Seconds since construction or last restart(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    }
+
+    void restart() { start = Clock::now(); }
+
+  private:
+    Clock::time_point start;
+};
+
+} // namespace marlin::profile
+
+#endif // MARLIN_PROFILE_TIMER_HH

@@ -1,0 +1,15 @@
+#include "marlin/replay/access_trace.hh"
+
+namespace marlin::replay
+{
+
+std::uint64_t
+AccessTrace::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const MemAccess &a : accesses)
+        total += a.bytes;
+    return total;
+}
+
+} // namespace marlin::replay

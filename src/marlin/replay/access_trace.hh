@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Optional recording of the memory touches a gather performs, later
+ * replayed through the memsim cache hierarchy to regenerate the
+ * paper's hardware-counter style results (Figure 4) without perf.
+ */
+
+#ifndef MARLIN_REPLAY_ACCESS_TRACE_HH
+#define MARLIN_REPLAY_ACCESS_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "marlin/base/compiler.hh"
+
+namespace marlin::replay
+{
+
+/** One contiguous memory read issued by a gather. */
+struct MemAccess
+{
+    std::uintptr_t addr = 0;
+    std::uint32_t bytes = 0;
+};
+
+/**
+ * Append-only access recorder. The gather hot path carries a
+ * nullable pointer to one of these; a null pointer costs a single
+ * predictable branch per block.
+ */
+class AccessTrace
+{
+  public:
+    /** Record a read of @p bytes at @p p. */
+    MARLIN_ALWAYS_INLINE void
+    record(const void *p, std::size_t bytes)
+    {
+        accesses.push_back(
+            {reinterpret_cast<std::uintptr_t>(p),
+             static_cast<std::uint32_t>(bytes)});
+    }
+
+    const std::vector<MemAccess> &entries() const { return accesses; }
+    std::size_t size() const { return accesses.size(); }
+
+    /** Total bytes across all recorded accesses. */
+    std::uint64_t totalBytes() const;
+
+    void clear() { accesses.clear(); }
+    void reserve(std::size_t n) { accesses.reserve(n); }
+
+  private:
+    std::vector<MemAccess> accesses;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_ACCESS_TRACE_HH

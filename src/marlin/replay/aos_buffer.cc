@@ -1,0 +1,76 @@
+#include "marlin/replay/aos_buffer.hh"
+
+#include <cstring>
+
+namespace marlin::replay
+{
+
+AosReplayBuffer::AosReplayBuffer(TransitionShape shape,
+                                 BufferIndex capacity)
+    : _shape(shape), _capacity(capacity), stride(shape.flatSize())
+{
+    MARLIN_ASSERT(capacity > 0, "AoS buffer capacity must be > 0");
+    MARLIN_ASSERT(shape.obsDim > 0 && shape.actDim > 0,
+                  "AoS buffer needs nonzero dims");
+    data.resize(capacity * stride);
+}
+
+void
+AosReplayBuffer::add(const Real *obs, const Real *action, Real reward,
+                     const Real *next_obs, bool done)
+{
+    Real *rec = data.data() + pos * stride;
+    std::memcpy(rec, obs, _shape.obsDim * sizeof(Real));
+    rec += _shape.obsDim;
+    std::memcpy(rec, action, _shape.actDim * sizeof(Real));
+    rec += _shape.actDim;
+    *rec++ = reward;
+    std::memcpy(rec, next_obs, _shape.obsDim * sizeof(Real));
+    rec += _shape.obsDim;
+    *rec = done ? Real(1) : Real(0);
+
+    pos = (pos + 1) % _capacity;
+    if (_size < _capacity)
+        ++_size;
+}
+
+TransitionView
+AosReplayBuffer::view(BufferIndex idx) const
+{
+    MARLIN_ASSERT(idx < _size, "AoS view index out of range");
+    const Real *rec = record(idx);
+    TransitionView v;
+    v.obs = rec;
+    v.action = rec + _shape.obsDim;
+    v.reward = rec[_shape.obsDim + _shape.actDim];
+    v.nextObs = rec + _shape.obsDim + _shape.actDim + 1;
+    v.done = rec[stride - 1];
+    return v;
+}
+
+void
+AosReplayBuffer::gather(const IndexPlan &plan, AgentBatch &out,
+                        AccessTrace *trace) const
+{
+    const std::size_t batch = plan.batchSize();
+    out.resize(batch, _shape);
+    const std::size_t obs_bytes = _shape.obsDim * sizeof(Real);
+    const std::size_t act_bytes = _shape.actDim * sizeof(Real);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const BufferIndex idx = plan.indices[b];
+        MARLIN_ASSERT(idx < _size, "AoS gather index out of range");
+        const Real *rec = record(idx);
+        if (MARLIN_UNLIKELY(trace != nullptr))
+            trace->record(rec, stride * sizeof(Real));
+        std::memcpy(out.obs.row(b), rec, obs_bytes);
+        rec += _shape.obsDim;
+        std::memcpy(out.actions.row(b), rec, act_bytes);
+        rec += _shape.actDim;
+        out.rewards(b, 0) = *rec++;
+        std::memcpy(out.nextObs.row(b), rec, obs_bytes);
+        rec += _shape.obsDim;
+        out.dones(b, 0) = *rec;
+    }
+}
+
+} // namespace marlin::replay

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Array-of-structures replay layout: every transition is one
+ * contiguous record (obs | act | reward | nextObs | done) inside a
+ * single per-agent array. Kept as the ablation counterpart to the
+ * SoA ReplayBuffer (DESIGN.md decision 1): AoS makes one row gather
+ * a single seek, SoA makes it three shorter seeks but keeps each
+ * field array dense for columnar passes.
+ */
+
+#ifndef MARLIN_REPLAY_AOS_BUFFER_HH
+#define MARLIN_REPLAY_AOS_BUFFER_HH
+
+#include <vector>
+
+#include "marlin/replay/gather.hh"
+#include "marlin/replay/replay_buffer.hh"
+
+namespace marlin::replay
+{
+
+/** AoS ring buffer of one agent's transitions. */
+class AosReplayBuffer
+{
+  public:
+    AosReplayBuffer(TransitionShape shape, BufferIndex capacity);
+
+    const TransitionShape &shape() const { return _shape; }
+    BufferIndex capacity() const { return _capacity; }
+    BufferIndex size() const { return _size; }
+    std::size_t recordSize() const { return stride; }
+
+    /** Append one transition, evicting the oldest when full. */
+    void add(const Real *obs, const Real *action, Real reward,
+             const Real *next_obs, bool done);
+
+    /** Record start pointer for slot @p idx. */
+    const Real *
+    record(BufferIndex idx) const
+    {
+        return data.data() + idx * stride;
+    }
+
+    /** View into record fields at slot @p idx. @pre idx < size. */
+    TransitionView view(BufferIndex idx) const;
+
+    /** Gather an index plan into a dense batch. */
+    void gather(const IndexPlan &plan, AgentBatch &out,
+                AccessTrace *trace = nullptr) const;
+
+    std::size_t storageBytes() const { return data.size() * sizeof(Real); }
+
+  private:
+    TransitionShape _shape;
+    BufferIndex _capacity;
+    BufferIndex _size = 0;
+    BufferIndex pos = 0;
+    std::size_t stride;
+    std::vector<Real> data;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_AOS_BUFFER_HH

@@ -1,0 +1,63 @@
+#include "marlin/replay/gather.hh"
+
+#include <cstring>
+
+namespace marlin::replay
+{
+
+void
+AgentBatch::resize(std::size_t batch, const TransitionShape &shape)
+{
+    if (obs.rows() != batch || obs.cols() != shape.obsDim) {
+        obs.resize(batch, shape.obsDim);
+        nextObs.resize(batch, shape.obsDim);
+        actions.resize(batch, shape.actDim);
+        rewards.resize(batch, 1);
+        dones.resize(batch, 1);
+    }
+}
+
+void
+gatherAgentBatch(const ReplayBuffer &buffer, const IndexPlan &plan,
+                 AgentBatch &out, AccessTrace *trace)
+{
+    const TransitionShape &shape = buffer.shape();
+    const std::size_t batch = plan.batchSize();
+    out.resize(batch, shape);
+
+    const std::size_t obs_bytes = shape.obsDim * sizeof(Real);
+    const std::size_t act_bytes = shape.actDim * sizeof(Real);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+        const BufferIndex idx = plan.indices[b];
+        MARLIN_ASSERT(idx < buffer.size(),
+                      "gather index beyond valid transitions");
+        const Real *src_obs = buffer.obsRow(idx);
+        const Real *src_act = buffer.actRow(idx);
+        const Real *src_next = buffer.nextObsRow(idx);
+
+        std::memcpy(out.obs.row(b), src_obs, obs_bytes);
+        std::memcpy(out.actions.row(b), src_act, act_bytes);
+        out.rewards(b, 0) = buffer.rewardAt(idx);
+        std::memcpy(out.nextObs.row(b), src_next, obs_bytes);
+        out.dones(b, 0) = buffer.doneAt(idx);
+
+        if (MARLIN_UNLIKELY(trace != nullptr)) {
+            trace->record(src_obs, obs_bytes);
+            trace->record(src_act, act_bytes);
+            trace->record(src_next, obs_bytes);
+        }
+    }
+}
+
+void
+gatherAllAgents(const MultiAgentBuffer &buffers, const IndexPlan &plan,
+                std::vector<AgentBatch> &out, AccessTrace *trace)
+{
+    const std::size_t n = buffers.numAgents();
+    out.resize(n);
+    for (std::size_t agent = 0; agent < n; ++agent)
+        gatherAgentBatch(buffers.agent(agent), plan, out[agent], trace);
+}
+
+} // namespace marlin::replay

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The shared mini-batch gather loop (paper Figure 5): turn an index
+ * plan into dense batch matrices by reading each agent's replay
+ * buffer. All samplers funnel through this code so their only
+ * difference is the index pattern they feed it.
+ */
+
+#ifndef MARLIN_REPLAY_GATHER_HH
+#define MARLIN_REPLAY_GATHER_HH
+
+#include <vector>
+
+#include "marlin/numeric/matrix.hh"
+#include "marlin/replay/access_trace.hh"
+#include "marlin/replay/replay_buffer.hh"
+#include "marlin/replay/sampler.hh"
+
+namespace marlin::replay
+{
+
+using numeric::Matrix;
+
+/** Dense mini-batch for one agent (rows = batch entries). */
+struct AgentBatch
+{
+    Matrix obs;     ///< (batch, obsDim)
+    Matrix actions; ///< (batch, actDim)
+    Matrix rewards; ///< (batch, 1)
+    Matrix nextObs; ///< (batch, obsDim)
+    Matrix dones;   ///< (batch, 1)
+
+    /** Allocate for @p batch rows of @p shape. */
+    void resize(std::size_t batch, const TransitionShape &shape);
+};
+
+/**
+ * Gather the plan's rows from a single agent's buffer.
+ *
+ * @param buffer Source replay buffer.
+ * @param plan Index plan (all indices must be < buffer.size()).
+ * @param out Destination batch (resized as needed).
+ * @param trace Optional access recorder for memsim replay.
+ */
+void gatherAgentBatch(const ReplayBuffer &buffer, const IndexPlan &plan,
+                      AgentBatch &out, AccessTrace *trace = nullptr);
+
+/**
+ * Gather the plan from every agent's buffer — the O(N * B) loop each
+ * of the N trainers executes in the baseline layout, making the full
+ * sampling phase O(N^2 * B) per update.
+ *
+ * @param buffers All agents' replay storage.
+ * @param plan Common indices array shared by all agents.
+ * @param out One AgentBatch per agent (resized as needed).
+ * @param trace Optional access recorder.
+ */
+void gatherAllAgents(const MultiAgentBuffer &buffers,
+                     const IndexPlan &plan,
+                     std::vector<AgentBatch> &out,
+                     AccessTrace *trace = nullptr);
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_GATHER_HH

@@ -1,0 +1,101 @@
+#include "marlin/replay/info_prioritized_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::replay
+{
+
+std::size_t
+predictNeighbors(Real normalized_weight,
+                 const NeighborPredictorConfig &config)
+{
+    if (normalized_weight < config.thresholdLow)
+        return config.neighborsLow;
+    if (normalized_weight < config.thresholdHigh)
+        return config.neighborsMid;
+    return config.neighborsHigh;
+}
+
+InfoPrioritizedLocalitySampler::InfoPrioritizedLocalitySampler(
+    PerConfig per_config, NeighborPredictorConfig predictor)
+    : PrioritizedSampler(per_config), _predictor(predictor)
+{
+    MARLIN_ASSERT(_predictor.thresholdLow <= _predictor.thresholdHigh,
+                  "predictor thresholds must be ordered");
+    MARLIN_ASSERT(_predictor.neighborsLow >= 1 &&
+                      _predictor.neighborsMid >= 1 &&
+                      _predictor.neighborsHigh >= 1,
+                  "neighbor counts must be >= 1");
+}
+
+IndexPlan
+InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
+                                     std::size_t batch, Rng &rng)
+{
+    MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    MARLIN_ASSERT(_tree.total() > 0.0,
+                  "plan before any onAdd/updatePriorities");
+    IndexPlan out;
+    out.indices.reserve(batch);
+    out.weights.reserve(batch);
+    out.priorityIds.reserve(batch);
+
+    const double total = _tree.total();
+    const double n = static_cast<double>(buffer_size);
+    // Stratify over the worst case (every reference expands to one
+    // neighbor) and stop once the batch is filled.
+    const double segment = total / static_cast<double>(batch);
+
+    double max_w = 0.0;
+    std::vector<double> raw;
+    raw.reserve(batch);
+    std::size_t stratum = 0;
+    while (out.indices.size() < batch) {
+        const double prefix =
+            (static_cast<double>(stratum % batch) + rng.uniform()) *
+            segment;
+        ++stratum;
+        const BufferIndex leaf =
+            _tree.find(std::min(prefix, total * (1.0 - 1e-12)));
+        const double p = _tree.priorityOf(leaf) / total;
+        const double w =
+            std::pow(1.0 / (n * std::max(p, 1e-12)),
+                     static_cast<double>(beta));
+
+        // Normalize the *priority* (not the IS weight) to [0, 1] to
+        // drive the predictor: a reference close to the current max
+        // priority is information-rich and earns a longer run.
+        const Real norm_priority = static_cast<Real>(
+            _tree.priorityOf(leaf) /
+            std::max(_tree.maxPriority(), 1e-12));
+        std::size_t run = predictNeighbors(norm_priority, _predictor);
+        run = std::min<std::size_t>(run, batch - out.indices.size());
+
+        // Keep the run inside the valid region so it stays
+        // contiguous in memory.
+        BufferIndex anchor = leaf;
+        if (anchor + run > buffer_size)
+            anchor = buffer_size - std::min<BufferIndex>(run,
+                                                         buffer_size);
+        for (std::size_t k = 0; k < run; ++k) {
+            out.indices.push_back(anchor + k);
+            out.priorityIds.push_back(leaf);
+            raw.push_back(w);
+            max_w = std::max(max_w, w);
+        }
+    }
+
+    const double inv = max_w > 0.0 ? 1.0 / max_w : 1.0;
+    out.weights.resize(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        out.weights[i] = static_cast<Real>(raw[i] * inv);
+
+    if (_config.betaAnneal > Real(0))
+        beta = std::min(Real(1), beta + _config.betaAnneal);
+    return out;
+}
+
+} // namespace marlin::replay

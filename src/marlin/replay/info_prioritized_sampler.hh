@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Information-prioritized locality-aware sampling (paper Section
+ * IV-B1): PER chooses the high-priority reference points, and a
+ * predictor maps each reference's normalized IS weight to a neighbor
+ * run length — 1 neighbor below 0.33, 2 between 0.33 and 0.66, and 4
+ * above — so important transitions are replayed together with their
+ * spatial neighbors and the prefetcher sees sequential runs.
+ */
+
+#ifndef MARLIN_REPLAY_INFO_PRIORITIZED_SAMPLER_HH
+#define MARLIN_REPLAY_INFO_PRIORITIZED_SAMPLER_HH
+
+#include "marlin/replay/prioritized_sampler.hh"
+
+namespace marlin::replay
+{
+
+/** Threshold-to-run-length predictor configuration. */
+struct NeighborPredictorConfig
+{
+    Real thresholdLow = Real(0.33);  ///< T1 in the paper.
+    Real thresholdHigh = Real(0.66); ///< T2 in the paper.
+    std::size_t neighborsLow = 1;    ///< N1: weight < T1.
+    std::size_t neighborsMid = 2;    ///< N2: T1 <= weight < T2.
+    std::size_t neighborsHigh = 4;   ///< N3: weight >= T2.
+};
+
+/**
+ * Map a normalized priority weight in [0, 1] to a neighbor run
+ * length using the configured thresholds.
+ */
+std::size_t predictNeighbors(Real normalized_weight,
+                             const NeighborPredictorConfig &config);
+
+/**
+ * PER with locality-aware neighbor expansion. Each stratified PER
+ * draw contributes a run of consecutive transitions whose length the
+ * predictor selects from the reference's normalized weight; the run
+ * inherits the reference's importance weight and priority id, so TD
+ * write-back refreshes the reference's priority.
+ */
+class InfoPrioritizedLocalitySampler : public PrioritizedSampler
+{
+  public:
+    InfoPrioritizedLocalitySampler(
+        PerConfig per_config, NeighborPredictorConfig predictor = {});
+
+    std::string name() const override { return "info_prioritized"; }
+
+    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
+                   Rng &rng) override;
+
+    const NeighborPredictorConfig &predictor() const { return _predictor; }
+
+  private:
+    NeighborPredictorConfig _predictor;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_INFO_PRIORITIZED_SAMPLER_HH

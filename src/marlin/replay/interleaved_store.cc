@@ -1,0 +1,136 @@
+#include "marlin/replay/interleaved_store.hh"
+
+#include <cstring>
+
+namespace marlin::replay
+{
+
+InterleavedReplayStore::InterleavedReplayStore(
+    std::vector<TransitionShape> shapes_in, BufferIndex capacity)
+    : shapes(std::move(shapes_in)), _capacity(capacity)
+{
+    MARLIN_ASSERT(!shapes.empty(), "interleaved store needs agents");
+    MARLIN_ASSERT(capacity > 0, "interleaved store capacity must be > 0");
+    layouts.reserve(shapes.size());
+    std::size_t offset = 0;
+    for (const TransitionShape &s : shapes) {
+        layouts.push_back({offset, s.obsDim, s.actDim});
+        offset += s.flatSize();
+    }
+    stride = offset;
+    data.resize(static_cast<std::size_t>(capacity) * stride);
+}
+
+void
+InterleavedReplayStore::writeRecord(
+    BufferIndex slot, const std::vector<std::vector<Real>> &obs,
+    const std::vector<std::vector<Real>> &actions,
+    const std::vector<Real> &rewards,
+    const std::vector<std::vector<Real>> &next_obs,
+    const std::vector<bool> &dones)
+{
+    Real *rec = data.data() + slot * stride;
+    for (std::size_t a = 0; a < shapes.size(); ++a) {
+        const AgentLayout &lay = layouts[a];
+        Real *dst = rec + lay.base;
+        std::memcpy(dst, obs[a].data(), lay.obsDim * sizeof(Real));
+        dst += lay.obsDim;
+        std::memcpy(dst, actions[a].data(), lay.actDim * sizeof(Real));
+        dst += lay.actDim;
+        *dst++ = rewards[a];
+        std::memcpy(dst, next_obs[a].data(),
+                    lay.obsDim * sizeof(Real));
+        dst += lay.obsDim;
+        *dst = dones[a] ? Real(1) : Real(0);
+    }
+}
+
+void
+InterleavedReplayStore::rebuildFrom(const MultiAgentBuffer &buffers)
+{
+    MARLIN_ASSERT(buffers.numAgents() == shapes.size(),
+                  "agent count mismatch in rebuildFrom");
+    const BufferIndex n =
+        std::min<BufferIndex>(buffers.size(), _capacity);
+    // Reshaping pass: stream every agent's SoA arrays into the
+    // record-major layout. This is the cost Figure 14 accounts for.
+    for (std::size_t a = 0; a < shapes.size(); ++a) {
+        const ReplayBuffer &src = buffers.agent(a);
+        MARLIN_ASSERT(src.shape() == shapes[a],
+                      "shape mismatch in rebuildFrom");
+        const AgentLayout &lay = layouts[a];
+        for (BufferIndex t = 0; t < n; ++t) {
+            Real *dst = data.data() + t * stride + lay.base;
+            std::memcpy(dst, src.obsRow(t),
+                        lay.obsDim * sizeof(Real));
+            dst += lay.obsDim;
+            std::memcpy(dst, src.actRow(t),
+                        lay.actDim * sizeof(Real));
+            dst += lay.actDim;
+            *dst++ = src.rewardAt(t);
+            std::memcpy(dst, src.nextObsRow(t),
+                        lay.obsDim * sizeof(Real));
+            dst += lay.obsDim;
+            *dst = src.doneAt(t);
+        }
+    }
+    _size = n;
+    pos = n % _capacity;
+}
+
+void
+InterleavedReplayStore::append(
+    const std::vector<std::vector<Real>> &obs,
+    const std::vector<std::vector<Real>> &actions,
+    const std::vector<Real> &rewards,
+    const std::vector<std::vector<Real>> &next_obs,
+    const std::vector<bool> &dones)
+{
+    MARLIN_ASSERT(obs.size() == shapes.size(),
+                  "per-agent vectors must match agent count");
+    writeRecord(pos, obs, actions, rewards, next_obs, dones);
+    pos = (pos + 1) % _capacity;
+    if (_size < _capacity)
+        ++_size;
+}
+
+void
+InterleavedReplayStore::gatherAllAgents(const IndexPlan &plan,
+                                        std::vector<AgentBatch> &out,
+                                        AccessTrace *trace) const
+{
+    const std::size_t n = shapes.size();
+    const std::size_t batch = plan.batchSize();
+    out.resize(n);
+    for (std::size_t a = 0; a < n; ++a)
+        out[a].resize(batch, shapes[a]);
+
+    // Single loop over the common indices: each iteration touches
+    // one contiguous record holding every agent's transition.
+    for (std::size_t b = 0; b < batch; ++b) {
+        const BufferIndex idx = plan.indices[b];
+        MARLIN_ASSERT(idx < _size,
+                      "gather index beyond valid transitions");
+        const Real *rec = record(idx);
+        if (MARLIN_UNLIKELY(trace != nullptr))
+            trace->record(rec, stride * sizeof(Real));
+        for (std::size_t a = 0; a < n; ++a) {
+            const AgentLayout &lay = layouts[a];
+            const Real *src = rec + lay.base;
+            AgentBatch &dst = out[a];
+            std::memcpy(dst.obs.row(b), src,
+                        lay.obsDim * sizeof(Real));
+            src += lay.obsDim;
+            std::memcpy(dst.actions.row(b), src,
+                        lay.actDim * sizeof(Real));
+            src += lay.actDim;
+            dst.rewards(b, 0) = *src++;
+            std::memcpy(dst.nextObs.row(b), src,
+                        lay.obsDim * sizeof(Real));
+            src += lay.obsDim;
+            dst.dones(b, 0) = *src;
+        }
+    }
+}
+
+} // namespace marlin::replay

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Transition data layout reorganization (paper Section IV-B2): a
+ * key-value view of the replay data where the key is the timestep
+ * index and the value holds *all* agents' transition records
+ * back-to-back. One pass over the mini-batch indices then fetches
+ * every agent's data — O(m) record lookups instead of the baseline
+ * O(N*m) — at the cost of an upfront reshaping pass.
+ */
+
+#ifndef MARLIN_REPLAY_INTERLEAVED_STORE_HH
+#define MARLIN_REPLAY_INTERLEAVED_STORE_HH
+
+#include <vector>
+
+#include "marlin/replay/gather.hh"
+
+namespace marlin::replay
+{
+
+/**
+ * Interleaved (agent-major within record) replay storage.
+ *
+ * Record layout for timestep t:
+ *   [agent0: obs | act | reward | nextObs | done]
+ *   [agent1: obs | act | reward | nextObs | done] ...
+ *
+ * Records are fixed stride, so record(t) is one address computation
+ * and the whole joint transition is a single contiguous read.
+ */
+class InterleavedReplayStore
+{
+  public:
+    /** Layout for the given per-agent shapes and ring capacity. */
+    InterleavedReplayStore(std::vector<TransitionShape> shapes,
+                           BufferIndex capacity);
+
+    std::size_t numAgents() const { return shapes.size(); }
+    BufferIndex capacity() const { return _capacity; }
+    BufferIndex size() const { return _size; }
+
+    /** Scalars per joint record (sum of per-agent flat sizes). */
+    std::size_t recordSize() const { return stride; }
+
+    /** Bytes of the backing store. */
+    std::size_t storageBytes() const { return data.size() * sizeof(Real); }
+
+    /**
+     * Rebuild the store from per-agent buffers — the data reshaping
+     * pass whose cost Figure 14 charges against the layout's gather
+     * savings.
+     */
+    void rebuildFrom(const MultiAgentBuffer &buffers);
+
+    /**
+     * Append one joint transition directly (native maintenance mode:
+     * pay interleaving cost at insert time instead of reshaping).
+     */
+    void append(const std::vector<std::vector<Real>> &obs,
+                const std::vector<std::vector<Real>> &actions,
+                const std::vector<Real> &rewards,
+                const std::vector<std::vector<Real>> &next_obs,
+                const std::vector<bool> &dones);
+
+    /**
+     * Gather the plan for all agents in a single loop over indices.
+     *
+     * @param plan Common indices array.
+     * @param out One AgentBatch per agent.
+     * @param trace Optional access recorder.
+     */
+    void gatherAllAgents(const IndexPlan &plan,
+                         std::vector<AgentBatch> &out,
+                         AccessTrace *trace = nullptr) const;
+
+    /** Start address of record @p t (valid while the store lives). */
+    const Real *record(BufferIndex t) const { return data.data() + t * stride; }
+
+  private:
+    /** Per-agent scalar offsets inside one record. */
+    struct AgentLayout
+    {
+        std::size_t base = 0;    ///< Record-relative scalar offset.
+        std::size_t obsDim = 0;
+        std::size_t actDim = 0;
+    };
+
+    std::vector<TransitionShape> shapes;
+    std::vector<AgentLayout> layouts;
+    BufferIndex _capacity;
+    BufferIndex _size = 0;
+    BufferIndex pos = 0;
+    std::size_t stride = 0;
+    std::vector<Real> data;
+
+    void writeRecord(BufferIndex slot,
+                     const std::vector<std::vector<Real>> &obs,
+                     const std::vector<std::vector<Real>> &actions,
+                     const std::vector<Real> &rewards,
+                     const std::vector<std::vector<Real>> &next_obs,
+                     const std::vector<bool> &dones);
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_INTERLEAVED_STORE_HH

@@ -1,0 +1,56 @@
+#include "marlin/replay/locality_sampler.hh"
+
+#include <algorithm>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
+
+namespace marlin::replay
+{
+
+LocalityAwareSampler::LocalityAwareSampler(LocalityConfig config)
+    : _config(config)
+{
+    MARLIN_ASSERT(_config.neighbors > 0,
+                  "locality sampler needs neighbors >= 1");
+}
+
+std::string
+LocalityAwareSampler::name() const
+{
+    return csprintf("locality_n%zu_r%zu", _config.neighbors,
+                    _config.referencePoints);
+}
+
+IndexPlan
+LocalityAwareSampler::plan(BufferIndex buffer_size, std::size_t batch,
+                           Rng &rng)
+{
+    MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    const std::size_t run = std::min<std::size_t>(
+        _config.neighbors, static_cast<std::size_t>(buffer_size));
+    if (!warnedMismatch && _config.referencePoints != 0 &&
+        _config.referencePoints * _config.neighbors != batch) {
+        warn("locality sampler: refs (%zu) x neighbors (%zu) != "
+             "batch (%zu); batch size wins",
+             _config.referencePoints, _config.neighbors, batch);
+        warnedMismatch = true;
+    }
+
+    IndexPlan out;
+    out.indices.reserve(batch);
+    while (out.indices.size() < batch) {
+        // Clamp the anchor so the whole run is valid and contiguous:
+        // the sequential addresses are what steers the prefetcher.
+        const BufferIndex max_anchor = buffer_size - run;
+        BufferIndex anchor =
+            max_anchor > 0 ? rng.randint(max_anchor + 1) : 0;
+        for (std::size_t k = 0;
+             k < run && out.indices.size() < batch; ++k) {
+            out.indices.push_back(anchor + k);
+        }
+    }
+    return out;
+}
+
+} // namespace marlin::replay

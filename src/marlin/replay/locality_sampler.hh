@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Intra-agent cache locality-aware sampling (paper Section IV-A,
+ * Algorithm 1): pick a few random reference points, then take runs
+ * of neighboring transitions so the gather's address stream is
+ * sequential and the hardware prefetcher can follow it.
+ *
+ * The paper evaluates two settings: 16 reference points x 64
+ * neighbors (max locality) and 64 reference points x 16 neighbors
+ * (more randomness).
+ */
+
+#ifndef MARLIN_REPLAY_LOCALITY_SAMPLER_HH
+#define MARLIN_REPLAY_LOCALITY_SAMPLER_HH
+
+#include "marlin/replay/sampler.hh"
+
+namespace marlin::replay
+{
+
+/** Reference-point / neighbor-run configuration. */
+struct LocalityConfig
+{
+    /** Contiguous transitions taken per reference point. */
+    std::size_t neighbors = 16;
+    /**
+     * Reference points per batch; 0 = derive as batch / neighbors.
+     */
+    std::size_t referencePoints = 0;
+};
+
+/**
+ * Locality-aware sampler: the batch is the concatenation of
+ * `referencePoints` runs of `neighbors` consecutive indices, each
+ * run anchored at a uniformly drawn reference point (clamped so the
+ * run stays inside the valid region and remains contiguous in
+ * memory).
+ */
+class LocalityAwareSampler : public Sampler
+{
+  public:
+    explicit LocalityAwareSampler(LocalityConfig config = {});
+
+    std::string name() const override;
+
+    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
+                   Rng &rng) override;
+
+    const LocalityConfig &config() const { return _config; }
+
+  private:
+    LocalityConfig _config;
+    bool warnedMismatch = false;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_LOCALITY_SAMPLER_HH

@@ -1,0 +1,83 @@
+#include "marlin/replay/prioritized_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::replay
+{
+
+PrioritizedSampler::PrioritizedSampler(PerConfig config)
+    : _config(config), _tree(config.capacity), beta(config.beta)
+{
+}
+
+void
+PrioritizedSampler::onAdd(BufferIndex idx)
+{
+    // New transitions enter at max priority so each is replayed at
+    // least once before its TD error takes over.
+    _tree.set(idx % _config.capacity, _tree.maxPriority());
+}
+
+IndexPlan
+PrioritizedSampler::plan(BufferIndex buffer_size, std::size_t batch,
+                         Rng &rng)
+{
+    MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    MARLIN_ASSERT(_tree.total() > 0.0,
+                  "PER plan before any onAdd/updatePriorities");
+    IndexPlan out;
+    out.indices.resize(batch);
+    out.weights.resize(batch);
+    out.priorityIds.resize(batch);
+
+    const double total = _tree.total();
+    const double segment = total / static_cast<double>(batch);
+    const double n = static_cast<double>(buffer_size);
+
+    double max_w = 0.0;
+    std::vector<double> raw(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        // Stratified draw within segment b.
+        const double prefix =
+            (static_cast<double>(b) + rng.uniform()) * segment;
+        const BufferIndex leaf =
+            _tree.find(std::min(prefix, total * (1.0 - 1e-12)));
+        const double p = _tree.priorityOf(leaf) / total;
+        // Lemma 1: w_i = (1/N * 1/P(i))^beta.
+        const double w =
+            std::pow(1.0 / (n * std::max(p, 1e-12)),
+                     static_cast<double>(beta));
+        out.indices[b] = leaf;
+        out.priorityIds[b] = leaf;
+        raw[b] = w;
+        max_w = std::max(max_w, w);
+    }
+    const double inv = max_w > 0.0 ? 1.0 / max_w : 1.0;
+    for (std::size_t b = 0; b < batch; ++b)
+        out.weights[b] = static_cast<Real>(raw[b] * inv);
+
+    if (_config.betaAnneal > Real(0))
+        beta = std::min(Real(1), beta + _config.betaAnneal);
+    return out;
+}
+
+void
+PrioritizedSampler::updatePriorities(
+    const std::vector<BufferIndex> &priority_ids,
+    const std::vector<Real> &td_errors)
+{
+    MARLIN_ASSERT(priority_ids.size() == td_errors.size(),
+                  "priority update size mismatch");
+    for (std::size_t i = 0; i < priority_ids.size(); ++i) {
+        const double p =
+            std::pow(std::abs(static_cast<double>(td_errors[i])) +
+                         static_cast<double>(_config.epsilon),
+                     static_cast<double>(_config.alpha));
+        _tree.set(priority_ids[i] % _config.capacity, p);
+    }
+}
+
+} // namespace marlin::replay

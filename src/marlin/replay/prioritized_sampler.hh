@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Proportional prioritized experience replay (PER), the
+ * state-of-the-art prioritization baseline the paper compares
+ * against (PER-MADDPG / PER-MATD3).
+ */
+
+#ifndef MARLIN_REPLAY_PRIORITIZED_SAMPLER_HH
+#define MARLIN_REPLAY_PRIORITIZED_SAMPLER_HH
+
+#include "marlin/replay/sampler.hh"
+#include "marlin/replay/sum_tree.hh"
+
+namespace marlin::replay
+{
+
+/** PER hyper-parameters (Schaul et al. defaults). */
+struct PerConfig
+{
+    /** Priority exponent: p_i = (|td_i| + epsilon)^alpha. */
+    Real alpha = Real(0.6);
+    /** IS-weight exponent (Lemma 1's beta); annealed toward 1. */
+    Real beta = Real(0.4);
+    /** Additive epsilon so no transition starves. */
+    Real epsilon = Real(1e-5);
+    /** Per-plan beta increment (0 disables annealing). */
+    Real betaAnneal = Real(0);
+    /** Replay capacity backing the sum tree. */
+    BufferIndex capacity = 1 << 20;
+};
+
+/**
+ * Proportional PER: stratified sampling over the cumulative priority
+ * mass, IS weights w_i = (N * P(i))^-beta normalized by the batch
+ * max (the paper's Lemma 1 with full per-sample compensation).
+ */
+class PrioritizedSampler : public Sampler
+{
+  public:
+    explicit PrioritizedSampler(PerConfig config);
+
+    std::string name() const override { return "per"; }
+
+    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
+                   Rng &rng) override;
+
+    void onAdd(BufferIndex idx) override;
+
+    void updatePriorities(const std::vector<BufferIndex> &priority_ids,
+                          const std::vector<Real> &td_errors) override;
+
+    const PerConfig &config() const { return _config; }
+    const SumTree &tree() const { return _tree; }
+    Real currentBeta() const { return beta; }
+
+  protected:
+    PerConfig _config;
+    SumTree _tree;
+    Real beta;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_PRIORITIZED_SAMPLER_HH

@@ -1,0 +1,126 @@
+#include "marlin/replay/rank_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::replay
+{
+
+RankBasedSampler::RankBasedSampler(PerConfig config)
+    : _config(config), beta(config.beta)
+{
+    tdError.assign(_config.capacity, Real(0));
+    order.resize(_config.capacity);
+    std::iota(order.begin(), order.end(), BufferIndex{0});
+}
+
+void
+RankBasedSampler::setResortInterval(std::uint64_t interval)
+{
+    MARLIN_ASSERT(interval > 0, "resort interval must be positive");
+    resortInterval = interval;
+}
+
+void
+RankBasedSampler::onAdd(BufferIndex idx)
+{
+    const BufferIndex slot = idx % _config.capacity;
+    // New transitions get the running max TD so they are replayed
+    // promptly, matching the proportional sampler's policy.
+    tdError[slot] = maxTd;
+    known = std::max<BufferIndex>(known, slot + 1);
+    dirty = true;
+}
+
+void
+RankBasedSampler::updatePriorities(
+    const std::vector<BufferIndex> &priority_ids,
+    const std::vector<Real> &td_errors)
+{
+    MARLIN_ASSERT(priority_ids.size() == td_errors.size(),
+                  "priority update size mismatch");
+    for (std::size_t i = 0; i < priority_ids.size(); ++i) {
+        const BufferIndex slot = priority_ids[i] % _config.capacity;
+        tdError[slot] = std::abs(td_errors[i]);
+        maxTd = std::max(maxTd, tdError[slot]);
+        known = std::max<BufferIndex>(known, slot + 1);
+    }
+    dirty = true;
+}
+
+void
+RankBasedSampler::resort()
+{
+    std::sort(order.begin(), order.begin() + known,
+              [this](BufferIndex a, BufferIndex b) {
+                  return tdError[a] > tdError[b];
+              });
+    dirty = false;
+    plansSinceSort = 0;
+}
+
+IndexPlan
+RankBasedSampler::plan(BufferIndex buffer_size, std::size_t batch,
+                       Rng &rng)
+{
+    MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    const BufferIndex n = std::min<BufferIndex>(
+        std::min(buffer_size, known), _config.capacity);
+    MARLIN_ASSERT(n > 0, "rank sampler used before any onAdd");
+    if (dirty && plansSinceSort++ % resortInterval == 0)
+        resort();
+
+    // P(rank) = (1/rank)^alpha / Z, sampled by stratified inverse
+    // transform over the cumulative mass. The cumulative table only
+    // depends on n and alpha, so it is cached between plans.
+    const double alpha = _config.alpha;
+    if (cumulative.size() != n) {
+        cumulative.resize(n);
+        double acc = 0.0;
+        for (BufferIndex r = 0; r < n; ++r) {
+            acc += std::pow(1.0 / static_cast<double>(r + 1), alpha);
+            cumulative[r] = acc;
+        }
+    }
+    const double z = cumulative.back();
+
+    IndexPlan out;
+    out.indices.resize(batch);
+    out.weights.resize(batch);
+    out.priorityIds.resize(batch);
+    std::vector<double> raw(batch);
+    double max_w = 0;
+    const double segment = z / static_cast<double>(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const double target =
+            (static_cast<double>(b) + rng.uniform()) * segment;
+        const auto it = std::lower_bound(cumulative.begin(),
+                                         cumulative.end(), target);
+        const BufferIndex rank = static_cast<BufferIndex>(
+            std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                     static_cast<std::ptrdiff_t>(n) -
+                                         1));
+        const BufferIndex slot = order[rank];
+        const double p =
+            std::pow(1.0 / static_cast<double>(rank + 1), alpha) / z;
+        const double w =
+            std::pow(1.0 / (static_cast<double>(n) * p),
+                     static_cast<double>(beta));
+        out.indices[b] = std::min<BufferIndex>(slot, buffer_size - 1);
+        out.priorityIds[b] = slot;
+        raw[b] = w;
+        max_w = std::max(max_w, w);
+    }
+    const double inv = max_w > 0 ? 1.0 / max_w : 1.0;
+    for (std::size_t b = 0; b < batch; ++b)
+        out.weights[b] = static_cast<Real>(raw[b] * inv);
+
+    if (_config.betaAnneal > Real(0))
+        beta = std::min(Real(1), beta + _config.betaAnneal);
+    return out;
+}
+
+} // namespace marlin::replay

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Rank-based prioritized replay (Schaul et al., 2015, Section 3.3):
+ * P(i) proportional to 1/rank(i) under a TD-error ordering. Less
+ * sensitive to outlier TD magnitudes than the proportional variant;
+ * included as the second standard PER flavour so the prioritization
+ * comparisons in the paper can be reproduced against both.
+ */
+
+#ifndef MARLIN_REPLAY_RANK_SAMPLER_HH
+#define MARLIN_REPLAY_RANK_SAMPLER_HH
+
+#include <vector>
+
+#include "marlin/replay/prioritized_sampler.hh"
+
+namespace marlin::replay
+{
+
+/**
+ * Rank-based PER. Priorities are kept in a lazily re-sorted array;
+ * sampling draws from precomputed rank segments (equal-probability
+ * strata over the 1/rank distribution), which is the structure the
+ * original paper recommends.
+ */
+class RankBasedSampler : public Sampler
+{
+  public:
+    explicit RankBasedSampler(PerConfig config);
+
+    std::string name() const override { return "per_rank"; }
+
+    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
+                   Rng &rng) override;
+
+    void onAdd(BufferIndex idx) override;
+
+    void updatePriorities(const std::vector<BufferIndex> &priority_ids,
+                          const std::vector<Real> &td_errors) override;
+
+    const PerConfig &config() const { return _config; }
+    Real currentBeta() const { return beta; }
+
+    /** Re-sorts happen every this many plans (default 16). */
+    void setResortInterval(std::uint64_t interval);
+
+  private:
+    PerConfig _config;
+    Real beta;
+    std::vector<Real> tdError;       ///< |TD| per slot.
+    std::vector<BufferIndex> order;  ///< Slots sorted by |TD| desc.
+    bool dirty = true;
+    std::uint64_t plansSinceSort = 0;
+    std::uint64_t resortInterval = 16;
+    BufferIndex known = 0; ///< Slots that have ever been written.
+    Real maxTd = Real(1);  ///< Running max |TD| for fresh inserts.
+    std::vector<double> cumulative; ///< Cached 1/rank^alpha prefix.
+
+    void resort();
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_RANK_SAMPLER_HH

@@ -1,0 +1,112 @@
+#include "marlin/replay/replay_buffer.hh"
+
+#include <cstring>
+
+namespace marlin::replay
+{
+
+ReplayBuffer::ReplayBuffer(TransitionShape shape, BufferIndex capacity)
+    : _shape(shape), _capacity(capacity)
+{
+    MARLIN_ASSERT(capacity > 0, "replay buffer capacity must be > 0");
+    MARLIN_ASSERT(shape.obsDim > 0 && shape.actDim > 0,
+                  "replay buffer needs nonzero obs/act dims");
+    obsData.resize(capacity * shape.obsDim);
+    actData.resize(capacity * shape.actDim);
+    rewData.resize(capacity);
+    nextObsData.resize(capacity * shape.obsDim);
+    doneData.resize(capacity);
+}
+
+void
+ReplayBuffer::add(const Real *obs, const Real *action, Real reward,
+                  const Real *next_obs, bool done)
+{
+    std::memcpy(obsData.data() + pos * _shape.obsDim, obs,
+                _shape.obsDim * sizeof(Real));
+    std::memcpy(actData.data() + pos * _shape.actDim, action,
+                _shape.actDim * sizeof(Real));
+    rewData[pos] = reward;
+    std::memcpy(nextObsData.data() + pos * _shape.obsDim, next_obs,
+                _shape.obsDim * sizeof(Real));
+    doneData[pos] = done ? Real(1) : Real(0);
+
+    pos = (pos + 1) % _capacity;
+    if (_size < _capacity)
+        ++_size;
+}
+
+void
+ReplayBuffer::add(const std::vector<Real> &obs,
+                  const std::vector<Real> &action, Real reward,
+                  const std::vector<Real> &next_obs, bool done)
+{
+    MARLIN_ASSERT(obs.size() == _shape.obsDim &&
+                      next_obs.size() == _shape.obsDim,
+                  "observation size mismatch on add");
+    MARLIN_ASSERT(action.size() == _shape.actDim,
+                  "action size mismatch on add");
+    add(obs.data(), action.data(), reward, next_obs.data(), done);
+}
+
+TransitionView
+ReplayBuffer::view(BufferIndex idx) const
+{
+    MARLIN_ASSERT(idx < _size, "transition index out of range");
+    return {obsRow(idx), actRow(idx), rewData[idx], nextObsRow(idx),
+            doneData[idx]};
+}
+
+std::size_t
+ReplayBuffer::storageBytes() const
+{
+    return (obsData.size() + actData.size() + rewData.size() +
+            nextObsData.size() + doneData.size()) *
+           sizeof(Real);
+}
+
+MultiAgentBuffer::MultiAgentBuffer(std::vector<TransitionShape> shapes,
+                                   BufferIndex capacity)
+    : _capacity(capacity)
+{
+    MARLIN_ASSERT(!shapes.empty(),
+                  "MultiAgentBuffer needs at least one agent");
+    buffers.reserve(shapes.size());
+    for (const TransitionShape &s : shapes)
+        buffers.emplace_back(s, capacity);
+}
+
+BufferIndex
+MultiAgentBuffer::size() const
+{
+    return buffers.front().size();
+}
+
+void
+MultiAgentBuffer::add(const std::vector<std::vector<Real>> &obs,
+                      const std::vector<std::vector<Real>> &actions,
+                      const std::vector<Real> &rewards,
+                      const std::vector<std::vector<Real>> &next_obs,
+                      const std::vector<bool> &dones)
+{
+    const std::size_t n = buffers.size();
+    MARLIN_ASSERT(obs.size() == n && actions.size() == n &&
+                      rewards.size() == n && next_obs.size() == n &&
+                      dones.size() == n,
+                  "per-agent vectors must match agent count");
+    for (std::size_t i = 0; i < n; ++i) {
+        buffers[i].add(obs[i], actions[i], rewards[i], next_obs[i],
+                       dones[i]);
+    }
+}
+
+std::size_t
+MultiAgentBuffer::storageBytes() const
+{
+    std::size_t total = 0;
+    for (const ReplayBuffer &b : buffers)
+        total += b.storageBytes();
+    return total;
+}
+
+} // namespace marlin::replay

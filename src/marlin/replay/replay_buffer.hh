@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Per-agent experience replay buffer (structure-of-arrays ring).
+ *
+ * This is the baseline layout the paper characterizes: each agent's
+ * transitions live in their own large arrays (paper: capacity 1e6),
+ * and each trainer gathers mini-batches from *every* agent's buffer,
+ * producing the O(N^2 * B) lookup-read-write pattern of Figure 5.
+ */
+
+#ifndef MARLIN_REPLAY_REPLAY_BUFFER_HH
+#define MARLIN_REPLAY_REPLAY_BUFFER_HH
+
+#include <vector>
+
+#include "marlin/base/logging.hh"
+#include "marlin/replay/transition.hh"
+
+namespace marlin::replay
+{
+
+/**
+ * Fixed-capacity ring buffer of one agent's transitions, stored as
+ * parallel flat arrays so a row gather is a few contiguous copies.
+ */
+class ReplayBuffer
+{
+  public:
+    /**
+     * @param shape Observation/action dimensions for this agent.
+     * @param capacity Max transitions held (paper uses 1e6).
+     */
+    ReplayBuffer(TransitionShape shape, BufferIndex capacity);
+
+    const TransitionShape &shape() const { return _shape; }
+    BufferIndex capacity() const { return _capacity; }
+
+    /** Number of valid transitions currently stored. */
+    BufferIndex size() const { return _size; }
+
+    /** Ring cursor (next write slot). */
+    BufferIndex position() const { return pos; }
+
+    bool empty() const { return _size == 0; }
+
+    /** Append one transition, evicting the oldest when full. */
+    void add(const Real *obs, const Real *action, Real reward,
+             const Real *next_obs, bool done);
+
+    /** Convenience overload for std::vector inputs. */
+    void add(const std::vector<Real> &obs,
+             const std::vector<Real> &action, Real reward,
+             const std::vector<Real> &next_obs, bool done);
+
+    /** View of the transition at ring slot @p idx. @pre idx < size. */
+    TransitionView view(BufferIndex idx) const;
+
+    // Raw row pointers (hot-path gather API; no bounds checks beyond
+    // assertions so the sampler microbenches measure memory, not
+    // branchy validation).
+    const Real *
+    obsRow(BufferIndex i) const
+    {
+        return obsData.data() + i * _shape.obsDim;
+    }
+
+    const Real *
+    actRow(BufferIndex i) const
+    {
+        return actData.data() + i * _shape.actDim;
+    }
+
+    const Real *
+    nextObsRow(BufferIndex i) const
+    {
+        return nextObsData.data() + i * _shape.obsDim;
+    }
+
+    Real rewardAt(BufferIndex i) const { return rewData[i]; }
+    Real doneAt(BufferIndex i) const { return doneData[i]; }
+
+    /** Total bytes of transition storage (for working-set reports). */
+    std::size_t storageBytes() const;
+
+  private:
+    TransitionShape _shape;
+    BufferIndex _capacity;
+    BufferIndex _size = 0;
+    BufferIndex pos = 0;
+
+    std::vector<Real> obsData;
+    std::vector<Real> actData;
+    std::vector<Real> rewData;
+    std::vector<Real> nextObsData;
+    std::vector<Real> doneData;
+};
+
+/**
+ * The set of per-agent replay buffers for one MARL training run.
+ * All buffers advance in lock-step (one add per agent per env step),
+ * so a single index addresses the same timestep in every buffer —
+ * the property the common indices array of Figure 5 relies on.
+ */
+class MultiAgentBuffer
+{
+  public:
+    /**
+     * @param shapes One TransitionShape per agent.
+     * @param capacity Shared ring capacity.
+     */
+    MultiAgentBuffer(std::vector<TransitionShape> shapes,
+                     BufferIndex capacity);
+
+    std::size_t numAgents() const { return buffers.size(); }
+    BufferIndex capacity() const { return _capacity; }
+
+    /** Synchronized size (identical across agents). */
+    BufferIndex size() const;
+
+    ReplayBuffer &agent(std::size_t i) { return buffers[i]; }
+    const ReplayBuffer &agent(std::size_t i) const { return buffers[i]; }
+
+    /**
+     * Append one joint transition (one record per agent).
+     * All vectors are indexed by agent.
+     */
+    void add(const std::vector<std::vector<Real>> &obs,
+             const std::vector<std::vector<Real>> &actions,
+             const std::vector<Real> &rewards,
+             const std::vector<std::vector<Real>> &next_obs,
+             const std::vector<bool> &dones);
+
+    /** Sum of per-agent storage. */
+    std::size_t storageBytes() const;
+
+  private:
+    BufferIndex _capacity;
+    std::vector<ReplayBuffer> buffers;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_REPLAY_BUFFER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sampler strategy interface.
+ *
+ * A Sampler produces the *index plan* for one update — the common
+ * indices array of the paper's Figure 5 that every agent trainer
+ * uses to gather mini-batches from all agents' replay buffers. The
+ * gather itself is shared code (gather.hh), so the strategies differ
+ * exactly where the paper's optimizations differ: in the index
+ * pattern and the importance weights.
+ */
+
+#ifndef MARLIN_REPLAY_SAMPLER_HH
+#define MARLIN_REPLAY_SAMPLER_HH
+
+#include <string>
+#include <vector>
+
+#include "marlin/base/random.hh"
+#include "marlin/base/types.hh"
+
+namespace marlin::replay
+{
+
+/**
+ * The indices (and optional importance weights) for one mini-batch.
+ */
+struct IndexPlan
+{
+    /** Buffer slots to gather, one per batch row. */
+    std::vector<BufferIndex> indices;
+    /**
+     * Importance-sampling weights per batch row (Lemma 1), already
+     * normalized to max 1. Empty means uniform weight 1.
+     */
+    std::vector<Real> weights;
+    /**
+     * For prioritized samplers: the identity of the priority node
+     * backing each row, so TD errors can be written back. Empty for
+     * unprioritized samplers.
+     */
+    std::vector<BufferIndex> priorityIds;
+
+    std::size_t batchSize() const { return indices.size(); }
+};
+
+/** Strategy interface for mini-batch index selection. */
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+
+    /** Short identifier used in reports ("uniform", "locality"...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Build the index plan for one update.
+     *
+     * @param buffer_size Current valid transition count.
+     * @param batch Rows to produce (the paper uses 1024).
+     * @param rng Random stream.
+     */
+    virtual IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
+                           Rng &rng) = 0;
+
+    /**
+     * Notification that a transition was appended at @p idx
+     * (prioritized samplers give it max priority).
+     */
+    virtual void onAdd(BufferIndex idx) {}
+
+    /**
+     * Write back fresh TD errors for the rows of the last plan.
+     * No-op for unprioritized samplers.
+     */
+    virtual void
+    updatePriorities(const std::vector<BufferIndex> &priority_ids,
+                     const std::vector<Real> &td_errors)
+    {
+    }
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_SAMPLER_HH

@@ -1,0 +1,88 @@
+#include "marlin/replay/sum_tree.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::replay
+{
+
+SumTree::SumTree(BufferIndex capacity) : _capacity(capacity)
+{
+    MARLIN_ASSERT(capacity > 0, "sum tree capacity must be > 0");
+    leafCount = 1;
+    while (leafCount < capacity)
+        leafCount <<= 1;
+    nodes.assign(2 * leafCount, 0.0);
+}
+
+double
+SumTree::priorityOf(BufferIndex idx) const
+{
+    MARLIN_ASSERT(idx < _capacity, "sum tree index out of range");
+    return nodes[leafCount + idx];
+}
+
+double
+SumTree::minPriority() const
+{
+    double best = std::numeric_limits<double>::max();
+    bool found = false;
+    for (BufferIndex i = 0; i < _capacity; ++i) {
+        const double p = nodes[leafCount + i];
+        if (p > 0.0) {
+            best = std::min(best, p);
+            found = true;
+        }
+    }
+    return found ? best : 0.0;
+}
+
+void
+SumTree::set(BufferIndex idx, double priority)
+{
+    MARLIN_ASSERT(idx < _capacity, "sum tree index out of range");
+    MARLIN_ASSERT(priority >= 0.0, "priorities must be non-negative");
+    BufferIndex node = leafCount + idx;
+    const double delta = priority - nodes[node];
+    nodes[node] = priority;
+    _maxPriority = std::max(_maxPriority, priority);
+    while (node > 1) {
+        node >>= 1;
+        nodes[node] += delta;
+    }
+}
+
+BufferIndex
+SumTree::find(double prefix) const
+{
+    MARLIN_ASSERT(total() > 0.0, "sampling from an empty sum tree");
+    if (prefix < 0.0)
+        prefix = 0.0;
+    BufferIndex node = 1;
+    while (node < leafCount) {
+        const BufferIndex left = 2 * node;
+        if (prefix < nodes[left]) {
+            node = left;
+        } else {
+            prefix -= nodes[left];
+            node = left + 1;
+        }
+    }
+    BufferIndex leaf = node - leafCount;
+    // Guard against floating-point drift landing on a zero-priority
+    // padding leaf.
+    if (leaf >= _capacity)
+        leaf = _capacity - 1;
+    return leaf;
+}
+
+void
+SumTree::clear()
+{
+    std::fill(nodes.begin(), nodes.end(), 0.0);
+    _maxPriority = 1.0;
+}
+
+} // namespace marlin::replay

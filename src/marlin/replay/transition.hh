@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Transition record shapes shared by the replay subsystem.
+ */
+
+#ifndef MARLIN_REPLAY_TRANSITION_HH
+#define MARLIN_REPLAY_TRANSITION_HH
+
+#include <cstddef>
+
+#include "marlin/base/types.hh"
+
+namespace marlin::replay
+{
+
+/**
+ * Static shape of one agent's transitions:
+ * (obs, one-hot action, reward, next obs, done).
+ */
+struct TransitionShape
+{
+    std::size_t obsDim = 0;
+    std::size_t actDim = 0;
+
+    /** Scalar count of one flattened transition record. */
+    std::size_t
+    flatSize() const
+    {
+        return 2 * obsDim + actDim + 2; // reward + done flags
+    }
+
+    bool operator==(const TransitionShape &o) const = default;
+};
+
+/** Read-only view of a stored transition (pointers into SoA arrays). */
+struct TransitionView
+{
+    const Real *obs = nullptr;      ///< obsDim values.
+    const Real *action = nullptr;   ///< actDim values (one-hot).
+    Real reward = 0;
+    const Real *nextObs = nullptr;  ///< obsDim values.
+    Real done = 0;                  ///< 0/1 terminal flag.
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_TRANSITION_HH

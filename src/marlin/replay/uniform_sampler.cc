@@ -1,0 +1,18 @@
+#include "marlin/replay/uniform_sampler.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::replay
+{
+
+IndexPlan
+UniformSampler::plan(BufferIndex buffer_size, std::size_t batch,
+                     Rng &rng)
+{
+    MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    IndexPlan out;
+    out.indices = rng.sampleIndices(buffer_size, batch);
+    return out;
+}
+
+} // namespace marlin::replay

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Baseline sampler: batch-size independent uniform draws, the random
+ * mini-batch sampling the paper characterizes as the bottleneck.
+ */
+
+#ifndef MARLIN_REPLAY_UNIFORM_SAMPLER_HH
+#define MARLIN_REPLAY_UNIFORM_SAMPLER_HH
+
+#include "marlin/replay/sampler.hh"
+
+namespace marlin::replay
+{
+
+/** Uniform-with-replacement index selection (baseline MARL). */
+class UniformSampler : public Sampler
+{
+  public:
+    std::string name() const override { return "uniform"; }
+
+    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
+                   Rng &rng) override;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_UNIFORM_SAMPLER_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "marlin/base/args.hh"
+
+namespace marlin
+{
+namespace
+{
+
+/** Helper building a mutable argv from literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        for (auto &s : storage)
+            pointers.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char **argv() { return pointers.data(); }
+
+  private:
+    std::vector<std::string> storage;
+    std::vector<char *> pointers;
+};
+
+ArgParser
+makeParser()
+{
+    ArgParser p("test");
+    p.addOption("episodes", "100", "episode count");
+    p.addOption("lr", "0.01", "learning rate");
+    p.addOption("name", "default", "run name");
+    p.addFlag("verbose", "chatty output");
+    return p;
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    auto p = makeParser();
+    Argv a({"test"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("episodes"), 100);
+    EXPECT_EQ(p.getDouble("lr"), 0.01);
+    EXPECT_EQ(p.get("name"), "default");
+    EXPECT_FALSE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    auto p = makeParser();
+    Argv a({"test", "--episodes", "250", "--name", "run1"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("episodes"), 250);
+    EXPECT_EQ(p.get("name"), "run1");
+}
+
+TEST(ArgParser, EqualsSyntax)
+{
+    auto p = makeParser();
+    Argv a({"test", "--lr=0.5", "--episodes=7"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getDouble("lr"), 0.5);
+    EXPECT_EQ(p.getInt("episodes"), 7);
+}
+
+TEST(ArgParser, FlagsToggle)
+{
+    auto p = makeParser();
+    Argv a({"test", "--verbose"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, PositionalsCollected)
+{
+    auto p = makeParser();
+    Argv a({"test", "input.txt", "--episodes", "5", "out.bin"});
+    p.parse(a.argc(), a.argv());
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "input.txt");
+    EXPECT_EQ(p.positional()[1], "out.bin");
+}
+
+TEST(ArgParser, UsageMentionsAllOptions)
+{
+    auto p = makeParser();
+    const std::string u = p.usage();
+    EXPECT_NE(u.find("episodes"), std::string::npos);
+    EXPECT_NE(u.find("verbose"), std::string::npos);
+    EXPECT_NE(u.find("default: 100"), std::string::npos);
+}
+
+TEST(ArgParserDeath, UnknownOptionDies)
+{
+    auto p = makeParser();
+    Argv a({"test", "--bogus", "1"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgParserDeath, MissingValueDies)
+{
+    auto p = makeParser();
+    Argv a({"test", "--episodes"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "expects a value");
+}
+
+TEST(ArgParserDeath, MalformedIntDies)
+{
+    auto p = makeParser();
+    Argv a({"test", "--episodes", "12abc"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT(p.getInt("episodes"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(ArgParserDeath, MalformedDoubleDies)
+{
+    auto p = makeParser();
+    Argv a({"test", "--lr", "fast"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT(p.getDouble("lr"), ::testing::ExitedWithCode(1),
+                "expects a number");
+}
+
+} // namespace
+} // namespace marlin

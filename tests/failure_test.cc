@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Failure-injection tests: every misuse MARLIN_ASSERT guards
+ * against must die loudly instead of corrupting state. These death
+ * tests pin the library's precondition contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "marlin/core/maddpg.hh"
+#include "marlin/env/environment.hh"
+#include "marlin/memsim/cache.hh"
+#include "marlin/nn/loss.hh"
+#include "marlin/nn/mlp.hh"
+#include "marlin/numeric/gemm.hh"
+#include "marlin/numeric/ops.hh"
+#include "marlin/replay/gather.hh"
+#include "marlin/replay/locality_sampler.hh"
+#include "marlin/replay/sum_tree.hh"
+#include "marlin/replay/uniform_sampler.hh"
+
+namespace marlin
+{
+namespace
+{
+
+TEST(FailureDeath, GatherIndexBeyondValidTransitions)
+{
+    replay::ReplayBuffer buf({3, 5}, 16);
+    std::vector<Real> obs(3), next(3);
+    std::vector<Real> act(5, 0);
+    buf.add(obs, act, 0, next, false);
+    replay::IndexPlan plan;
+    plan.indices = {5}; // Only slot 0 is valid.
+    replay::AgentBatch batch;
+    EXPECT_DEATH(gatherAgentBatch(buf, plan, batch),
+                 "gather index beyond valid");
+}
+
+TEST(FailureDeath, ReplayAddDimensionMismatch)
+{
+    replay::ReplayBuffer buf({3, 5}, 16);
+    std::vector<Real> wrong_obs(7), next(3);
+    std::vector<Real> act(5, 0);
+    EXPECT_DEATH(buf.add(wrong_obs, act, 0, next, false),
+                 "observation size mismatch");
+}
+
+TEST(FailureDeath, SamplingFromEmptyBuffer)
+{
+    replay::UniformSampler sampler;
+    Rng rng(1);
+    EXPECT_DEATH(sampler.plan(0, 16, rng), "empty");
+}
+
+TEST(FailureDeath, SumTreeIndexOutOfRange)
+{
+    replay::SumTree tree(8);
+    EXPECT_DEATH(tree.set(8, 1.0), "out of range");
+}
+
+TEST(FailureDeath, SumTreeNegativePriority)
+{
+    replay::SumTree tree(8);
+    EXPECT_DEATH(tree.set(0, -1.0), "non-negative");
+}
+
+TEST(FailureDeath, SumTreeFindOnEmptyTree)
+{
+    replay::SumTree tree(8);
+    EXPECT_DEATH(tree.find(0.5), "empty sum tree");
+}
+
+TEST(FailureDeath, HconcatRowMismatch)
+{
+    numeric::Matrix a(2, 3), b(3, 3);
+    EXPECT_DEATH(numeric::hconcat({&a, &b}), "row mismatch");
+}
+
+TEST(FailureDeath, GemmInnerDimensionMismatch)
+{
+    numeric::Matrix a(2, 3), b(4, 2), c;
+    EXPECT_DEATH(numeric::gemm(a, b, c), "inner dimension");
+}
+
+TEST(FailureDeath, MlpForwardWrongInputWidth)
+{
+    Rng rng(1);
+    nn::MlpConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hiddenDims = {4};
+    cfg.outputDim = 2;
+    nn::Mlp net(cfg, rng);
+    numeric::Matrix x(1, 5);
+    EXPECT_DEATH(net.forward(x), "input dimension mismatch");
+}
+
+TEST(FailureDeath, EnvironmentWrongActionCount)
+{
+    auto environment = env::makeCooperativeNavigationEnv(3, 1);
+    environment->reset();
+    EXPECT_DEATH(environment->step({1, 2}), "one action per");
+}
+
+TEST(FailureDeath, EnvironmentActionOutOfRange)
+{
+    auto environment = env::makeCooperativeNavigationEnv(3, 1);
+    environment->reset();
+    EXPECT_DEATH(environment->step({1, 2, 9}),
+                 "action out of range");
+}
+
+TEST(FailureDeath, TrainerObservationCountMismatch)
+{
+    core::TrainConfig config;
+    config.hiddenDims = {4};
+    core::MaddpgTrainer trainer(
+        {6, 6}, 5, config,
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    std::vector<std::vector<Real>> obs(1, std::vector<Real>(6));
+    EXPECT_DEATH(trainer.selectActions(obs, 0),
+                 "one observation per agent");
+}
+
+TEST(FailureDeath, CacheLineSizeMustBePowerOfTwo)
+{
+    EXPECT_DEATH(memsim::CacheModel({1024, 48, 2}), "power of two");
+}
+
+TEST(FailureDeath, CacheSmallerThanOneSet)
+{
+    EXPECT_DEATH(memsim::CacheModel({64, 64, 4}),
+                 "smaller than one set");
+}
+
+TEST(FailureDeath, WeightedMseWrongWeightCount)
+{
+    numeric::Matrix pred(4, 1), target(4, 1), grad;
+    std::vector<Real> weights(3, Real(1));
+    EXPECT_DEATH(nn::weightedMseLoss(pred, target, weights, grad),
+                 "one importance weight per batch row");
+}
+
+} // namespace
+} // namespace marlin

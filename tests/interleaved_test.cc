@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the data-layout reorganization store: the interleaved
+ * gather must be bit-identical to the per-agent baseline gather.
+ */
+
+#include <gtest/gtest.h>
+
+#include "marlin/base/random.hh"
+#include "marlin/replay/gather.hh"
+#include "marlin/replay/interleaved_store.hh"
+#include "marlin/replay/uniform_sampler.hh"
+
+namespace marlin::replay
+{
+namespace
+{
+
+std::vector<TransitionShape>
+testShapes()
+{
+    return {{3, 5}, {4, 5}, {6, 5}};
+}
+
+void
+fillBuffers(MultiAgentBuffer &buf, int steps, Rng &rng)
+{
+    const std::size_t n = buf.numAgents();
+    for (int t = 0; t < steps; ++t) {
+        std::vector<std::vector<Real>> obs(n), act(n), next(n);
+        std::vector<Real> rew(n);
+        std::vector<bool> done(n);
+        for (std::size_t a = 0; a < n; ++a) {
+            const auto &shape = buf.agent(a).shape();
+            obs[a].resize(shape.obsDim);
+            next[a].resize(shape.obsDim);
+            act[a].assign(shape.actDim, Real(0));
+            act[a][rng.randint(shape.actDim)] = Real(1);
+            for (auto &v : obs[a])
+                v = static_cast<Real>(rng.uniform(-1, 1));
+            for (auto &v : next[a])
+                v = static_cast<Real>(rng.uniform(-1, 1));
+            rew[a] = static_cast<Real>(rng.uniform(-1, 1));
+            done[a] = rng.uniform() < 0.1;
+        }
+        buf.add(obs, act, rew, next, done);
+    }
+}
+
+void
+expectBatchesEqual(const std::vector<AgentBatch> &a,
+                   const std::vector<AgentBatch> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].obs, b[i].obs) << "agent " << i;
+        EXPECT_EQ(a[i].actions, b[i].actions) << "agent " << i;
+        EXPECT_EQ(a[i].rewards, b[i].rewards) << "agent " << i;
+        EXPECT_EQ(a[i].nextObs, b[i].nextObs) << "agent " << i;
+        EXPECT_EQ(a[i].dones, b[i].dones) << "agent " << i;
+    }
+}
+
+TEST(InterleavedStore, RecordSizeIsSumOfFlatSizes)
+{
+    InterleavedReplayStore store(testShapes(), 16);
+    // (2*3+5+2) + (2*4+5+2) + (2*6+5+2) = 13+15+19 = 47.
+    EXPECT_EQ(store.recordSize(), 47u);
+    EXPECT_EQ(store.storageBytes(), 47u * 16 * sizeof(Real));
+}
+
+TEST(InterleavedStore, RebuildMatchesBaselineGather)
+{
+    MultiAgentBuffer buf(testShapes(), 256);
+    Rng rng(1);
+    fillBuffers(buf, 200, rng);
+
+    InterleavedReplayStore store(testShapes(), 256);
+    store.rebuildFrom(buf);
+    EXPECT_EQ(store.size(), 200u);
+
+    UniformSampler sampler;
+    Rng srng(2);
+    auto plan = sampler.plan(buf.size(), 64, srng);
+
+    std::vector<AgentBatch> baseline, interleaved;
+    gatherAllAgents(buf, plan, baseline);
+    store.gatherAllAgents(plan, interleaved);
+    expectBatchesEqual(baseline, interleaved);
+}
+
+TEST(InterleavedStore, AppendMatchesBaselineGather)
+{
+    MultiAgentBuffer buf(testShapes(), 128);
+    InterleavedReplayStore store(testShapes(), 128);
+    Rng rng(3);
+
+    // Mirror every add into the store.
+    const std::size_t n = buf.numAgents();
+    for (int t = 0; t < 100; ++t) {
+        std::vector<std::vector<Real>> obs(n), act(n), next(n);
+        std::vector<Real> rew(n);
+        std::vector<bool> done(n);
+        for (std::size_t a = 0; a < n; ++a) {
+            const auto &shape = buf.agent(a).shape();
+            obs[a].resize(shape.obsDim, static_cast<Real>(t));
+            next[a].resize(shape.obsDim, static_cast<Real>(t) + 0.5f);
+            act[a].assign(shape.actDim, Real(0));
+            act[a][0] = Real(1);
+            rew[a] = static_cast<Real>(t * (a + 1));
+            done[a] = false;
+        }
+        buf.add(obs, act, rew, next, done);
+        store.append(obs, act, rew, next, done);
+    }
+
+    IndexPlan plan;
+    plan.indices = {0, 50, 99, 42};
+    std::vector<AgentBatch> baseline, interleaved;
+    gatherAllAgents(buf, plan, baseline);
+    store.gatherAllAgents(plan, interleaved);
+    expectBatchesEqual(baseline, interleaved);
+}
+
+TEST(InterleavedStore, RingWraparound)
+{
+    InterleavedReplayStore store({{2, 5}}, 4);
+    for (int t = 0; t < 6; ++t) {
+        std::vector<std::vector<Real>> obs = {
+            {static_cast<Real>(t), 0}};
+        std::vector<std::vector<Real>> act = {{1, 0, 0, 0, 0}};
+        std::vector<Real> rew = {static_cast<Real>(t)};
+        std::vector<std::vector<Real>> next = obs;
+        std::vector<bool> done = {false};
+        store.append(obs, act, rew, next, done);
+    }
+    EXPECT_EQ(store.size(), 4u);
+    IndexPlan plan;
+    plan.indices = {0, 1, 2, 3};
+    std::vector<AgentBatch> out;
+    store.gatherAllAgents(plan, out);
+    // Slots 0,1 overwritten by t=4,5.
+    EXPECT_EQ(out[0].rewards(0, 0), Real(4));
+    EXPECT_EQ(out[0].rewards(1, 0), Real(5));
+    EXPECT_EQ(out[0].rewards(2, 0), Real(2));
+    EXPECT_EQ(out[0].rewards(3, 0), Real(3));
+}
+
+TEST(InterleavedStore, GatherTraceIsOneRecordPerIndex)
+{
+    MultiAgentBuffer buf(testShapes(), 64);
+    Rng rng(5);
+    fillBuffers(buf, 32, rng);
+    InterleavedReplayStore store(testShapes(), 64);
+    store.rebuildFrom(buf);
+
+    IndexPlan plan;
+    plan.indices = {1, 2, 3, 4, 5};
+    std::vector<AgentBatch> out;
+    AccessTrace trace;
+    store.gatherAllAgents(plan, out, &trace);
+    // One contiguous record read per index — the O(m) property.
+    EXPECT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace.entries()[0].bytes,
+              store.recordSize() * sizeof(Real));
+
+    // Baseline gather touches 3 reads per index per agent: O(N*m).
+    AccessTrace baseline_trace;
+    std::vector<AgentBatch> baseline;
+    gatherAllAgents(buf, plan, baseline, &baseline_trace);
+    EXPECT_EQ(baseline_trace.size(), 5u * 3u * buf.numAgents());
+}
+
+TEST(InterleavedStore, RecordsAreContiguousInMemory)
+{
+    InterleavedReplayStore store(testShapes(), 8);
+    const Real *r0 = store.record(0);
+    const Real *r1 = store.record(1);
+    EXPECT_EQ(r1 - r0,
+              static_cast<std::ptrdiff_t>(store.recordSize()));
+}
+
+} // namespace
+} // namespace marlin::replay

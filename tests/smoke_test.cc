@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end smoke test: a short MADDPG run on each environment
+ * must complete, produce finite rewards, and exercise every phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "marlin/marlin.hh"
+
+namespace marlin
+{
+namespace
+{
+
+core::TrainConfig
+smokeConfig()
+{
+    core::TrainConfig c;
+    c.batchSize = 32;
+    c.bufferCapacity = 4096;
+    c.warmupTransitions = 64;
+    c.updateEvery = 25;
+    c.hiddenDims = {16, 16};
+    c.seed = 5;
+    return c;
+}
+
+TEST(Smoke, MaddpgPredatorPreyRuns)
+{
+    auto environment = env::makePredatorPreyEnv(3, 1);
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment->numAgents(); ++i)
+        dims.push_back(environment->obsDim(i));
+
+    auto config = smokeConfig();
+    core::MaddpgTrainer trainer(dims, environment->actionDim(), config,
+                                [] {
+                                    return std::make_unique<
+                                        replay::UniformSampler>();
+                                });
+    core::TrainLoop loop(*environment, trainer, config);
+    auto result = loop.run(20);
+
+    EXPECT_EQ(result.episodeRewards.size(), 20u);
+    EXPECT_GT(result.updateCalls, 0u);
+    for (Real r : result.episodeRewards)
+        EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(result.timer.seconds(profile::Phase::Sampling), 0.0);
+    EXPECT_GT(result.timer.seconds(profile::Phase::TargetQ), 0.0);
+    EXPECT_GT(result.timer.seconds(profile::Phase::QPLoss), 0.0);
+}
+
+TEST(Smoke, Matd3CooperativeNavigationRuns)
+{
+    auto environment = env::makeCooperativeNavigationEnv(3, 2);
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment->numAgents(); ++i)
+        dims.push_back(environment->obsDim(i));
+
+    auto config = smokeConfig();
+    core::Matd3Trainer trainer(dims, environment->actionDim(), config,
+                               [] {
+                                   return std::make_unique<
+                                       replay::UniformSampler>();
+                               });
+    core::TrainLoop loop(*environment, trainer, config);
+    auto result = loop.run(20);
+
+    EXPECT_EQ(result.episodeRewards.size(), 20u);
+    EXPECT_GT(result.updateCalls, 0u);
+    for (Real r : result.episodeRewards)
+        EXPECT_TRUE(std::isfinite(r));
+}
+
+} // namespace
+} // namespace marlin
