@@ -120,8 +120,9 @@ run(Task task, replay::Sampler &sampler, const char *plan_name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Ablation: replay storage layout (SoA vs AoS vs "
            "interleaved)");
     replay::UniformSampler uniform;

@@ -95,8 +95,9 @@ row(const char *label, replay::NeighborPredictorConfig predictor,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Ablation: info-prioritized neighbor predictor");
     const std::size_t agents = 6;
     auto shapes = taskShapes(Task::PredatorPrey, agents);

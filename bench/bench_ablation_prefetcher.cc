@@ -40,8 +40,9 @@ missesFor(replay::Sampler &sampler,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Ablation: prefetcher on/off under each sampler");
     const std::size_t agents = 6;
     auto shapes = taskShapes(Task::PredatorPrey, agents);

@@ -52,8 +52,9 @@ measure(const char *label, replay::Sampler &sampler,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Ablation: index-plan generation vs gather cost per "
            "update");
     const std::size_t agents = 6;

@@ -98,8 +98,9 @@ runScenario(Task task, std::size_t agents, std::size_t episodes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 10: reward curves, baseline vs cache-aware "
            "sampling");
     runScenario(Task::PredatorPrey, 6, 1600);

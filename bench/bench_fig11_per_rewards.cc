@@ -135,8 +135,9 @@ speedupTable(Task task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 11 / Section VI-C1: information-prioritized "
            "locality-aware sampling");
     rewardScenario(Task::PredatorPrey, 6, 1600);

@@ -12,9 +12,10 @@
 #include "crossval_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace marlin::bench;
+    initThreads(argc, argv);
     banner("Figure 12: cross-validation on i7-9700K (CPU only, "
            "simulated)");
     printCrossval("i7-9700K (CPU only)", false);

@@ -145,8 +145,9 @@ runTask(Task task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 14: transition data layout reorganization");
     runTask(Task::PredatorPrey);
     runTask(Task::CooperativeNavigation);

@@ -39,8 +39,9 @@ runConfig(Algo algo, Task task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 2: end-to-end phase breakdown");
     runConfig(Algo::Maddpg, Task::PredatorPrey);
     runConfig(Algo::Maddpg, Task::CooperativeNavigation);

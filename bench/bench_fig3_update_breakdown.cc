@@ -38,8 +38,9 @@ runConfig(Algo algo, Task task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 3: update-all-trainers internal breakdown");
     runConfig(Algo::Maddpg, Task::PredatorPrey);
     runConfig(Algo::Maddpg, Task::CooperativeNavigation);

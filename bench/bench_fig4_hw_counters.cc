@@ -122,8 +122,9 @@ missReductionTable(Task task, BufferIndex capacity)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 4: hardware-counter growth under agent doubling "
            "(trace-driven model)");
     // Fixed capacity across the sweep, as in the paper's 1e6-entry

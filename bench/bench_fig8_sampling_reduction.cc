@@ -80,8 +80,9 @@ runTask(Task task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 8: sampling-phase reduction from cache "
            "locality-aware sampling");
     std::printf("batch=1024; buffer scaled to fit memory (paper: "

@@ -84,8 +84,9 @@ runTask(Task task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Figure 9: end-to-end training-time reduction from "
            "cache-aware sampling");
     runTask(Task::PredatorPrey);

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
 #include "marlin/numeric/gemm.hh"
 #include "marlin/numeric/ops.hh"
 #include "marlin/replay/gather.hh"
@@ -172,4 +173,16 @@ BENCHMARK(BM_SumTreeFind);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so --threads is consumed before
+// google-benchmark's flag parser (which rejects unknown flags).
+int
+main(int argc, char **argv)
+{
+    marlin::bench::initThreads(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -58,8 +58,9 @@ runConfig(Algo algo, Task task, const std::vector<PaperRow> &paper)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initThreads(argc, argv);
     banner("Table I: end-to-end training time, 60k episodes "
            "(extrapolated)");
     std::printf("CPU phases measured; GPU phases modeled as RTX "

@@ -16,6 +16,8 @@
 #define MARLIN_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -201,11 +203,54 @@ fillSynthetic(replay::MultiAgentBuffer &buffers, BufferIndex count,
     }
 }
 
-/** Print a separator + bench header. */
+/**
+ * Configure the global thread pool for a bench binary: honors a
+ * --threads N / --threads=N argument, falling back to MARLIN_THREADS
+ * and then hardware concurrency. Returns the effective count.
+ * Call before banner() so the JSON header records the right value.
+ *
+ * Consumes the --threads arguments (compacting argv and decrementing
+ * argc) so binaries with their own flag parsers — notably
+ * google-benchmark, which rejects flags it doesn't know — never see
+ * them.
+ */
+inline std::size_t
+initThreads(int &argc, char **argv)
+{
+    long requested = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+            requested = std::strtol(argv[++i], nullptr, 10);
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            requested = std::strtol(arg + 10, nullptr, 10);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = out;
+    base::ThreadPool::setGlobalThreads(
+        requested > 0 ? static_cast<std::size_t>(requested) : 0);
+    const std::size_t effective = base::ThreadPool::globalThreads();
+    std::printf("threads: %zu\n", effective);
+    return effective;
+}
+
+/**
+ * Print a separator + bench header, plus a machine-readable JSON
+ * header line recording the bench name and the thread count the
+ * run used — every bench emits this so downstream tooling can
+ * never misattribute numbers across parallelism settings.
+ */
 inline void
 banner(const char *title)
 {
     std::printf("\n=== %s ===\n", title);
+    std::printf("{\"bench\": \"%s\", \"threads\": %zu}\n", title,
+                base::ThreadPool::globalThreads());
 }
 
 /** Percentage change from baseline to optimized wall-clock. */

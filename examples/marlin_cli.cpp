@@ -106,6 +106,11 @@ main(int argc, char **argv)
     args.addOption("lr", "0.01", "Adam learning rate");
     args.addOption("gamma", "0.95", "discount factor");
     args.addOption("seed", "7", "RNG seed");
+    args.addOption("threads", "0",
+                   "worker threads for the training hot path "
+                   "(0 = MARLIN_THREADS env var or hardware "
+                   "concurrency; results are identical for any "
+                   "value)");
     args.addOption("save-checkpoint", "",
                    "write trainer state here after training");
     args.addOption("load-checkpoint", "",
@@ -121,6 +126,11 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getInt("agents"));
     const auto episodes =
         static_cast<std::size_t>(args.getInt("episodes"));
+
+    base::ThreadPool::setGlobalThreads(
+        static_cast<std::size_t>(args.getInt("threads")));
+    std::printf("threads: %zu (deterministic for any count)\n",
+                base::ThreadPool::globalThreads());
 
     auto environment = buildEnvironment(
         args.get("task"), agents,

@@ -1,0 +1,223 @@
+#include "marlin/base/thread_pool.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::base
+{
+
+namespace
+{
+
+/** Set while the thread executes chunks of a pool dispatch. */
+thread_local bool t_inWorker = false;
+
+/** Requested size for the global pool; 0 = resolve from env/hw. */
+std::size_t g_requestedThreads = 0;
+
+std::mutex g_globalMutex;
+std::unique_ptr<ThreadPool> g_globalPool;
+
+std::size_t
+resolveThreads(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("MARLIN_THREADS")) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<std::size_t>(n);
+        warn("ignoring malformed MARLIN_THREADS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : _threads(threads > 0 ? threads : 1)
+{
+    // Worker 0 is whichever thread calls parallelFor; only the
+    // surplus becomes OS threads, so a 1-thread pool spawns nothing.
+    workers.reserve(_threads - 1);
+    for (std::size_t i = 0; i + 1 < _threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wakeWorkers.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runChunks(Job &j)
+{
+    const bool was_worker = t_inWorker;
+    t_inWorker = true;
+    while (true) {
+        const std::size_t chunk =
+            j.nextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= j.chunks)
+            break;
+        const std::size_t c0 = j.begin + chunk * j.grain;
+        const std::size_t c1 = c0 + j.grain;
+        try {
+            (*j.fn)(c0, c1);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(j.errorMutex);
+            if (!j.error)
+                j.error = std::current_exception();
+        }
+        j.pendingChunks.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    t_inWorker = was_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        Job *myjob = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeWorkers.wait(lock, [&] {
+                return stopping ||
+                       (job != nullptr && generation != seen);
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            // Registering under the lock pins the Job: parallelFor
+            // only retires it once activeWorkers drains back to
+            // zero, so a straggler can never touch a dead Job.
+            myjob = job;
+            ++myjob->activeWorkers;
+        }
+        runChunks(*myjob);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --myjob->activeWorkers;
+        }
+        jobDone.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        std::size_t grain, const RangeFn &fn)
+{
+    if (begin >= end)
+        return;
+    const std::size_t range = end - begin;
+    if (grain == 0)
+        grain = 1;
+
+    // Inline paths. Nested calls from a worker are rejected as
+    // parallel dispatches: the pool's threads are busy running the
+    // outer job and queueing behind them would deadlock, so the
+    // nested range runs serially right here. Single-thread pools and
+    // sub-grain ranges take the same trivial path.
+    if (_threads == 1 || range <= grain || t_inWorker) {
+        fn(begin, end);
+        return;
+    }
+
+    // Static partition: chunk size is a pure function of (range,
+    // grain, threads). Bit-identical results do not hinge on which
+    // worker runs which chunk — outputs are disjoint per index —
+    // only on every index seeing the same per-index arithmetic,
+    // which a contiguous partition guarantees.
+    const std::size_t max_chunks =
+        std::min(_threads, (range + grain - 1) / grain);
+    const std::size_t per_chunk =
+        ((range + max_chunks - 1) / max_chunks + grain - 1) / grain *
+        grain;
+    const std::size_t chunks = (range + per_chunk - 1) / per_chunk;
+
+    // Clamp the tail chunk once here so runChunks stays simple.
+    const RangeFn clamped = [&fn, end](std::size_t c0,
+                                       std::size_t c1) {
+        fn(c0, c1 < end ? c1 : end);
+    };
+
+    Job j;
+    j.fn = &clamped;
+    j.begin = begin;
+    j.grain = per_chunk;
+    j.chunks = chunks;
+    j.pendingChunks.store(chunks, std::memory_order_relaxed);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        job = &j;
+        ++generation;
+    }
+    wakeWorkers.notify_all();
+
+    // The caller is worker 0: it chews chunks alongside the pool.
+    runChunks(j);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        jobDone.wait(lock, [&] {
+            return j.pendingChunks.load(
+                       std::memory_order_acquire) == 0 &&
+                   j.activeWorkers == 0;
+        });
+        job = nullptr;
+    }
+
+    if (j.error)
+        std::rethrow_exception(j.error);
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return t_inWorker;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    if (!g_globalPool) {
+        g_globalPool = std::make_unique<ThreadPool>(
+            resolveThreads(g_requestedThreads));
+    }
+    return *g_globalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t threads)
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    g_requestedThreads = threads;
+    const std::size_t want = resolveThreads(threads);
+    if (g_globalPool && g_globalPool->numThreads() == want)
+        return;
+    g_globalPool.reset(); // Join the old workers before respawning.
+    g_globalPool = std::make_unique<ThreadPool>(want);
+}
+
+std::size_t
+ThreadPool::globalThreads()
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    if (g_globalPool)
+        return g_globalPool->numThreads();
+    return resolveThreads(g_requestedThreads);
+}
+
+} // namespace marlin::base

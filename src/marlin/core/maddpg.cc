@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/thread_pool.hh"
 #include "marlin/nn/loss.hh"
 #include "marlin/numeric/ops.hh"
 #include "marlin/replay/gather.hh"
@@ -32,6 +33,13 @@ CtdeTrainerBase::CtdeTrainerBase(std::vector<std::size_t> obs_dims,
     sumObsDims = std::accumulate(obsDims.begin(), obsDims.end(),
                                  std::size_t{0});
     jointDim = sumObsDims + obsDims.size() * actDim;
+
+    // Independent per-agent streams, derived from the trainer seed
+    // so a fixed seed still pins the whole run.
+    SplitMix64 mix(_config.seed ^ 0xa6e57ee75ca1f3b9ULL);
+    agentRngs.reserve(obsDims.size());
+    for (std::size_t i = 0; i < obsDims.size(); ++i)
+        agentRngs.emplace_back(mix.next());
 
     const bool continuous =
         _config.actionMode == ActionMode::Continuous;
@@ -162,22 +170,71 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
 {
     MARLIN_ASSERT(buffers.numAgents() == obsDims.size(),
                   "buffer/trainer agent count mismatch");
-    UpdateStats stats;
-    for (std::size_t i = 0; i < obsDims.size(); ++i) {
-        replay::IndexPlan plan;
+    const std::size_t n = obsDims.size();
+    if (scratchBatches.size() != n)
+        scratchBatches.resize(n);
+
+    // Serial prologue. Mini-batch sampling consumes the shared RNG
+    // stream in agent order, and the cross-agent target-action pass
+    // forwards every agent's target actor (whose forward() caches
+    // activations), so both stay on the calling thread. Every agent
+    // thus reads the same pre-update snapshot of all target policies
+    // — the simultaneous-update semantics that make the per-agent
+    // steps below independent.
+    std::vector<replay::IndexPlan> plans(n);
+    std::vector<std::vector<Matrix>> nextActions(n);
+    for (std::size_t i = 0; i < n; ++i) {
         {
             ScopedPhase sp(timer, Phase::Sampling);
-            plan = samplers[i]->plan(buffers.size(),
-                                     _config.batchSize, rng);
+            plans[i] = samplers[i]->plan(buffers.size(),
+                                         _config.batchSize, rng);
             if (store != nullptr) {
-                store->gatherAllAgents(plan, scratchBatches);
+                store->gatherAllAgents(plans[i], scratchBatches[i]);
             } else {
-                replay::gatherAllAgents(buffers, plan,
-                                        scratchBatches);
+                replay::gatherAllAgents(buffers, plans[i],
+                                        scratchBatches[i]);
             }
         }
-        updateAgent(i, scratchBatches, plan, timer, stats);
+        {
+            ScopedPhase sp(timer, Phase::TargetQ);
+            nextActions[i] =
+                targetNextActions(scratchBatches[i], agentRngs[i]);
+        }
     }
+
+    // Per-agent critic+actor updates: agents own disjoint networks,
+    // Adam moments, samplers and RNG streams, and only read the
+    // shared batches, so the pool runs them concurrently and the
+    // result is bit-identical for any thread count.
+    UpdateStats stats;
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (pool.numThreads() == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            updateAgent(i, scratchBatches[i], plans[i],
+                        nextActions[i], timer, stats);
+        }
+    } else {
+        std::vector<UpdateStats> agentStats(n);
+        std::vector<profile::PhaseTimer> agentTimers(n);
+        pool.parallelFor(
+            0, n, 1, [&](std::size_t b0, std::size_t b1) {
+                for (std::size_t i = b0; i < b1; ++i) {
+                    updateAgent(i, scratchBatches[i], plans[i],
+                                nextActions[i], agentTimers[i],
+                                agentStats[i]);
+                }
+            });
+        // Deterministic reduction in agent order: phase CPU time
+        // merges into the caller's timer and the losses sum in the
+        // same sequence the serial loop would use.
+        for (std::size_t i = 0; i < n; ++i) {
+            timer.merge(agentTimers[i]);
+            stats.criticLoss += agentStats[i].criticLoss;
+            stats.actorLoss += agentStats[i].actorLoss;
+            stats.meanAbsTd += agentStats[i].meanAbsTd;
+        }
+    }
+
     const Real inv = Real(1) / static_cast<Real>(obsDims.size());
     stats.criticLoss *= inv;
     stats.actorLoss *= inv;
@@ -188,8 +245,9 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
 
 std::vector<Matrix>
 CtdeTrainerBase::targetNextActions(
-    const std::vector<AgentBatch> &batches)
+    const std::vector<AgentBatch> &batches, Rng &noise_rng)
 {
+    (void)noise_rng; // MADDPG's target policies are noise-free.
     // The N x (N-1) cross-agent policy reads the paper describes:
     // every trainer evaluates every agent's target actor.
     const bool discrete =
@@ -381,14 +439,13 @@ void
 MaddpgTrainer::updateAgent(std::size_t i,
                            const std::vector<AgentBatch> &batches,
                            const replay::IndexPlan &plan,
+                           const std::vector<Matrix> &next_actions,
                            profile::PhaseTimer &timer,
                            UpdateStats &stats)
 {
     Matrix y;
     {
         ScopedPhase sp(timer, Phase::TargetQ);
-        const std::vector<Matrix> next_actions =
-            targetNextActions(batches);
         std::vector<const Matrix *> scratch;
         const Matrix joint_next =
             buildJointNext(batches, next_actions, scratch);

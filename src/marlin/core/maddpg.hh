@@ -75,22 +75,34 @@ class CtdeTrainerBase : public Trainer
   protected:
     /**
      * Per-agent algorithm step, called inside update() after the
-     * mini-batch gather. Implementations charge their work to the
-     * TargetQ / QPLoss phases of @p timer.
+     * mini-batch gather and cross-agent target-action computation.
+     * @p next_actions comes from targetNextActions() on this agent's
+     * batch. The step may only touch agent @p i's networks, sampler
+     * and Adam state — update() runs all agents concurrently on the
+     * global ThreadPool, which is race-free exactly because agents
+     * own disjoint state and only read the shared batches.
+     * Implementations charge their work to the TargetQ / QPLoss
+     * phases of @p timer.
      */
     virtual void updateAgent(std::size_t i,
                              const std::vector<AgentBatch> &batches,
                              const replay::IndexPlan &plan,
+                             const std::vector<Matrix> &next_actions,
                              profile::PhaseTimer &timer,
                              UpdateStats &stats) = 0;
 
     /**
      * Target next actions for every agent: target-actor forward on
      * next observations followed by a softmax relaxation. MATD3
-     * overrides to inject clipped smoothing noise into the logits.
+     * overrides to inject clipped smoothing noise (drawn from
+     * @p noise_rng, the per-agent stream of the updating agent) into
+     * the logits. Runs in the serial prologue of update() because it
+     * forwards every agent's target actor: all agents read one
+     * consistent pre-update snapshot of the target networks.
      */
     virtual std::vector<Matrix>
-    targetNextActions(const std::vector<AgentBatch> &batches);
+    targetNextActions(const std::vector<AgentBatch> &batches,
+                      Rng &noise_rng);
 
     /** [obs_0..obs_{N-1} | act_0..act_{N-1}] from stored samples. */
     Matrix buildJointCurrent(const std::vector<AgentBatch> &batches,
@@ -123,6 +135,14 @@ class CtdeTrainerBase : public Trainer
     std::size_t jointDim;
     std::size_t sumObsDims;
     Rng rng;
+    /**
+     * One independent RNG stream per agent (seeded from the trainer
+     * seed via SplitMix64) for randomness consumed inside the
+     * per-agent update, e.g. MATD3's target policy smoothing noise.
+     * Keeping these draws off the shared stream is what makes the
+     * parallel agent updates deterministic for any thread count.
+     */
+    std::vector<Rng> agentRngs;
     EpsilonSchedule epsilon;
     std::vector<std::unique_ptr<AgentNetworks>> nets;
     std::vector<std::unique_ptr<replay::Sampler>> samplers;
@@ -130,8 +150,10 @@ class CtdeTrainerBase : public Trainer
     std::vector<OrnsteinUhlenbeckNoise> ouNoise;
     StepCount updates = 0;
 
-    // Per-update scratch reused across agents.
-    std::vector<AgentBatch> scratchBatches;
+    // Per-update scratch reused across update() calls: each agent
+    // keeps its own gathered batches so the pool can run agent
+    // updates concurrently without sharing mutable buffers.
+    std::vector<std::vector<AgentBatch>> scratchBatches;
 };
 
 /** The baseline workload of the paper. */
@@ -148,6 +170,7 @@ class MaddpgTrainer : public CtdeTrainerBase
     void updateAgent(std::size_t i,
                      const std::vector<AgentBatch> &batches,
                      const replay::IndexPlan &plan,
+                     const std::vector<Matrix> &next_actions,
                      profile::PhaseTimer &timer,
                      UpdateStats &stats) override;
 };

@@ -20,7 +20,8 @@ Matd3Trainer::Matd3Trainer(std::vector<std::size_t> obs_dims,
 }
 
 std::vector<Matrix>
-Matd3Trainer::targetNextActions(const std::vector<AgentBatch> &batches)
+Matd3Trainer::targetNextActions(const std::vector<AgentBatch> &batches,
+                                Rng &noise_rng)
 {
     const bool discrete =
         _config.actionMode == ActionMode::Discrete;
@@ -31,10 +32,12 @@ Matd3Trainer::targetNextActions(const std::vector<AgentBatch> &batches)
         // Target policy smoothing: clipped Gaussian noise on the
         // logits before the softmax relaxation (discrete), or on
         // the squashed action re-clamped to the action box
-        // (continuous, as in TD3).
+        // (continuous, as in TD3). Drawn from the updating agent's
+        // private stream so the draw order never depends on how the
+        // pool schedules the agent updates.
         for (std::size_t k = 0; k < out.size(); ++k) {
             Real noise = static_cast<Real>(
-                rng.gaussian(0.0, _config.targetNoiseStd));
+                noise_rng.gaussian(0.0, _config.targetNoiseStd));
             noise = std::clamp(noise, -_config.targetNoiseClip,
                                _config.targetNoiseClip);
             out.data()[k] += noise;
@@ -53,6 +56,7 @@ void
 Matd3Trainer::updateAgent(std::size_t i,
                           const std::vector<AgentBatch> &batches,
                           const replay::IndexPlan &plan,
+                          const std::vector<Matrix> &next_actions,
                           profile::PhaseTimer &timer,
                           UpdateStats &stats)
 {
@@ -60,8 +64,6 @@ Matd3Trainer::updateAgent(std::size_t i,
     Matrix y;
     {
         ScopedPhase sp(timer, Phase::TargetQ);
-        const std::vector<Matrix> next_actions =
-            targetNextActions(batches);
         std::vector<const Matrix *> scratch;
         const Matrix joint_next =
             buildJointNext(batches, next_actions, scratch);

@@ -27,12 +27,18 @@ class Matd3Trainer : public CtdeTrainerBase
     void updateAgent(std::size_t i,
                      const std::vector<AgentBatch> &batches,
                      const replay::IndexPlan &plan,
+                     const std::vector<Matrix> &next_actions,
                      profile::PhaseTimer &timer,
                      UpdateStats &stats) override;
 
-    /** Adds clipped Gaussian noise to the target logits. */
+    /**
+     * Adds clipped Gaussian noise to the target logits. The noise
+     * comes from @p noise_rng — the updating agent's private stream
+     * — so concurrent agent updates stay deterministic.
+     */
     std::vector<Matrix>
-    targetNextActions(const std::vector<AgentBatch> &batches) override;
+    targetNextActions(const std::vector<AgentBatch> &batches,
+                      Rng &noise_rng) override;
 
   private:
     /** Per-agent critic-update counters driving the policy delay. */

@@ -1,9 +1,26 @@
 #include "marlin/env/vector_env.hh"
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/thread_pool.hh"
 
 namespace marlin::env
 {
+
+namespace
+{
+
+// Lanes below this count step serially: dispatching the pool costs
+// more than a handful of particle-physics ticks.
+constexpr std::size_t parallelLaneThreshold = 4;
+
+bool
+useParallel(base::ThreadPool &pool, std::size_t lanes)
+{
+    return pool.numThreads() > 1 && lanes >= parallelLaneThreshold &&
+           !base::ThreadPool::inWorker();
+}
+
+} // namespace
 
 VectorEnvironment::VectorEnvironment(const EnvFactory &factory,
                                      std::size_t count)
@@ -31,10 +48,22 @@ VectorEnvironment::VectorEnvironment(const EnvFactory &factory,
 std::vector<std::vector<std::vector<Real>>>
 VectorEnvironment::reset()
 {
-    std::vector<std::vector<std::vector<Real>>> obs;
-    obs.reserve(lanes.size());
-    for (auto &lane_env : lanes)
-        obs.push_back(lane_env->reset());
+    // Each lane owns its Environment and RNG, and each writes only
+    // its own slot of the preallocated result, so lanes fan out on
+    // the pool with no synchronization and bit-identical outcomes
+    // for any thread count.
+    std::vector<std::vector<std::vector<Real>>> obs(lanes.size());
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, lanes.size())) {
+        for (std::size_t i = 0; i < lanes.size(); ++i)
+            obs[i] = lanes[i]->reset();
+        return obs;
+    }
+    pool.parallelFor(0, lanes.size(), 1,
+                     [&](std::size_t i0, std::size_t i1) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             obs[i] = lanes[i]->reset();
+                     });
     return obs;
 }
 
@@ -50,10 +79,18 @@ VectorEnvironment::step(const std::vector<std::vector<int>> &actions)
 {
     MARLIN_ASSERT(actions.size() == lanes.size(),
                   "one action vector per lane required");
-    std::vector<StepResult> results;
-    results.reserve(lanes.size());
-    for (std::size_t i = 0; i < lanes.size(); ++i)
-        results.push_back(lanes[i]->step(actions[i]));
+    std::vector<StepResult> results(lanes.size());
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, lanes.size())) {
+        for (std::size_t i = 0; i < lanes.size(); ++i)
+            results[i] = lanes[i]->step(actions[i]);
+        return results;
+    }
+    pool.parallelFor(0, lanes.size(), 1,
+                     [&](std::size_t i0, std::size_t i1) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             results[i] = lanes[i]->step(actions[i]);
+                     });
     return results;
 }
 

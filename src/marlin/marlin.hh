@@ -11,6 +11,7 @@
 #include "marlin/base/logging.hh"
 #include "marlin/base/random.hh"
 #include "marlin/base/string_utils.hh"
+#include "marlin/base/thread_pool.hh"
 #include "marlin/core/checkpoint.hh"
 #include "marlin/core/config.hh"
 #include "marlin/core/evaluator.hh"

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "marlin/base/compiler.hh"
+#include "marlin/base/thread_pool.hh"
 
 namespace marlin::numeric
 {
@@ -14,20 +15,37 @@ namespace
 constexpr std::size_t blockM = 64;
 constexpr std::size_t blockK = 64;
 
-void
-gemmKernel(const Matrix &a, const Matrix &b, Matrix &c, bool accumulate)
-{
-    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    MARLIN_ASSERT(b.rows() == k, "gemm inner dimension mismatch");
-    if (!accumulate)
-        c.resize(m, n);
-    MARLIN_ASSERT(c.rows() == m && c.cols() == n,
-                  "gemm output shape mismatch");
+// Products below this FLOP count (2*m*k*n) run serially: the pool
+// dispatch costs more than the arithmetic. Single-row action
+// selection stays inline; mini-batch forward/backward crosses it.
+constexpr std::size_t parallelFlopThreshold = 1u << 18;
 
+/**
+ * Whether a product of this size should fan out. The partition is
+ * over disjoint output rows, and within a row every kernel below
+ * performs the same additions in the same order as its serial loop,
+ * so the result is bit-identical for any thread count.
+ */
+bool
+useParallel(base::ThreadPool &pool, std::size_t m, std::size_t k,
+            std::size_t n)
+{
+    return pool.numThreads() > 1 && !base::ThreadPool::inWorker() &&
+           2 * m * k * n >= parallelFlopThreshold;
+}
+
+/** Serial i-k-j kernel over output rows [i_begin, i_end). */
+void
+gemmRows(const Matrix &a, const Matrix &b, Matrix &c,
+         std::size_t i_begin, std::size_t i_end)
+{
+    const std::size_t k = a.cols(), n = b.cols();
     // i-k-j loop order with blocking: the inner j loop streams rows
-    // of B and C, which vectorizes well.
-    for (std::size_t i0 = 0; i0 < m; i0 += blockM) {
-        const std::size_t i1 = std::min(i0 + blockM, m);
+    // of B and C, which vectorizes well. The aik == 0 skip pays off
+    // here because forward inputs carry one-hot action blocks and
+    // ReLU activations.
+    for (std::size_t i0 = i_begin; i0 < i_end; i0 += blockM) {
+        const std::size_t i1 = std::min(i0 + blockM, i_end);
         for (std::size_t k0 = 0; k0 < k; k0 += blockK) {
             const std::size_t k1 = std::min(k0 + blockK, k);
             for (std::size_t i = i0; i < i1; ++i) {
@@ -46,6 +64,31 @@ gemmKernel(const Matrix &a, const Matrix &b, Matrix &c, bool accumulate)
     }
 }
 
+void
+gemmKernel(const Matrix &a, const Matrix &b, Matrix &c, bool accumulate)
+{
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    MARLIN_ASSERT(b.rows() == k, "gemm inner dimension mismatch");
+    if (!accumulate)
+        c.resize(m, n);
+    MARLIN_ASSERT(c.rows() == m && c.cols() == n,
+                  "gemm output shape mismatch");
+
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, m, k, n)) {
+        gemmRows(a, b, c, 0, m);
+        return;
+    }
+    // Partition whole row blocks: chunks own disjoint C rows and
+    // run the identical per-row loop nest as the serial path.
+    const std::size_t row_blocks = (m + blockM - 1) / blockM;
+    pool.parallelFor(0, row_blocks, 1,
+                     [&](std::size_t b0, std::size_t b1) {
+                         gemmRows(a, b, c, b0 * blockM,
+                                  std::min(b1 * blockM, m));
+                     });
+}
+
 } // namespace
 
 void
@@ -60,17 +103,25 @@ gemmAcc(const Matrix &a, const Matrix &b, Matrix &c)
     gemmKernel(a, b, c, true);
 }
 
-void
-gemmTN(const Matrix &a, const Matrix &b, Matrix &c)
+namespace
 {
-    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    MARLIN_ASSERT(b.rows() == k, "gemmTN inner dimension mismatch");
-    c.resize(m, n);
-    // C(m,n) = sum_k A(k,m)^T B(k,n): stream rows of A and B together.
+
+/** gemmTN restricted to output rows [i_begin, i_end). */
+void
+gemmTNRows(const Matrix &a, const Matrix &b, Matrix &c,
+           std::size_t i_begin, std::size_t i_end)
+{
+    const std::size_t k = a.rows(), n = b.cols();
+    // C(m,n) = sum_kk A(k,m)^T B(k,n): stream rows of A and B
+    // together. kk stays the outer loop so each C element accumulates
+    // its terms in ascending-kk order — the same order for every
+    // row partition, hence bit-identical under any thread count.
+    // A here is a cached forward input (ReLU activations / one-hot
+    // action blocks), so the aki == 0 skip earns its branch.
     for (std::size_t kk = 0; kk < k; ++kk) {
         const Real *MARLIN_RESTRICT arow = a.row(kk);
         const Real *MARLIN_RESTRICT brow = b.row(kk);
-        for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
             const Real aki = arow[i];
             if (aki == Real(0))
                 continue;
@@ -81,24 +132,79 @@ gemmTN(const Matrix &a, const Matrix &b, Matrix &c)
     }
 }
 
+} // namespace
+
+void
+gemmTN(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    MARLIN_ASSERT(b.rows() == k, "gemmTN inner dimension mismatch");
+    c.resize(m, n);
+
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, m, k, n)) {
+        gemmTNRows(a, b, c, 0, m);
+        return;
+    }
+    pool.parallelFor(0, m, blockM,
+                     [&](std::size_t i0, std::size_t i1) {
+                         gemmTNRows(a, b, c, i0, i1);
+                     });
+}
+
+namespace
+{
+
+/** gemmNT restricted to output rows [i_begin, i_end). */
+void
+gemmNTRows(const Matrix &a, const Matrix &b, Matrix &c,
+           std::size_t i_begin, std::size_t i_end)
+{
+    const std::size_t k = a.cols(), n = b.rows();
+    // C(i,j) = dot(A.row(i), B.row(j)). Tile i by blockM and j by
+    // blockK so a block of B rows stays L1-resident across a block
+    // of A rows — the critic-backward shapes (batch x joint) are
+    // far larger than L1. Each dot product runs over the full k in
+    // one ascending chain, exactly like the untiled loop, so tiling
+    // does not perturb rounding. Both operands are dense gradients
+    // and weights, so no sparsity branch pollutes the inner loop.
+    for (std::size_t i0 = i_begin; i0 < i_end; i0 += blockM) {
+        const std::size_t i1 = std::min(i0 + blockM, i_end);
+        for (std::size_t j0 = 0; j0 < n; j0 += blockK) {
+            const std::size_t j1 = std::min(j0 + blockK, n);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const Real *MARLIN_RESTRICT arow = a.row(i);
+                Real *MARLIN_RESTRICT crow = c.row(i);
+                for (std::size_t j = j0; j < j1; ++j) {
+                    const Real *MARLIN_RESTRICT brow = b.row(j);
+                    Real acc = 0;
+                    for (std::size_t kk = 0; kk < k; ++kk)
+                        acc += arow[kk] * brow[kk];
+                    crow[j] = acc;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
 void
 gemmNT(const Matrix &a, const Matrix &b, Matrix &c)
 {
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
     MARLIN_ASSERT(b.cols() == k, "gemmNT inner dimension mismatch");
     c.resize(m, n);
-    // C(i,j) = dot(A.row(i), B.row(j)): both operands stream row-wise.
-    for (std::size_t i = 0; i < m; ++i) {
-        const Real *MARLIN_RESTRICT arow = a.row(i);
-        Real *MARLIN_RESTRICT crow = c.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const Real *MARLIN_RESTRICT brow = b.row(j);
-            Real acc = 0;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
+
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, m, k, n)) {
+        gemmNTRows(a, b, c, 0, m);
+        return;
     }
+    pool.parallelFor(0, m, blockM,
+                     [&](std::size_t i0, std::size_t i1) {
+                         gemmNTRows(a, b, c, i0, i1);
+                     });
 }
 
 } // namespace marlin::numeric

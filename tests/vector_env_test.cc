@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "marlin/base/thread_pool.hh"
 #include "marlin/env/vector_env.hh"
 
 namespace marlin::env
@@ -82,6 +83,39 @@ TEST(VectorEnv, SingleLaneDegeneratesToPlainEnv)
     auto vec_obs = vec.reset();
     auto direct_obs = direct->reset();
     EXPECT_EQ(vec_obs[0], direct_obs);
+}
+
+TEST(VectorEnv, ParallelSteppingBitIdenticalToSerial)
+{
+    // Enough lanes to cross the parallel threshold. Each lane owns
+    // its env and RNG, so a 4-thread pool must reproduce the
+    // 1-thread trajectories exactly.
+    constexpr std::size_t lanes = 8;
+    auto rollout = [&](std::size_t threads) {
+        base::ThreadPool::setGlobalThreads(threads);
+        VectorEnvironment vec(cnFactory(3), lanes);
+        auto obs = vec.reset();
+        std::vector<StepResult> last;
+        std::vector<std::vector<int>> actions(
+            lanes, std::vector<int>{0, 0, 0});
+        for (int t = 0; t < 20; ++t) {
+            for (std::size_t l = 0; l < lanes; ++l)
+                for (std::size_t a = 0; a < 3; ++a)
+                    actions[l][a] =
+                        static_cast<int>((t + l + a) % 5);
+            last = vec.step(actions);
+        }
+        base::ThreadPool::setGlobalThreads(0);
+        return last;
+    };
+    const auto serial = rollout(1);
+    const auto parallel = rollout(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t l = 0; l < lanes; ++l) {
+        EXPECT_EQ(serial[l].observations, parallel[l].observations);
+        EXPECT_EQ(serial[l].rewards, parallel[l].rewards);
+        EXPECT_EQ(serial[l].dones, parallel[l].dones);
+    }
 }
 
 } // namespace
