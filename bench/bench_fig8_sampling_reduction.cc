@@ -83,6 +83,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initLogLevel(argc, argv);
     banner("Figure 8: sampling-phase reduction from cache "
            "locality-aware sampling");
     std::printf("batch=1024; buffer scaled to fit memory (paper: "

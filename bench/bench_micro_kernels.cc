@@ -179,6 +179,7 @@ int
 main(int argc, char **argv)
 {
     marlin::bench::initThreads(argc, argv);
+    marlin::bench::initLogLevel(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -240,6 +240,36 @@ initThreads(int &argc, char **argv)
 }
 
 /**
+ * Configure log verbosity for a bench binary: honors a
+ * --log-level NAME / --log-level=NAME argument (silent, fatal,
+ * warn, inform or debug) and consumes it from argv the same way
+ * initThreads() consumes --threads, so google-benchmark's flag
+ * parser never sees it. Returns the effective level.
+ */
+inline LogLevel
+initLogLevel(int &argc, char **argv)
+{
+    std::string requested;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--log-level") == 0 && i + 1 < argc) {
+            requested = argv[++i];
+        } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
+            requested = arg + 12;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = out;
+    if (!requested.empty())
+        setLogLevel(parseLogLevel(requested));
+    return logLevel();
+}
+
+/**
  * Print a separator + bench header, plus a machine-readable JSON
  * header line recording the bench name and the thread count the
  * run used — every bench emits this so downstream tooling can

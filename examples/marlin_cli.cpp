@@ -8,6 +8,12 @@
  *   ./marlin_cli --algo maddpg --task pp --agents 6 \
  *       --sampler locality --neighbors 16 --episodes 2000 \
  *       --save-checkpoint run.ckpt
+ *
+ * Crash-safe mode: --checkpoint-dir rotates full-state snapshots
+ * every --checkpoint-every episodes and auto-resumes from them, so
+ * a killed run picks up where the last snapshot left off:
+ *
+ *   ./marlin_cli --task cn --episodes 2000 --checkpoint-dir ckpts
  */
 
 #include <cstdio>
@@ -115,12 +121,26 @@ main(int argc, char **argv)
                    "write trainer state here after training");
     args.addOption("load-checkpoint", "",
                    "restore trainer state before training");
+    args.addOption("checkpoint-dir", "",
+                   "rotate full-state latest/previous snapshots "
+                   "here and auto-resume from them");
+    args.addOption("checkpoint-every", "10",
+                   "episodes between snapshots for "
+                   "--checkpoint-dir");
+    args.addOption("health", "off",
+                   "non-finite loss/gradient policy: off, halt, "
+                   "skip or rollback (rollback needs "
+                   "--checkpoint-dir)");
+    args.addOption("log-level", "inform",
+                   "silent, fatal, warn, inform or debug");
     args.addFlag("interleaved",
                  "use the reorganized key-value replay layout");
     args.addFlag("continuous",
                  "tanh actors emitting 2D forces (OU exploration) "
                  "instead of 5 discrete actions");
     args.parse(argc, argv);
+
+    setLogLevel(parseLogLevel(args.get("log-level")));
 
     const auto agents =
         static_cast<std::size_t>(args.getInt("agents"));
@@ -151,6 +171,19 @@ main(int argc, char **argv)
         config.backend = core::SamplingBackend::Interleaved;
     if (args.getFlag("continuous"))
         config.actionMode = core::ActionMode::Continuous;
+
+    const std::string health = args.get("health");
+    if (health == "halt") {
+        config.healthPolicy = core::HealthGuardPolicy::Halt;
+    } else if (health == "skip") {
+        config.healthPolicy = core::HealthGuardPolicy::SkipUpdate;
+    } else if (health == "rollback") {
+        config.healthPolicy = core::HealthGuardPolicy::Rollback;
+    } else if (health != "off") {
+        fatal("unknown health policy '%s' (expected off, halt, "
+              "skip or rollback)",
+              health.c_str());
+    }
 
     std::vector<std::size_t> dims;
     for (std::size_t i = 0; i < environment->numAgents(); ++i)
@@ -184,6 +217,14 @@ main(int argc, char **argv)
     }
 
     core::TrainLoop loop(*environment, *trainer, config);
+    if (!args.get("checkpoint-dir").empty()) {
+        core::CheckpointOptions ckpt;
+        ckpt.dir = args.get("checkpoint-dir");
+        ckpt.everyEpisodes = static_cast<std::size_t>(
+            args.getInt("checkpoint-every"));
+        ckpt.resume = true;
+        loop.setCheckpointing(ckpt);
+    }
     std::printf("%s on %s: %zu agents, %zu episodes, sampler=%s%s\n",
                 algo.c_str(),
                 environment->scenario().name().c_str(),
@@ -204,6 +245,14 @@ main(int argc, char **argv)
                 window = 0;
             }
         });
+
+    if (result.nonFiniteUpdates > 0) {
+        warn("%zu update(s) saw non-finite losses/gradients "
+             "(policy: %s)",
+             result.nonFiniteUpdates, health.c_str());
+    }
+    if (result.halted)
+        warn("run halted by the numeric health guard");
 
     std::printf("\nfinal score %.2f | %s\n", result.finalScore,
                 profile::formatTopLevel(

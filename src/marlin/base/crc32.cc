@@ -1,0 +1,39 @@
+#include "marlin/base/crc32.hh"
+
+#include <array>
+
+namespace marlin
+{
+
+namespace
+{
+
+/** Build the 256-entry table for the reflected IEEE polynomial. */
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crcTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = crcTable[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace marlin

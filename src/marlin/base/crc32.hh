@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+ *
+ * Used as the per-section integrity footer of version-2 checkpoint
+ * files: a torn write or a flipped byte is detected at load time
+ * instead of silently resuming training from corrupt state.
+ */
+
+#ifndef MARLIN_BASE_CRC32_HH
+#define MARLIN_BASE_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace marlin
+{
+
+/**
+ * Continue a CRC-32 computation over @p len bytes at @p data.
+ *
+ * @param crc Running checksum (pass 0 to start a fresh one).
+ * @return The updated checksum.
+ */
+std::uint32_t crc32(std::uint32_t crc, const void *data,
+                    std::size_t len);
+
+/** One-shot CRC-32 of a byte range. */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return crc32(0, data, len);
+}
+
+} // namespace marlin
+
+#endif // MARLIN_BASE_CRC32_HH

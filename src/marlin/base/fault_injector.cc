@@ -1,0 +1,87 @@
+#include "marlin/base/fault_injector.hh"
+
+#include <cstdio>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::base
+{
+
+StepCount
+FaultInjector::armKillAtRandomStep(StepCount lo, StepCount hi)
+{
+    MARLIN_ASSERT(lo <= hi, "kill-step range must satisfy lo <= hi");
+    const StepCount step = lo + rng.randint(hi - lo + 1);
+    armKillAtStep(step);
+    return step;
+}
+
+bool
+FaultInjector::onStep()
+{
+    ++steps;
+    return killArmed && steps >= killStep;
+}
+
+bool
+FaultInjector::onWrite()
+{
+    ++writes;
+    if (writeDead)
+        return false;
+    if (failArmed && writes >= failWrite) {
+        writeDead = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+corruptFileByte(const std::string &path, std::uint64_t offset,
+                unsigned char mask)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr)
+        return false;
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+        std::fclose(f);
+        return false;
+    }
+    int byte = std::fgetc(f);
+    if (byte == EOF) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, static_cast<long>(offset), SEEK_SET);
+    const unsigned char corrupted =
+        static_cast<unsigned char>(byte) ^ mask;
+    std::fputc(corrupted, f);
+    std::fclose(f);
+    return true;
+}
+
+FailpointStreambuf::int_type
+FailpointStreambuf::overflow(int_type ch)
+{
+    if (injector != nullptr && !injector->onWrite())
+        return traits_type::eof();
+    if (traits_type::eq_int_type(ch, traits_type::eof()))
+        return traits_type::not_eof(ch);
+    return inner->sputc(traits_type::to_char_type(ch));
+}
+
+std::streamsize
+FailpointStreambuf::xsputn(const char *s, std::streamsize n)
+{
+    if (injector != nullptr && !injector->onWrite())
+        return 0;
+    return inner->sputn(s, n);
+}
+
+int
+FailpointStreambuf::sync()
+{
+    return inner->pubsync();
+}
+
+} // namespace marlin::base

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection for crash-safety testing.
+ *
+ * Long MARL runs die in exactly three interesting ways: the process
+ * is killed mid-step, a checkpoint write fails partway through, or
+ * bytes of a checkpoint rot on disk. FaultInjector reproduces all
+ * three on demand, seeded so a failing test replays bit-identically:
+ *
+ *  - kill-at-step-N: the training loop polls onStep() once per
+ *    environment step and abandons the run when the armed step is
+ *    reached (equivalent to SIGKILL as far as on-disk state goes);
+ *  - fail-the-Kth-write: FailpointStreambuf wraps a checkpoint
+ *    stream and fails write K and everything after it, like a disk
+ *    going away mid-checkpoint;
+ *  - corrupt-byte-M: corruptFileByte() flips bits of a file in
+ *    place, exercising the CRC detection and latest->previous
+ *    fallback paths.
+ */
+
+#ifndef MARLIN_BASE_FAULT_INJECTOR_HH
+#define MARLIN_BASE_FAULT_INJECTOR_HH
+
+#include <streambuf>
+#include <string>
+
+#include "marlin/base/random.hh"
+
+namespace marlin::base
+{
+
+/** Seeded, reproducible source of injected faults. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 0) : rng(seed) {}
+
+    /** Arm a simulated kill at absolute environment step @p step. */
+    void
+    armKillAtStep(StepCount step)
+    {
+        killStep = step;
+        killArmed = true;
+    }
+
+    /**
+     * Arm a kill at a step drawn uniformly from [lo, hi] using the
+     * injector's own seeded stream.
+     * @return The chosen step, for test logging.
+     */
+    StepCount armKillAtRandomStep(StepCount lo, StepCount hi);
+
+    /**
+     * Training-loop hook, called once per environment step.
+     * @return true exactly when the armed kill step is reached (the
+     *         caller must then abandon the run without cleanup).
+     */
+    bool onStep();
+
+    /** Steps observed so far (survives disarm). */
+    StepCount stepsObserved() const { return steps; }
+
+    /** Arm a failure of the @p kth stream write (1-based). */
+    void
+    armFailAtWrite(std::uint64_t kth)
+    {
+        failWrite = kth;
+        failArmed = true;
+    }
+
+    /**
+     * Stream-wrapper hook, called before every buffered write.
+     * @return false when the write (and, sticky, every later one)
+     *         must fail.
+     */
+    bool onWrite();
+
+    std::uint64_t writesObserved() const { return writes; }
+
+    /** Disarm all pending faults (counters keep running). */
+    void
+    disarm()
+    {
+        killArmed = false;
+        failArmed = false;
+    }
+
+  private:
+    Rng rng;
+    StepCount killStep = 0;
+    bool killArmed = false;
+    StepCount steps = 0;
+    std::uint64_t failWrite = 0;
+    bool failArmed = false;
+    bool writeDead = false;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * XOR one byte of @p path at @p offset with @p mask in place.
+ * @return false when the file cannot be opened or is too short.
+ */
+bool corruptFileByte(const std::string &path, std::uint64_t offset,
+                     unsigned char mask = 0xff);
+
+/**
+ * streambuf decorator that consults a FaultInjector before every
+ * write. After the armed write fails the buffer stays dead, so the
+ * wrapped stream's badbit reports the failure to the checkpoint
+ * writer exactly like a real ENOSPC/EIO would.
+ */
+class FailpointStreambuf : public std::streambuf
+{
+  public:
+    /**
+     * @param inner_buf Destination buffer (not owned).
+     * @param injector Fault source (not owned; may be null = passthrough).
+     */
+    FailpointStreambuf(std::streambuf *inner_buf,
+                       FaultInjector *injector_in)
+        : inner(inner_buf), injector(injector_in)
+    {
+    }
+
+  protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char *s, std::streamsize n) override;
+    int sync() override;
+
+  private:
+    std::streambuf *inner;
+    FaultInjector *injector;
+};
+
+} // namespace marlin::base
+
+#endif // MARLIN_BASE_FAULT_INJECTOR_HH

@@ -88,4 +88,35 @@ debugLog(const char *fmt, ...)
     va_end(args);
 }
 
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "silent")
+        return LogLevel::Silent;
+    if (name == "fatal")
+        return LogLevel::Fatal;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "inform")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    fatal("unknown log level '%s' (expected silent, fatal, warn, "
+          "inform or debug)",
+          name.c_str());
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent: return "silent";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "inform";
+      case LogLevel::Debug: return "debug";
+    }
+    return "unknown";
+}
+
 } // namespace marlin

@@ -29,6 +29,15 @@ void setLogLevel(LogLevel level);
 /** Current global log threshold. */
 LogLevel logLevel();
 
+/**
+ * Parse a --log-level value ("silent", "fatal", "warn", "inform",
+ * "debug"); fatal on anything else.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Name of @p level, inverse of parseLogLevel. */
+const char *logLevelName(LogLevel level);
+
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

@@ -135,4 +135,24 @@ Rng::sampleIndicesDistinct(BufferIndex n, std::size_t count)
     return pool;
 }
 
+RngState
+Rng::state() const
+{
+    RngState snapshot;
+    for (int i = 0; i < 4; ++i)
+        snapshot.s[i] = s[i];
+    snapshot.haveSpare = have_spare;
+    snapshot.spare = spare;
+    return snapshot;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s[i] = state.s[i];
+    have_spare = state.haveSpare;
+    spare = state.spare;
+}
+
 } // namespace marlin

@@ -41,6 +41,19 @@ class SplitMix64
 };
 
 /**
+ * Complete serializable Rng state: the four xoshiro words plus the
+ * Box-Muller spare cache. Restoring this mid-run continues the
+ * stream bit-identically — including the parity of gaussian()
+ * draws — which full-state checkpointing depends on.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+/**
  * xoshiro256** PRNG with convenience distributions.
  *
  * All distribution helpers are deterministic functions of the stream,
@@ -100,6 +113,12 @@ class Rng
      */
     std::vector<BufferIndex> sampleIndicesDistinct(BufferIndex n,
                                                    std::size_t count);
+
+    /** Snapshot the full generator state for checkpointing. */
+    RngState state() const;
+
+    /** Restore a snapshot taken by state(). */
+    void setState(const RngState &state);
 
   private:
     std::uint64_t s[4];

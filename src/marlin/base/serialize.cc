@@ -3,6 +3,44 @@
 namespace marlin
 {
 
+std::int64_t
+remainingBytes(std::istream &is)
+{
+    const std::istream::pos_type here = is.tellg();
+    if (here == std::istream::pos_type(-1))
+        return -1;
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end == std::istream::pos_type(-1))
+        return -1;
+    return static_cast<std::int64_t>(end - here);
+}
+
+void
+checkLengthPrefix(std::istream &is, std::uint64_t count,
+                  std::size_t elem_size, const char *what)
+{
+    // Reject count * elem_size overflow outright: no honest writer
+    // produces a length the address space cannot hold.
+    if (elem_size != 0 &&
+        count > static_cast<std::uint64_t>(-1) / elem_size) {
+        fatal("corrupt checkpoint: %s length prefix %llu overflows",
+              what, static_cast<unsigned long long>(count));
+    }
+    const std::int64_t remaining = remainingBytes(is);
+    if (remaining < 0)
+        return; // Non-seekable stream: no cheap upper bound exists.
+    const std::uint64_t need = count * elem_size;
+    if (need > static_cast<std::uint64_t>(remaining)) {
+        fatal("corrupt checkpoint: %s length prefix %llu needs %llu "
+              "bytes but only %lld remain",
+              what, static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(need),
+              static_cast<long long>(remaining));
+    }
+}
+
 void
 writeString(std::ostream &os, const std::string &s)
 {
@@ -14,12 +52,33 @@ std::string
 readString(std::istream &is)
 {
     const auto len = readPod<std::uint64_t>(is);
+    checkLengthPrefix(is, len, 1, "string");
     std::string s(len, '\0');
     is.read(s.data(), static_cast<std::streamsize>(len));
     if (!is)
         fatal("checkpoint truncated while reading string of %llu",
               static_cast<unsigned long long>(len));
     return s;
+}
+
+void
+writeRngState(std::ostream &os, const RngState &state)
+{
+    for (std::uint64_t word : state.s)
+        writePod<std::uint64_t>(os, word);
+    writePod<std::uint8_t>(os, state.haveSpare ? 1 : 0);
+    writePod<double>(os, state.spare);
+}
+
+RngState
+readRngState(std::istream &is)
+{
+    RngState state;
+    for (auto &word : state.s)
+        word = readPod<std::uint64_t>(is);
+    state.haveSpare = readPod<std::uint8_t>(is) != 0;
+    state.spare = readPod<double>(is);
+    return state;
 }
 
 void

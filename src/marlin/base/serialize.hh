@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/random.hh"
 
 namespace marlin
 {
@@ -44,6 +45,21 @@ readPod(std::istream &is)
     return value;
 }
 
+/**
+ * Bytes left between the stream's read position and its end, or -1
+ * when the stream is not seekable. Used to reject corrupt length
+ * prefixes before they turn into multi-gigabyte allocations.
+ */
+std::int64_t remainingBytes(std::istream &is);
+
+/**
+ * Validate a length prefix claiming @p count elements of
+ * @p elem_size bytes against the bytes actually left in @p is;
+ * fatal with a clean corruption message on an absurd value.
+ */
+void checkLengthPrefix(std::istream &is, std::uint64_t count,
+                       std::size_t elem_size, const char *what);
+
 /** Write a vector of trivially-copyable values (u64 length prefix). */
 template <typename T>
 void
@@ -62,6 +78,7 @@ std::vector<T>
 readVector(std::istream &is)
 {
     const auto count = readPod<std::uint64_t>(is);
+    checkLengthPrefix(is, count, sizeof(T), "vector");
     std::vector<T> values(count);
     is.read(reinterpret_cast<char *>(values.data()),
             static_cast<std::streamsize>(count * sizeof(T)));
@@ -76,6 +93,12 @@ void writeString(std::ostream &os, const std::string &s);
 
 /** Read a length-prefixed string. */
 std::string readString(std::istream &is);
+
+/** Write a complete Rng snapshot (xoshiro words + gaussian spare). */
+void writeRngState(std::ostream &os, const RngState &state);
+
+/** Read an Rng snapshot written by writeRngState. */
+RngState readRngState(std::istream &is);
 
 /** Write a 4-byte magic + u32 version header. */
 void writeHeader(std::ostream &os, std::uint32_t magic,

@@ -40,6 +40,22 @@ enum class ActionMode
     Continuous
 };
 
+/**
+ * What the training runtime does when a non-finite (NaN/Inf) loss or
+ * gradient shows up in an update.
+ */
+enum class HealthGuardPolicy
+{
+    /** Count the event in TrainResult but change nothing (default). */
+    Off,
+    /** Stop the run; TrainResult reports the halt. */
+    Halt,
+    /** Drop the poisoned agent updates and keep training. */
+    SkipUpdate,
+    /** Restore the last checkpoint and continue from there. */
+    Rollback
+};
+
 /** Hyper-parameters shared by MADDPG and MATD3. */
 struct TrainConfig
 {
@@ -72,6 +88,14 @@ struct TrainConfig
     /** Continuous mode: OU exploration noise scale. */
     Real ouSigma = Real(0.2);
     std::uint64_t seed = 7;
+    /** Reaction to NaN/Inf losses or gradients during updates. */
+    HealthGuardPolicy healthPolicy = HealthGuardPolicy::Off;
+    /**
+     * Rollback policy only: rollbacks allowed before the run halts
+     * anyway (a deterministic NaN re-derives itself from restored
+     * state, so unbounded retries would loop forever).
+     */
+    std::size_t healthMaxRollbacks = 3;
 };
 
 } // namespace marlin::core

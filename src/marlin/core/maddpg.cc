@@ -1,9 +1,12 @@
 #include "marlin/core/maddpg.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/serialize.hh"
 #include "marlin/base/thread_pool.hh"
 #include "marlin/nn/loss.hh"
 #include "marlin/numeric/ops.hh"
@@ -232,6 +235,7 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
             stats.criticLoss += agentStats[i].criticLoss;
             stats.actorLoss += agentStats[i].actorLoss;
             stats.meanAbsTd += agentStats[i].meanAbsTd;
+            stats.nonFiniteCount += agentStats[i].nonFiniteCount;
         }
     }
 
@@ -310,7 +314,7 @@ CtdeTrainerBase::actionColumn(std::size_t i) const
     return sumObsDims + i * actDim;
 }
 
-void
+bool
 CtdeTrainerBase::criticActorStep(std::size_t i,
                                  const std::vector<AgentBatch> &batches,
                                  const replay::IndexPlan &plan,
@@ -320,8 +324,12 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
     AgentNetworks &net = *nets[i];
     std::vector<const Matrix *> scratch;
     const Matrix joint = buildJointCurrent(batches, scratch);
+    const HealthGuardPolicy policy = _config.healthPolicy;
 
     // ---- Critic (Q loss) ----
+    // Losses and loss gradients are computed before any backward /
+    // optimizer call so a NaN or Inf can be caught while the weights
+    // are still untouched.
     Matrix q1 = net.critic.forward(joint);
     Matrix dq;
     Real critic_loss;
@@ -330,18 +338,31 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
     } else {
         critic_loss = nn::weightedMseLoss(q1, y, plan.weights, dq);
     }
-    net.critic.backward(dq);
+    Matrix dq2;
     if (net.critic2) {
         Matrix q2 = net.critic2->forward(joint);
-        Matrix dq2;
         if (plan.weights.empty()) {
             critic_loss += nn::mseLoss(q2, y, dq2);
         } else {
             critic_loss +=
                 nn::weightedMseLoss(q2, y, plan.weights, dq2);
         }
-        net.critic2->backward(dq2);
     }
+    const bool critic_healthy =
+        std::isfinite(critic_loss) && !numeric::hasNonFinite(dq) &&
+        (net.critic2 == nullptr || !numeric::hasNonFinite(dq2));
+    if (!critic_healthy) {
+        ++stats.nonFiniteCount;
+        if (policy != HealthGuardPolicy::Off) {
+            // Poisoned TD errors must not reach the sampler
+            // priorities either, so the whole agent step is dropped.
+            net.criticOpt.zeroGrad();
+            return false;
+        }
+    }
+    net.critic.backward(dq);
+    if (net.critic2)
+        net.critic2->backward(dq2);
     net.criticOpt.step();
     stats.criticLoss += critic_loss;
 
@@ -365,7 +386,7 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
     }
 
     if (!update_actor)
-        return;
+        return critic_healthy;
 
     // ---- Actor (P loss) ----
     // Differentiable path: replace agent i's stored action block
@@ -422,9 +443,84 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
         d_logits = d_soft;
     }
 
+    const bool actor_healthy =
+        std::isfinite(actor_loss) && !numeric::hasNonFinite(d_logits);
+    if (!actor_healthy) {
+        ++stats.nonFiniteCount;
+        if (policy != HealthGuardPolicy::Off) {
+            net.actorOpt.zeroGrad();
+            return false;
+        }
+    }
     net.actor.backward(d_logits);
     net.actorOpt.step();
     stats.actorLoss += actor_loss;
+    return critic_healthy && actor_healthy;
+}
+
+void
+CtdeTrainerBase::saveRuntimeState(std::ostream &os) const
+{
+    writePod<std::uint64_t>(os, updates);
+    writeRngState(os, rng.state());
+
+    writePod<std::uint64_t>(os, agentRngs.size());
+    for (const Rng &r : agentRngs)
+        writeRngState(os, r.state());
+
+    writePod<std::uint64_t>(os, ouNoise.size());
+    for (const OrnsteinUhlenbeckNoise &n : ouNoise)
+        writeVector(os, n.state());
+
+    // Sampler state is opaque to this layer: each sampler serializes
+    // into its own length-prefixed blob so a sampler with no state
+    // (uniform) costs 8 bytes and stays skippable.
+    writePod<std::uint64_t>(os, samplers.size());
+    for (const auto &sampler : samplers) {
+        std::ostringstream blob;
+        sampler->saveState(blob);
+        writeString(os, blob.str());
+    }
+
+    saveExtraState(os);
+}
+
+void
+CtdeTrainerBase::loadRuntimeState(std::istream &is)
+{
+    updates = readPod<std::uint64_t>(is);
+    rng.setState(readRngState(is));
+
+    const auto n_rngs = readPod<std::uint64_t>(is);
+    if (n_rngs != agentRngs.size()) {
+        fatal("checkpoint has %llu agent RNG streams, trainer has %zu",
+              static_cast<unsigned long long>(n_rngs),
+              agentRngs.size());
+    }
+    for (Rng &r : agentRngs)
+        r.setState(readRngState(is));
+
+    const auto n_noise = readPod<std::uint64_t>(is);
+    if (n_noise != ouNoise.size()) {
+        fatal("checkpoint has %llu OU noise states, trainer has %zu",
+              static_cast<unsigned long long>(n_noise),
+              ouNoise.size());
+    }
+    for (OrnsteinUhlenbeckNoise &n : ouNoise)
+        n.setState(readVector<Real>(is));
+
+    const auto n_samplers = readPod<std::uint64_t>(is);
+    if (n_samplers != samplers.size()) {
+        fatal("checkpoint has %llu sampler states, trainer has %zu",
+              static_cast<unsigned long long>(n_samplers),
+              samplers.size());
+    }
+    for (auto &sampler : samplers) {
+        std::istringstream blob(readString(is));
+        sampler->loadState(blob);
+    }
+
+    loadExtraState(is);
 }
 
 MaddpgTrainer::MaddpgTrainer(std::vector<std::size_t> obs_dims,
@@ -455,8 +551,8 @@ MaddpgTrainer::updateAgent(std::size_t i,
     }
     {
         ScopedPhase sp(timer, Phase::QPLoss);
-        criticActorStep(i, batches, plan, y, true, stats);
-        nets[i]->softUpdateTargets(_config.tau);
+        if (criticActorStep(i, batches, plan, y, true, stats))
+            nets[i]->softUpdateTargets(_config.tau);
     }
 }
 

@@ -14,6 +14,8 @@
 #ifndef MARLIN_CORE_MADDPG_HH
 #define MARLIN_CORE_MADDPG_HH
 
+#include <iosfwd>
+
 #include "marlin/core/agent_networks.hh"
 #include "marlin/core/noise.hh"
 #include "marlin/core/trainer.hh"
@@ -72,6 +74,27 @@ class CtdeTrainerBase : public Trainer
     /** Per-agent replay shapes matching this trainer. */
     std::vector<replay::TransitionShape> transitionShapes() const;
 
+    /**
+     * Serialize everything mutable besides the networks: the shared
+     * and per-agent RNG streams, OU noise processes, the update
+     * counter, per-agent sampler state, and subclass extras (MATD3's
+     * policy-delay counters). Together with the network checkpoint
+     * and the replay contents this pins the trainer so a resumed run
+     * continues bit-identically.
+     */
+    void saveRuntimeState(std::ostream &os) const;
+
+    /** Restore state written by saveRuntimeState. */
+    void loadRuntimeState(std::istream &is);
+
+    /** Architecture fingerprint written into checkpoint metadata. */
+    const std::vector<std::size_t> &observationDims() const
+    {
+        return obsDims;
+    }
+    std::size_t actionDim() const { return actDim; }
+    bool twinCritic() const { return nets[0]->critic2 != nullptr; }
+
   protected:
     /**
      * Per-agent algorithm step, called inside update() after the
@@ -123,11 +146,21 @@ class CtdeTrainerBase : public Trainer
      * Critic-loss + actor-loss + optimizer step shared by both
      * algorithms (MATD3 passes its twin critic and defers the actor
      * by gating @p update_actor).
+     *
+     * Losses and loss gradients are screened for NaN/Inf before the
+     * optimizers apply them. @return false when a non-finite value
+     * was found (the caller must then skip the target soft update);
+     * under any policy except HealthGuardPolicy::Off the poisoned
+     * step is dropped before it can touch the weights.
      */
-    void criticActorStep(std::size_t i,
+    bool criticActorStep(std::size_t i,
                          const std::vector<AgentBatch> &batches,
                          const replay::IndexPlan &plan, const Matrix &y,
                          bool update_actor, UpdateStats &stats);
+
+    /** Subclass hook: extra runtime state (MATD3 criticSteps). */
+    virtual void saveExtraState(std::ostream &os) const { (void)os; }
+    virtual void loadExtraState(std::istream &is) { (void)is; }
 
     TrainConfig _config;
     std::vector<std::size_t> obsDims;

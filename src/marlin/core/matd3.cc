@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "marlin/base/serialize.hh"
 #include "marlin/numeric/ops.hh"
 
 namespace marlin::core
@@ -81,10 +82,29 @@ Matd3Trainer::updateAgent(std::size_t i,
         const bool update_actor =
             (criticSteps[i] % std::max<std::size_t>(
                                   1, _config.policyDelay)) == 0;
-        criticActorStep(i, batches, plan, y, update_actor, stats);
-        if (update_actor)
+        const bool healthy =
+            criticActorStep(i, batches, plan, y, update_actor, stats);
+        if (update_actor && healthy)
             net.softUpdateTargets(_config.tau);
     }
+}
+
+void
+Matd3Trainer::saveExtraState(std::ostream &os) const
+{
+    writeVector(os, criticSteps);
+}
+
+void
+Matd3Trainer::loadExtraState(std::istream &is)
+{
+    const std::vector<StepCount> steps = readVector<StepCount>(is);
+    if (steps.size() != criticSteps.size()) {
+        fatal("checkpoint has %zu policy-delay counters, trainer "
+              "has %zu",
+              steps.size(), criticSteps.size());
+    }
+    criticSteps = steps;
 }
 
 } // namespace marlin::core

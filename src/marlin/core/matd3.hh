@@ -40,6 +40,10 @@ class Matd3Trainer : public CtdeTrainerBase
     targetNextActions(const std::vector<AgentBatch> &batches,
                       Rng &noise_rng) override;
 
+    /** Persist the policy-delay counters across resume. */
+    void saveExtraState(std::ostream &os) const override;
+    void loadExtraState(std::istream &is) override;
+
   private:
     /** Per-agent critic-update counters driving the policy delay. */
     std::vector<StepCount> criticSteps;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "marlin/base/logging.hh"
+
 namespace marlin::core
 {
 
@@ -38,6 +40,14 @@ void
 OrnsteinUhlenbeckNoise::reset()
 {
     std::fill(x.begin(), x.end(), Real(0));
+}
+
+void
+OrnsteinUhlenbeckNoise::setState(std::vector<Real> state)
+{
+    MARLIN_ASSERT(state.size() == x.size(),
+                  "OU noise state dimension mismatch");
+    x = std::move(state);
 }
 
 } // namespace marlin::core

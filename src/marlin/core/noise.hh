@@ -53,6 +53,9 @@ class OrnsteinUhlenbeckNoise
 
     const std::vector<Real> &state() const { return x; }
 
+    /** Restore a state snapshot (checkpoint resume). */
+    void setState(std::vector<Real> state);
+
   private:
     Real theta;
     Real sigma;

@@ -43,6 +43,25 @@ TrainLoop::TrainLoop(env::Environment &environment_in,
     }
 }
 
+void
+TrainLoop::setCheckpointing(CheckpointOptions options)
+{
+    if (!options.dir.empty()) {
+        MARLIN_ASSERT(
+            dynamic_cast<CtdeTrainerBase *>(&trainer) != nullptr,
+            "checkpointing requires a CtdeTrainerBase trainer");
+        MARLIN_ASSERT(options.everyEpisodes > 0,
+                      "checkpoint cadence must be at least 1");
+    }
+    ckptOptions = std::move(options);
+}
+
+void
+TrainLoop::setFaultInjector(base::FaultInjector *injector_in)
+{
+    injector = injector_in;
+}
+
 std::vector<Real>
 TrainLoop::oneHotAction(int action) const
 {
@@ -51,18 +70,91 @@ TrainLoop::oneHotAction(int action) const
     return onehot;
 }
 
+RunState
+TrainLoop::runState(CtdeTrainerBase *ctde)
+{
+    RunState state;
+    state.trainer = ctde;
+    state.buffers = &buffers;
+    state.store = store.get();
+    state.environment = &environment;
+    state.progress = &progress;
+    return state;
+}
+
+TrainResult &
+TrainLoop::finish(TrainResult &result)
+{
+    result.episodeRewards = progress.episodeRewards;
+    result.envSteps = progress.envSteps;
+    result.updateCalls = progress.updateCalls;
+    const std::size_t done = result.episodeRewards.size();
+    if (done > 0) {
+        // Final score: mean over the last 10% (at least one episode).
+        const std::size_t tail = std::max<std::size_t>(1, done / 10);
+        Real total = 0;
+        for (std::size_t e = done - tail; e < done; ++e)
+            total += result.episodeRewards[e];
+        result.finalScore = total / static_cast<Real>(tail);
+    }
+    return result;
+}
+
 TrainResult
 TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
 {
     TrainResult result;
-    result.episodeRewards.reserve(episodes);
     const std::size_t n = environment.numAgents();
+    const bool checkpointing = !ckptOptions.dir.empty();
+    auto *ctde = dynamic_cast<CtdeTrainerBase *>(&trainer);
 
-    for (std::size_t episode = 0; episode < episodes; ++episode) {
+    if (config.healthPolicy == HealthGuardPolicy::Rollback &&
+        !checkpointing) {
+        fatal("HealthGuardPolicy::Rollback requires a checkpoint "
+              "directory (TrainLoop::setCheckpointing)");
+    }
+
+    if (checkpointing && ckptOptions.resume) {
+        const CkptResult resumed =
+            resumeLatest(ckptOptions.dir, runState(ctde));
+        if (resumed) {
+            result.resumedFromEpisode =
+                static_cast<std::size_t>(progress.episodeIndex);
+            inform("resumed from '%s' at episode %llu",
+                   resumed.path.c_str(),
+                   static_cast<unsigned long long>(
+                       progress.episodeIndex));
+        } else if (resumed.error != CkptError::NotFound) {
+            // Both generations exist but neither loads: refuse to
+            // train on, or the rotation would overwrite the only
+            // evidence of what went wrong.
+            fatal("no usable checkpoint in '%s' (%s: %s)",
+                  ckptOptions.dir.c_str(),
+                  ckptErrorName(resumed.error),
+                  resumed.detail.c_str());
+        }
+    }
+
+    // Rollback budget for this run() call. Deliberately not part of
+    // the serialized progress: a rollback restores pre-poisoning
+    // state, so a resumed process fairly starts with a fresh budget.
+    std::size_t rollbacks_left = config.healthMaxRollbacks;
+
+    while (progress.episodeIndex < episodes) {
+        const auto episode =
+            static_cast<std::size_t>(progress.episodeIndex);
         std::vector<std::vector<Real>> obs = environment.reset();
         Real episode_reward = 0;
+        bool rolled_back = false;
 
         for (std::size_t t = 0; t < config.maxEpisodeLength; ++t) {
+            if (injector != nullptr && injector->onStep()) {
+                // Simulated SIGKILL: abandon everything in memory.
+                // On-disk checkpoints are whatever the last
+                // completed rotation left behind.
+                result.killed = true;
+                return finish(result);
+            }
             const bool continuous =
                 config.actionMode == ActionMode::Continuous;
             std::vector<int> actions;
@@ -89,7 +181,7 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
                     step = environment.step(actions);
                 }
             }
-            ++result.envSteps;
+            ++progress.envSteps;
 
             std::vector<std::vector<Real>> onehots(n);
             for (std::size_t i = 0; i < n; ++i) {
@@ -111,7 +203,7 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
                 store->append(obs, onehots, step.rewards,
                               step.observations, step.dones);
             }
-            ++insertionsSinceUpdate;
+            ++progress.insertionsSinceUpdate;
 
             for (Real r : step.rewards)
                 episode_reward += r / static_cast<Real>(n);
@@ -121,27 +213,87 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
                 buffers.size() >= config.warmupTransitions &&
                 buffers.size() >=
                     static_cast<BufferIndex>(config.batchSize);
-            if (warm && insertionsSinceUpdate >= config.updateEvery) {
-                insertionsSinceUpdate = 0;
-                trainer.update(buffers, store.get(), result.timer);
-                ++result.updateCalls;
+            if (warm && progress.insertionsSinceUpdate >=
+                            config.updateEvery) {
+                progress.insertionsSinceUpdate = 0;
+                const UpdateStats stats =
+                    trainer.update(buffers, store.get(),
+                                   result.timer);
+                ++progress.updateCalls;
+                if (stats.nonFiniteCount > 0) {
+                    result.nonFiniteUpdates += stats.nonFiniteCount;
+                    switch (config.healthPolicy) {
+                      case HealthGuardPolicy::Off:
+                      case HealthGuardPolicy::SkipUpdate:
+                        // Off applied the poisoned update anyway;
+                        // SkipUpdate already dropped it inside the
+                        // trainer. Either way the run continues.
+                        break;
+                      case HealthGuardPolicy::Halt:
+                        warn("non-finite loss/gradient in update "
+                             "%llu: halting",
+                             static_cast<unsigned long long>(
+                                 progress.updateCalls));
+                        result.halted = true;
+                        return finish(result);
+                      case HealthGuardPolicy::Rollback: {
+                        if (rollbacks_left == 0) {
+                            warn("non-finite loss/gradient persists "
+                                 "after %zu rollbacks: halting",
+                                 config.healthMaxRollbacks);
+                            result.halted = true;
+                            return finish(result);
+                        }
+                        --rollbacks_left;
+                        ++result.rollbacks;
+                        const CkptResult restored = resumeLatest(
+                            ckptOptions.dir, runState(ctde));
+                        if (!restored) {
+                            warn("rollback found no usable "
+                                 "checkpoint (%s): halting",
+                                 ckptErrorName(restored.error));
+                            result.halted = true;
+                            return finish(result);
+                        }
+                        warn("non-finite loss/gradient: rolled "
+                             "back to '%s' (episode %llu)",
+                             restored.path.c_str(),
+                             static_cast<unsigned long long>(
+                                 progress.episodeIndex));
+                        rolled_back = true;
+                        break;
+                      }
+                    }
+                }
             }
+            if (rolled_back)
+                break;
         }
 
-        result.episodeRewards.push_back(episode_reward);
+        if (rolled_back)
+            continue; // Progress was reloaded; restart from there.
+
+        progress.episodeRewards.push_back(episode_reward);
+        ++progress.episodeIndex;
         if (callback)
             callback({episode, episode_reward, 0});
+
+        if (checkpointing &&
+            progress.episodeIndex % ckptOptions.everyEpisodes == 0) {
+            const CkptResult saved = saveRotating(
+                ckptOptions.dir, runState(ctde), injector);
+            if (!saved) {
+                warn("checkpoint at episode %llu failed (%s: %s); "
+                     "training continues on the previous snapshot",
+                     static_cast<unsigned long long>(
+                         progress.episodeIndex),
+                     ckptErrorName(saved.error),
+                     saved.detail.c_str());
+            }
+        }
     }
 
-    // Final score: mean over the last 10% (at least one episode).
-    const std::size_t tail =
-        std::max<std::size_t>(1, episodes / 10);
-    Real total = 0;
-    for (std::size_t e = episodes - tail; e < episodes; ++e)
-        total += result.episodeRewards[e];
-    result.finalScore = episodes ? total / static_cast<Real>(tail)
-                                 : Real(0);
-    return result;
+    return finish(result);
 }
 
 } // namespace marlin::core

@@ -3,6 +3,12 @@
  * End-to-end training loop with the paper's phase structure:
  * action selection -> environment step -> replay insertion ->
  * (periodically) update all trainers.
+ *
+ * The loop is crash-safe: with checkpointing enabled it rotates a
+ * full-state snapshot (networks, replay, RNG streams, progress)
+ * every N episodes, auto-resumes from the newest loadable snapshot,
+ * and a run killed at an arbitrary step then resumed reproduces the
+ * uninterrupted run's episode rewards bit-for-bit.
  */
 
 #ifndef MARLIN_CORE_TRAIN_LOOP_HH
@@ -11,6 +17,7 @@
 #include <functional>
 #include <memory>
 
+#include "marlin/core/checkpoint.hh"
 #include "marlin/core/trainer.hh"
 #include "marlin/env/environment.hh"
 
@@ -20,7 +27,11 @@ namespace marlin::core
 /** Outcome of a training run. */
 struct TrainResult
 {
-    /** Mean (over agents) episode return, one entry per episode. */
+    /**
+     * Mean (over agents) episode return, one entry per episode —
+     * including episodes restored from a checkpoint on resume, so a
+     * resumed run's vector lines up with an uninterrupted one.
+     */
     std::vector<Real> episodeRewards;
     /** Accumulated phase timings for the whole run. */
     profile::PhaseTimer timer;
@@ -28,6 +39,16 @@ struct TrainResult
     StepCount updateCalls = 0;
     /** Mean reward over the final 10% of episodes. */
     Real finalScore = 0;
+    /** An armed fault injector killed the run mid-episode. */
+    bool killed = false;
+    /** A health guard stopped the run (Halt, or rollback budget). */
+    bool halted = false;
+    /** Agent updates that saw a non-finite loss or gradient. */
+    std::size_t nonFiniteUpdates = 0;
+    /** Checkpoint rollbacks taken by HealthGuardPolicy::Rollback. */
+    std::size_t rollbacks = 0;
+    /** Episode the run resumed from (0 when started fresh). */
+    std::size_t resumedFromEpisode = 0;
 };
 
 /** Per-episode progress callback. */
@@ -39,6 +60,17 @@ struct EpisodeInfo
 };
 
 using EpisodeCallback = std::function<void(const EpisodeInfo &)>;
+
+/** Where and how often the loop checkpoints itself. */
+struct CheckpointOptions
+{
+    /** Directory for latest/previous rotation; empty disables. */
+    std::string dir;
+    /** Episodes between snapshots. */
+    std::size_t everyEpisodes = 1;
+    /** Try resumeLatest() before training starts. */
+    bool resume = true;
+};
 
 /**
  * Owns the replay storage and drives the environment/trainer pair.
@@ -58,7 +90,28 @@ class TrainLoop
     TrainLoop(env::Environment &environment, Trainer &trainer,
               TrainConfig config);
 
-    /** Train for @p episodes episodes. */
+    /**
+     * Enable rotating full-state checkpoints. Requires a trainer
+     * derived from CtdeTrainerBase (both shipped algorithms are).
+     */
+    void setCheckpointing(CheckpointOptions options);
+
+    /**
+     * Attach a fault injector: the loop polls onStep() once per
+     * environment step and abandons the run (result.killed) when a
+     * kill fires, without any cleanup — on-disk state is left
+     * exactly as a SIGKILL would leave it. The injector is also
+     * consulted for checkpoint write failures. Not owned; pass
+     * nullptr to detach.
+     */
+    void setFaultInjector(base::FaultInjector *injector);
+
+    /**
+     * Train until @p episodes episodes have completed (including
+     * episodes restored on resume). Progress lives in the loop, so
+     * a kill + fresh TrainLoop + resume continues where the last
+     * checkpoint left off.
+     */
     TrainResult run(std::size_t episodes,
                     const EpisodeCallback &callback = nullptr);
 
@@ -71,16 +124,31 @@ class TrainLoop
         return store.get();
     }
 
+    /** Episodes completed so far (survives checkpoint/resume). */
+    std::size_t episodesCompleted() const
+    {
+        return static_cast<std::size_t>(progress.episodeIndex);
+    }
+
   private:
     env::Environment &environment;
     Trainer &trainer;
     TrainConfig config;
     replay::MultiAgentBuffer buffers;
     std::unique_ptr<replay::InterleavedReplayStore> store;
-    StepCount insertionsSinceUpdate = 0;
+    /** Resumable run progress (serialized in the LOOP section). */
+    LoopProgress progress;
+    CheckpointOptions ckptOptions;
+    base::FaultInjector *injector = nullptr;
 
     /** One-hot encode a discrete action. */
     std::vector<Real> oneHotAction(int action) const;
+
+    /** RunState bundle over this loop's members. */
+    RunState runState(CtdeTrainerBase *ctde);
+
+    /** Fill result from progress and compute the final score. */
+    TrainResult &finish(TrainResult &result);
 };
 
 } // namespace marlin::core

@@ -28,6 +28,14 @@ struct UpdateStats
     Real criticLoss = 0;
     Real actorLoss = 0;
     Real meanAbsTd = 0;
+    /**
+     * Agent updates in which a non-finite loss or gradient was
+     * detected this call (0 on a healthy update). Under
+     * HealthGuardPolicy::Off the poisoned updates were applied
+     * anyway; under every other policy they were skipped before
+     * touching the weights.
+     */
+    std::size_t nonFiniteCount = 0;
 };
 
 /**

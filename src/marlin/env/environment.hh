@@ -74,6 +74,15 @@ class Environment
      */
     StepResult stepContinuous(const std::vector<Vec2> &forces);
 
+    /**
+     * Snapshot / restore the environment RNG stream. At an episode
+     * boundary this is the environment's only live state (reset()
+     * rebuilds the world from the stream), so checkpointing it makes
+     * resumed runs replay resets bit-identically.
+     */
+    RngState rngState() const { return rng.state(); }
+    void setRngState(const RngState &state) { rng.setState(state); }
+
   private:
     std::unique_ptr<Scenario> _scenario;
     World _world;

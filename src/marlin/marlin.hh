@@ -8,6 +8,8 @@
 #define MARLIN_MARLIN_HH
 
 #include "marlin/base/args.hh"
+#include "marlin/base/crc32.hh"
+#include "marlin/base/fault_injector.hh"
 #include "marlin/base/logging.hh"
 #include "marlin/base/random.hh"
 #include "marlin/base/string_utils.hh"

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "marlin/base/serialize.hh"
+
 namespace marlin::replay
 {
 
@@ -131,6 +133,47 @@ InterleavedReplayStore::gatherAllAgents(const IndexPlan &plan,
             dst.dones(b, 0) = *src;
         }
     }
+}
+
+void
+InterleavedReplayStore::saveState(std::ostream &os) const
+{
+    writePod<std::uint64_t>(os, stride);
+    writePod<std::uint64_t>(os, _capacity);
+    writePod<std::uint64_t>(os, _size);
+    writePod<std::uint64_t>(os, pos);
+    os.write(reinterpret_cast<const char *>(data.data()),
+             static_cast<std::streamsize>(_size * stride *
+                                          sizeof(Real)));
+}
+
+void
+InterleavedReplayStore::loadState(std::istream &is)
+{
+    const auto file_stride = readPod<std::uint64_t>(is);
+    const auto capacity = readPod<std::uint64_t>(is);
+    if (file_stride != stride || capacity != _capacity) {
+        fatal("interleaved checkpoint layout (stride %llu, cap %llu) "
+              "does not match store (stride %zu, cap %zu)",
+              static_cast<unsigned long long>(file_stride),
+              static_cast<unsigned long long>(capacity), stride,
+              _capacity);
+    }
+    const auto size = readPod<std::uint64_t>(is);
+    const auto cursor = readPod<std::uint64_t>(is);
+    if (size > _capacity || cursor >= _capacity) {
+        fatal("interleaved checkpoint cursors (size %llu, pos %llu) "
+              "exceed capacity %zu",
+              static_cast<unsigned long long>(size),
+              static_cast<unsigned long long>(cursor), _capacity);
+    }
+    _size = size;
+    pos = cursor;
+    is.read(reinterpret_cast<char *>(data.data()),
+            static_cast<std::streamsize>(_size * stride *
+                                         sizeof(Real)));
+    if (!is)
+        fatal("checkpoint truncated while reading interleaved store");
 }
 
 } // namespace marlin::replay

@@ -11,6 +11,7 @@
 #ifndef MARLIN_REPLAY_INTERLEAVED_STORE_HH
 #define MARLIN_REPLAY_INTERLEAVED_STORE_HH
 
+#include <iosfwd>
 #include <vector>
 
 #include "marlin/replay/gather.hh"
@@ -75,6 +76,12 @@ class InterleavedReplayStore
 
     /** Start address of record @p t (valid while the store lives). */
     const Real *record(BufferIndex t) const { return data.data() + t * stride; }
+
+    /** Serialize cursors + the valid record region [0, size). */
+    void saveState(std::ostream &os) const;
+
+    /** Restore state written by saveState on a matching layout. */
+    void loadState(std::istream &is);
 
   private:
     /** Per-agent scalar offsets inside one record. */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/serialize.hh"
 
 namespace marlin::replay
 {
@@ -78,6 +79,20 @@ PrioritizedSampler::updatePriorities(
                      static_cast<double>(_config.alpha));
         _tree.set(priority_ids[i] % _config.capacity, p);
     }
+}
+
+void
+PrioritizedSampler::saveState(std::ostream &os) const
+{
+    writePod<Real>(os, beta);
+    _tree.saveState(os);
+}
+
+void
+PrioritizedSampler::loadState(std::istream &is)
+{
+    beta = readPod<Real>(is);
+    _tree.loadState(is);
 }
 
 } // namespace marlin::replay

@@ -49,6 +49,9 @@ class PrioritizedSampler : public Sampler
     void updatePriorities(const std::vector<BufferIndex> &priority_ids,
                           const std::vector<Real> &td_errors) override;
 
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
+
     const PerConfig &config() const { return _config; }
     const SumTree &tree() const { return _tree; }
     Real currentBeta() const { return beta; }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/serialize.hh"
 
 namespace marlin::replay
 {
@@ -121,6 +122,34 @@ RankBasedSampler::plan(BufferIndex buffer_size, std::size_t batch,
     if (_config.betaAnneal > Real(0))
         beta = std::min(Real(1), beta + _config.betaAnneal);
     return out;
+}
+
+void
+RankBasedSampler::saveState(std::ostream &os) const
+{
+    writePod<Real>(os, beta);
+    writeVector(os, tdError);
+    writeVector(os, order);
+    writePod<std::uint8_t>(os, dirty ? 1 : 0);
+    writePod<std::uint64_t>(os, plansSinceSort);
+    writePod<std::uint64_t>(os, resortInterval);
+    writePod<std::uint64_t>(os, known);
+    writePod<Real>(os, maxTd);
+    writeVector(os, cumulative);
+}
+
+void
+RankBasedSampler::loadState(std::istream &is)
+{
+    beta = readPod<Real>(is);
+    tdError = readVector<Real>(is);
+    order = readVector<BufferIndex>(is);
+    dirty = readPod<std::uint8_t>(is) != 0;
+    plansSinceSort = readPod<std::uint64_t>(is);
+    resortInterval = readPod<std::uint64_t>(is);
+    known = readPod<std::uint64_t>(is);
+    maxTd = readPod<Real>(is);
+    cumulative = readVector<double>(is);
 }
 
 } // namespace marlin::replay

@@ -2,8 +2,39 @@
 
 #include <cstring>
 
+#include "marlin/base/serialize.hh"
+
 namespace marlin::replay
 {
+
+namespace
+{
+
+/** Write the first @p count elements of @p data (no length prefix). */
+void
+writeRegion(std::ostream &os, const std::vector<Real> &data,
+            std::size_t count)
+{
+    os.write(reinterpret_cast<const char *>(data.data()),
+             static_cast<std::streamsize>(count * sizeof(Real)));
+}
+
+/** Read @p count elements into the front of @p data. */
+void
+readRegion(std::istream &is, std::vector<Real> &data,
+           std::size_t count)
+{
+    MARLIN_ASSERT(count <= data.size(),
+                  "checkpoint region exceeds buffer storage");
+    is.read(reinterpret_cast<char *>(data.data()),
+            static_cast<std::streamsize>(count * sizeof(Real)));
+    if (!is)
+        fatal("checkpoint truncated while reading replay region of "
+              "%zu scalars",
+              count);
+}
+
+} // namespace
 
 ReplayBuffer::ReplayBuffer(TransitionShape shape, BufferIndex capacity)
     : _shape(shape), _capacity(capacity)
@@ -107,6 +138,75 @@ MultiAgentBuffer::storageBytes() const
     for (const ReplayBuffer &b : buffers)
         total += b.storageBytes();
     return total;
+}
+
+void
+ReplayBuffer::saveState(std::ostream &os) const
+{
+    writePod<std::uint64_t>(os, _shape.obsDim);
+    writePod<std::uint64_t>(os, _shape.actDim);
+    writePod<std::uint64_t>(os, _capacity);
+    writePod<std::uint64_t>(os, _size);
+    writePod<std::uint64_t>(os, pos);
+    // Valid transitions always occupy slots [0, size): the ring
+    // cursor wraps only once every slot has been written.
+    writeRegion(os, obsData, _size * _shape.obsDim);
+    writeRegion(os, actData, _size * _shape.actDim);
+    writeRegion(os, rewData, _size);
+    writeRegion(os, nextObsData, _size * _shape.obsDim);
+    writeRegion(os, doneData, _size);
+}
+
+void
+ReplayBuffer::loadState(std::istream &is)
+{
+    const auto obs_dim = readPod<std::uint64_t>(is);
+    const auto act_dim = readPod<std::uint64_t>(is);
+    const auto capacity = readPod<std::uint64_t>(is);
+    if (obs_dim != _shape.obsDim || act_dim != _shape.actDim ||
+        capacity != _capacity) {
+        fatal("replay checkpoint shape (%llu, %llu, cap %llu) does "
+              "not match buffer (%zu, %zu, cap %zu)",
+              static_cast<unsigned long long>(obs_dim),
+              static_cast<unsigned long long>(act_dim),
+              static_cast<unsigned long long>(capacity),
+              _shape.obsDim, _shape.actDim, _capacity);
+    }
+    const auto size = readPod<std::uint64_t>(is);
+    const auto cursor = readPod<std::uint64_t>(is);
+    if (size > _capacity || cursor >= _capacity) {
+        fatal("replay checkpoint cursors (size %llu, pos %llu) "
+              "exceed capacity %zu",
+              static_cast<unsigned long long>(size),
+              static_cast<unsigned long long>(cursor), _capacity);
+    }
+    _size = size;
+    pos = cursor;
+    readRegion(is, obsData, _size * _shape.obsDim);
+    readRegion(is, actData, _size * _shape.actDim);
+    readRegion(is, rewData, _size);
+    readRegion(is, nextObsData, _size * _shape.obsDim);
+    readRegion(is, doneData, _size);
+}
+
+void
+MultiAgentBuffer::saveState(std::ostream &os) const
+{
+    writePod<std::uint64_t>(os, buffers.size());
+    for (const ReplayBuffer &b : buffers)
+        b.saveState(os);
+}
+
+void
+MultiAgentBuffer::loadState(std::istream &is)
+{
+    const auto count = readPod<std::uint64_t>(is);
+    if (count != buffers.size()) {
+        fatal("replay checkpoint has %llu agents, buffer set has %zu",
+              static_cast<unsigned long long>(count), buffers.size());
+    }
+    for (ReplayBuffer &b : buffers)
+        b.loadState(is);
 }
 
 } // namespace marlin::replay

@@ -11,6 +11,7 @@
 #ifndef MARLIN_REPLAY_REPLAY_BUFFER_HH
 #define MARLIN_REPLAY_REPLAY_BUFFER_HH
 
+#include <iosfwd>
 #include <vector>
 
 #include "marlin/base/logging.hh"
@@ -82,6 +83,15 @@ class ReplayBuffer
     /** Total bytes of transition storage (for working-set reports). */
     std::size_t storageBytes() const;
 
+    /**
+     * Serialize shape, cursors and the valid transition region
+     * (slots [0, size) — the ring only ever holds valid data there).
+     */
+    void saveState(std::ostream &os) const;
+
+    /** Restore state written by saveState on a same-shape buffer. */
+    void loadState(std::istream &is);
+
   private:
     TransitionShape _shape;
     BufferIndex _capacity;
@@ -132,6 +142,12 @@ class MultiAgentBuffer
 
     /** Sum of per-agent storage. */
     std::size_t storageBytes() const;
+
+    /** Serialize every agent's buffer state. */
+    void saveState(std::ostream &os) const;
+
+    /** Restore state written by saveState (same shapes/capacity). */
+    void loadState(std::istream &is);
 
   private:
     BufferIndex _capacity;

@@ -13,6 +13,7 @@
 #ifndef MARLIN_REPLAY_SAMPLER_HH
 #define MARLIN_REPLAY_SAMPLER_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,16 @@ class Sampler
                      const std::vector<Real> &td_errors)
     {
     }
+
+    /**
+     * Serialize all mutable sampler state (priority trees, anneal
+     * counters...) so a resumed run replans bit-identically.
+     * Stateless samplers write nothing.
+     */
+    virtual void saveState(std::ostream &os) const { (void)os; }
+
+    /** Restore state written by saveState() on a matching sampler. */
+    virtual void loadState(std::istream &is) { (void)is; }
 };
 
 } // namespace marlin::replay

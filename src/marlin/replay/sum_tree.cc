@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "marlin/base/logging.hh"
+#include "marlin/base/serialize.hh"
 
 namespace marlin::replay
 {
@@ -83,6 +84,32 @@ SumTree::clear()
 {
     std::fill(nodes.begin(), nodes.end(), 0.0);
     _maxPriority = 1.0;
+}
+
+void
+SumTree::saveState(std::ostream &os) const
+{
+    writePod<std::uint64_t>(os, _capacity);
+    writePod<double>(os, _maxPriority);
+    writeVector(os, nodes);
+}
+
+void
+SumTree::loadState(std::istream &is)
+{
+    const auto capacity = readPod<std::uint64_t>(is);
+    if (capacity != _capacity) {
+        fatal("sum tree checkpoint capacity %llu does not match %llu",
+              static_cast<unsigned long long>(capacity),
+              static_cast<unsigned long long>(_capacity));
+    }
+    _maxPriority = readPod<double>(is);
+    std::vector<double> loaded = readVector<double>(is);
+    if (loaded.size() != nodes.size()) {
+        fatal("sum tree checkpoint has %zu nodes, tree has %zu",
+              loaded.size(), nodes.size());
+    }
+    nodes = std::move(loaded);
 }
 
 } // namespace marlin::replay

@@ -8,6 +8,7 @@
 #ifndef MARLIN_REPLAY_SUM_TREE_HH
 #define MARLIN_REPLAY_SUM_TREE_HH
 
+#include <iosfwd>
 #include <vector>
 
 #include "marlin/base/types.hh"
@@ -50,6 +51,12 @@ class SumTree
 
     /** Reset all priorities to zero. */
     void clear();
+
+    /** Serialize every node plus the running max priority. */
+    void saveState(std::ostream &os) const;
+
+    /** Restore state written by saveState on a same-capacity tree. */
+    void loadState(std::istream &is);
 
   private:
     BufferIndex _capacity;

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Crash-safety tests for the full-state checkpoint runtime: v2
+ * round trips, legacy v1 files, kill/resume bit-identity (the
+ * headline contract: a run killed at a seeded random step and
+ * resumed from disk reproduces the uninterrupted run's episode
+ * rewards exactly, at any thread count), CRC fallback from a
+ * corrupted latest to previous, failed-write rotation safety, and
+ * the numeric health-guard policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "marlin/marlin.hh"
+
+namespace marlin
+{
+namespace
+{
+
+std::vector<std::size_t>
+dimsOf(const env::Environment &environment)
+{
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment.numAgents(); ++i)
+        dims.push_back(environment.obsDim(i));
+    return dims;
+}
+
+enum class Which { Maddpg, Matd3Interleaved };
+
+core::TrainConfig
+rigConfig(Which which)
+{
+    core::TrainConfig c;
+    c.batchSize = 32;
+    c.bufferCapacity = 4096;
+    c.warmupTransitions = 64;
+    c.updateEvery = 20;
+    c.hiddenDims = {16, 16};
+    c.seed = 21;
+    if (which == Which::Matd3Interleaved)
+        c.backend = core::SamplingBackend::Interleaved;
+    return c;
+}
+
+/** Everything one training run needs, in destruction-safe order. */
+struct Rig
+{
+    std::unique_ptr<env::Environment> environment;
+    std::unique_ptr<core::CtdeTrainerBase> trainer;
+    std::unique_ptr<core::TrainLoop> loop;
+};
+
+Rig
+makeRig(Which which, core::TrainConfig config,
+        std::size_t agents = 3, std::uint64_t env_seed = 77)
+{
+    Rig rig;
+    rig.environment =
+        env::makeCooperativeNavigationEnv(agents, env_seed);
+    const auto dims = dimsOf(*rig.environment);
+    const std::size_t act_dim = rig.environment->actionDim();
+    if (which == Which::Maddpg) {
+        rig.trainer = std::make_unique<core::MaddpgTrainer>(
+            dims, act_dim, config,
+            [] { return std::make_unique<replay::UniformSampler>(); });
+    } else {
+        // MATD3 + interleaved layout + prioritized sampler: the
+        // most state-rich configuration (twin critics, policy-delay
+        // counters, sum-tree priorities, KV store) all have to
+        // survive the round trip.
+        const BufferIndex capacity = config.bufferCapacity;
+        rig.trainer = std::make_unique<core::Matd3Trainer>(
+            dims, act_dim, config, [capacity] {
+                replay::PerConfig per;
+                per.capacity = capacity;
+                return std::make_unique<replay::PrioritizedSampler>(
+                    per);
+            });
+    }
+    rig.loop = std::make_unique<core::TrainLoop>(
+        *rig.environment, *rig.trainer, config);
+    return rig;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "marlin_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::vector<Real>>
+probeObservations(const env::Environment &environment)
+{
+    std::vector<std::vector<Real>> obs;
+    for (std::size_t i = 0; i < environment.numAgents(); ++i) {
+        std::vector<Real> o(environment.obsDim(i));
+        for (std::size_t k = 0; k < o.size(); ++k)
+            o[k] = Real(0.1) * static_cast<Real>(k + i);
+        obs.push_back(std::move(o));
+    }
+    return obs;
+}
+
+void
+poisonCritic(core::CtdeTrainerBase &trainer)
+{
+    auto params = trainer.networks(0).critic.params();
+    ASSERT_FALSE(params.empty());
+    params[0]->value.data()[0] =
+        std::numeric_limits<Real>::quiet_NaN();
+}
+
+/**
+ * The acceptance contract: baseline an uninterrupted run, replay it
+ * with a seeded random kill + rotating checkpoints, resume in fresh
+ * objects, and demand bit-identical episode rewards. The baseline
+ * runs on 1 thread and the killed/resumed runs on 4, so the test
+ * simultaneously pins thread-count invariance across process death.
+ */
+void
+killResumeBitIdentical(Which which, const char *dir_name)
+{
+    const std::size_t episodes = 12;
+
+    base::ThreadPool::setGlobalThreads(1);
+    std::vector<Real> baseline;
+    {
+        Rig rig = makeRig(which, rigConfig(which));
+        baseline = rig.loop->run(episodes).episodeRewards;
+    }
+    ASSERT_EQ(baseline.size(), episodes);
+
+    const std::string dir = freshDir(dir_name);
+    core::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyEpisodes = 2;
+
+    base::ThreadPool::setGlobalThreads(4);
+    base::FaultInjector injector(0xfeedbeef);
+    // Earliest kill lands after the first rotation (2 episodes =
+    // 50 steps); latest leaves episodes still to run on resume.
+    const StepCount kill_step =
+        injector.armKillAtRandomStep(60, 250);
+    {
+        Rig rig = makeRig(which, rigConfig(which));
+        rig.loop->setCheckpointing(opts);
+        rig.loop->setFaultInjector(&injector);
+        const auto killed = rig.loop->run(episodes);
+        ASSERT_TRUE(killed.killed) << "kill step " << kill_step;
+        ASSERT_LT(killed.episodeRewards.size(), episodes);
+        // The dead process's objects are simply abandoned here: all
+        // that survives, as after a real SIGKILL, is the disk.
+    }
+    {
+        Rig rig = makeRig(which, rigConfig(which));
+        rig.loop->setCheckpointing(opts);
+        const auto resumed = rig.loop->run(episodes);
+        EXPECT_FALSE(resumed.killed);
+        EXPECT_GT(resumed.resumedFromEpisode, 0u);
+        ASSERT_EQ(resumed.episodeRewards.size(), episodes);
+        for (std::size_t i = 0; i < episodes; ++i) {
+            EXPECT_EQ(resumed.episodeRewards[i], baseline[i])
+                << "episode " << i << " diverged after resume "
+                << "(killed at step " << kill_step << ")";
+        }
+    }
+    base::ThreadPool::setGlobalThreads(0);
+}
+
+TEST(Checkpoint, KillResumeBitIdenticalMaddpg)
+{
+    killResumeBitIdentical(Which::Maddpg, "kill_maddpg");
+}
+
+TEST(Checkpoint, KillResumeBitIdenticalMatd3Interleaved)
+{
+    killResumeBitIdentical(Which::Matd3Interleaved, "kill_matd3");
+}
+
+TEST(Checkpoint, CorruptLatestFallsBackToPrevious)
+{
+    const std::size_t episodes = 8;
+    std::vector<Real> baseline;
+    {
+        Rig rig = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+        baseline = rig.loop->run(episodes).episodeRewards;
+    }
+
+    const std::string dir = freshDir("corrupt_latest");
+    core::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyEpisodes = 1;
+    {
+        Rig rig = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+        rig.loop->setCheckpointing(opts);
+        rig.loop->run(6); // latest = episode 6, previous = episode 5
+    }
+
+    // Flip one byte inside the network section of latest.
+    const std::string latest = core::latestCheckpointPath(dir);
+    ASSERT_TRUE(base::corruptFileByte(latest, 300));
+
+    // The CRC catches the corruption...
+    {
+        Rig probe = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+        core::RunState st;
+        st.trainer = probe.trainer.get();
+        const auto r = core::loadRunFile(latest, st);
+        ASSERT_FALSE(r);
+        EXPECT_EQ(r.error, core::CkptError::CrcMismatch);
+    }
+
+    // ...and resume falls back to previous (episode 5) without
+    // aborting, then finishes bit-identically to the baseline.
+    {
+        Rig rig = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+        rig.loop->setCheckpointing(opts);
+        const auto resumed = rig.loop->run(episodes);
+        EXPECT_EQ(resumed.resumedFromEpisode, 5u);
+        ASSERT_EQ(resumed.episodeRewards.size(), episodes);
+        for (std::size_t i = 0; i < episodes; ++i)
+            EXPECT_EQ(resumed.episodeRewards[i], baseline[i])
+                << "episode " << i;
+    }
+}
+
+TEST(Checkpoint, FailedWriteLeavesRotationIntact)
+{
+    const std::string dir = freshDir("failed_write");
+    core::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyEpisodes = 1;
+    Rig rig = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    rig.loop->setCheckpointing(opts);
+    rig.loop->run(3);
+
+    const std::string latest = core::latestCheckpointPath(dir);
+    const std::string previous = core::previousCheckpointPath(dir);
+    const std::string latest_before = readFileBytes(latest);
+    const std::string previous_before = readFileBytes(previous);
+    ASSERT_FALSE(latest_before.empty());
+    ASSERT_FALSE(previous_before.empty());
+
+    base::FaultInjector injector;
+    injector.armFailAtWrite(1);
+    core::RunState st;
+    st.trainer = rig.trainer.get();
+    const auto r = core::saveRotating(dir, st, &injector);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::IoError);
+
+    // The torn temp file must not have touched either generation.
+    EXPECT_EQ(readFileBytes(latest), latest_before);
+    EXPECT_EQ(readFileBytes(previous), previous_before);
+}
+
+TEST(Checkpoint, V2RoundTripRestoresNetworksAndRuntime)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    a.loop->run(5);
+
+    std::ostringstream os;
+    core::RunState save_state;
+    save_state.trainer = a.trainer.get();
+    core::saveRun(os, save_state);
+
+    auto other = rigConfig(Which::Maddpg);
+    other.seed = 99; // Different weights until the load.
+    Rig b = makeRig(Which::Maddpg, other);
+
+    std::istringstream is(os.str());
+    core::RunState load_state;
+    load_state.trainer = b.trainer.get();
+    const auto r = core::loadRun(is, load_state);
+    ASSERT_TRUE(r) << r.detail;
+    EXPECT_EQ(r.version, core::checkpointVersion);
+
+    const auto obs = probeObservations(*a.environment);
+    EXPECT_EQ(a.trainer->greedyActions(obs),
+              b.trainer->greedyActions(obs));
+    EXPECT_EQ(a.trainer->updateCount(), b.trainer->updateCount());
+}
+
+TEST(Checkpoint, LegacyV1FilesStillLoad)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    a.loop->run(4);
+
+    std::ostringstream os;
+    core::saveTrainer(os, *a.trainer); // v1 writer
+
+    auto other = rigConfig(Which::Maddpg);
+    other.seed = 99;
+    Rig b = makeRig(Which::Maddpg, other);
+
+    std::istringstream is(os.str());
+    core::RunState st;
+    st.trainer = b.trainer.get();
+    const auto r = core::loadRun(is, st);
+    ASSERT_TRUE(r) << r.detail;
+    EXPECT_EQ(r.version, core::checkpointVersionLegacy);
+
+    const auto obs = probeObservations(*a.environment);
+    EXPECT_EQ(a.trainer->greedyActions(obs),
+              b.trainer->greedyActions(obs));
+}
+
+TEST(Checkpoint, TrainerOnlyFileRefusesFullResume)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    std::ostringstream os;
+    core::RunState save_state;
+    save_state.trainer = a.trainer.get();
+    core::saveRun(os, save_state); // No LOOP section written.
+
+    Rig b = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    core::LoopProgress progress;
+    core::RunState st;
+    st.trainer = b.trainer.get();
+    st.progress = &progress;
+    std::istringstream is(os.str());
+    const auto r = core::loadRun(is, st);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::MissingSection);
+}
+
+TEST(Checkpoint, AgentCountMismatchIsAShapeError)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg), 3);
+    std::ostringstream os;
+    core::RunState save_state;
+    save_state.trainer = a.trainer.get();
+    core::saveRun(os, save_state);
+
+    Rig b = makeRig(Which::Maddpg, rigConfig(Which::Maddpg), 4);
+    core::RunState st;
+    st.trainer = b.trainer.get();
+    std::istringstream is(os.str());
+    const auto r = core::loadRun(is, st);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::ShapeMismatch);
+}
+
+TEST(Checkpoint, ResumeOnEmptyDirectoryStartsFresh)
+{
+    const std::string dir = freshDir("fresh_start");
+    Rig rig = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    core::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyEpisodes = 2;
+    rig.loop->setCheckpointing(opts);
+    const auto r = rig.loop->run(4);
+    EXPECT_EQ(r.resumedFromEpisode, 0u);
+    EXPECT_EQ(r.episodeRewards.size(), 4u);
+    // And the run left loadable snapshots behind.
+    Rig probe = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    core::RunState st;
+    st.trainer = probe.trainer.get();
+    EXPECT_TRUE(
+        core::loadRunFile(core::latestCheckpointPath(dir), st));
+}
+
+TEST(FaultInjector, SeededKillStepIsReproducible)
+{
+    base::FaultInjector a(42), b(42);
+    EXPECT_EQ(a.armKillAtRandomStep(10, 99),
+              b.armKillAtRandomStep(10, 99));
+
+    base::FaultInjector c;
+    c.armKillAtStep(5);
+    for (int i = 1; i < 5; ++i)
+        EXPECT_FALSE(c.onStep()) << "step " << i;
+    EXPECT_TRUE(c.onStep());
+    EXPECT_EQ(c.stepsObserved(), 5u);
+}
+
+TEST(FaultInjector, FailpointStreambufFailsKthWriteAndStaysDead)
+{
+    std::ostringstream sink;
+    base::FaultInjector injector;
+    injector.armFailAtWrite(3);
+    base::FailpointStreambuf guard(sink.rdbuf(), &injector);
+    std::ostream os(&guard);
+
+    os << "aa";
+    os << "bb";
+    EXPECT_TRUE(os.good());
+    os << "cc"; // Third write: injected failure.
+    EXPECT_FALSE(os.good());
+    os.clear();
+    os << "dd"; // Sticky: the stream stays dead.
+    EXPECT_FALSE(os.good());
+    EXPECT_EQ(sink.str(), "aabb");
+}
+
+TEST(FaultInjector, CorruptFileByteFlipsExactlyOneByte)
+{
+    const std::string path =
+        ::testing::TempDir() + "marlin_corrupt_unit.bin";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "hello";
+    }
+    ASSERT_TRUE(base::corruptFileByte(path, 1, 0x01));
+    EXPECT_EQ(readFileBytes(path), "hdllo"); // 'e' ^ 0x01 = 'd'
+    EXPECT_FALSE(base::corruptFileByte(path, 99));
+    std::filesystem::remove(path);
+}
+
+TEST(HealthGuard, SkipUpdatePolicyKeepsRunAlive)
+{
+    auto config = rigConfig(Which::Maddpg);
+    config.healthPolicy = core::HealthGuardPolicy::SkipUpdate;
+    Rig rig = makeRig(Which::Maddpg, config);
+    rig.loop->run(4); // Warm up: real updates have happened.
+    poisonCritic(*rig.trainer);
+    const auto r = rig.loop->run(8);
+    EXPECT_FALSE(r.halted);
+    EXPECT_GT(r.nonFiniteUpdates, 0u);
+    EXPECT_EQ(r.episodeRewards.size(), 8u);
+}
+
+TEST(HealthGuard, HaltPolicyStopsTheRun)
+{
+    auto config = rigConfig(Which::Maddpg);
+    config.healthPolicy = core::HealthGuardPolicy::Halt;
+    Rig rig = makeRig(Which::Maddpg, config);
+    rig.loop->run(4);
+    poisonCritic(*rig.trainer);
+    const auto r = rig.loop->run(8);
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(r.nonFiniteUpdates, 0u);
+    EXPECT_LT(r.episodeRewards.size(), 8u);
+}
+
+TEST(HealthGuard, RollbackPolicyRestoresCleanState)
+{
+    const std::string dir = freshDir("rollback");
+    auto config = rigConfig(Which::Maddpg);
+    config.healthPolicy = core::HealthGuardPolicy::Rollback;
+    config.healthMaxRollbacks = 2;
+    Rig rig = makeRig(Which::Maddpg, config);
+    core::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyEpisodes = 1;
+    opts.resume = false; // The poison below must survive run()'s
+                         // startup, or there is nothing to roll back.
+    rig.loop->setCheckpointing(opts);
+    rig.loop->run(4); // Rotation holds episodes 3 and 4.
+
+    poisonCritic(*rig.trainer);
+    const auto r = rig.loop->run(8);
+    EXPECT_FALSE(r.halted);
+    EXPECT_GE(r.rollbacks, 1u);
+    EXPECT_EQ(r.episodeRewards.size(), 8u);
+    // The restored critic is finite again.
+    const auto params = rig.trainer->networks(0).critic.params();
+    EXPECT_TRUE(std::isfinite(params[0]->value.data()[0]));
+}
+
+} // namespace
+} // namespace marlin

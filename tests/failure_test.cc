@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "marlin/base/serialize.hh"
+#include "marlin/core/checkpoint.hh"
 #include "marlin/core/maddpg.hh"
+#include "marlin/core/matd3.hh"
+#include "marlin/core/train_loop.hh"
 #include "marlin/env/environment.hh"
 #include "marlin/memsim/cache.hh"
 #include "marlin/nn/loss.hh"
@@ -131,6 +137,156 @@ TEST(FailureDeath, CacheSmallerThanOneSet)
 {
     EXPECT_DEATH(memsim::CacheModel({64, 64, 4}),
                  "smaller than one set");
+}
+
+// --- Checkpoint corruption taxonomy: every rejected file maps to a
+// --- specific CkptError instead of an abort or silent garbage.
+
+namespace
+{
+
+core::TrainConfig
+tinyConfig()
+{
+    core::TrainConfig config;
+    config.hiddenDims = {4};
+    config.bufferCapacity = 256;
+    return config;
+}
+
+std::string
+savedTrainerImage(core::CtdeTrainerBase &trainer)
+{
+    std::ostringstream os;
+    core::RunState state;
+    state.trainer = &trainer;
+    core::saveRun(os, state);
+    return os.str();
+}
+
+} // namespace
+
+TEST(FailureCheckpoint, CrcMismatchDetected)
+{
+    core::MaddpgTrainer trainer(
+        {6, 6}, 5, tinyConfig(),
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    std::string image = savedTrainerImage(trainer);
+    // Flip one bit deep inside the network section's payload.
+    image[image.size() / 2] ^= 0x01;
+
+    std::istringstream is(image);
+    core::RunState state;
+    state.trainer = &trainer;
+    const auto r = core::loadRun(is, state);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::CrcMismatch);
+}
+
+TEST(FailureCheckpoint, TruncatedMidSection)
+{
+    core::MaddpgTrainer trainer(
+        {6, 6}, 5, tinyConfig(),
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    const std::string image = savedTrainerImage(trainer);
+
+    std::istringstream is(image.substr(0, image.size() - 7));
+    core::RunState state;
+    state.trainer = &trainer;
+    const auto r = core::loadRun(is, state);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::Truncated);
+}
+
+TEST(FailureCheckpoint, FutureVersionRejected)
+{
+    std::ostringstream os;
+    writeHeader(os, core::checkpointMagic,
+                core::checkpointVersion + 1);
+
+    core::MaddpgTrainer trainer(
+        {6, 6}, 5, tinyConfig(),
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    std::istringstream is(os.str());
+    core::RunState state;
+    state.trainer = &trainer;
+    const auto r = core::loadRun(is, state);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::BadVersion);
+}
+
+TEST(FailureCheckpoint, BadMagicRejected)
+{
+    core::MaddpgTrainer trainer(
+        {6, 6}, 5, tinyConfig(),
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    std::istringstream is("this is not a checkpoint file at all");
+    core::RunState state;
+    state.trainer = &trainer;
+    const auto r = core::loadRun(is, state);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::BadMagic);
+}
+
+TEST(FailureCheckpoint, AlgorithmMismatchRejected)
+{
+    auto factory = [] {
+        return std::make_unique<replay::UniformSampler>();
+    };
+    core::MaddpgTrainer writer({6, 6}, 5, tinyConfig(), factory);
+    const std::string image = savedTrainerImage(writer);
+
+    core::Matd3Trainer reader({6, 6}, 5, tinyConfig(), factory);
+    std::istringstream is(image);
+    core::RunState state;
+    state.trainer = &reader;
+    const auto r = core::loadRun(is, state);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::AlgoMismatch);
+}
+
+TEST(FailureCheckpoint, MissingFileIsNotFound)
+{
+    core::MaddpgTrainer trainer(
+        {6, 6}, 5, tinyConfig(),
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    core::RunState state;
+    state.trainer = &trainer;
+    const auto r =
+        core::loadRunFile("/nonexistent/dir/nope.ckpt", state);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::NotFound);
+}
+
+TEST(FailureDeath, SerializeAbsurdVectorLength)
+{
+    std::ostringstream os;
+    writePod<std::uint64_t>(os, 1ull << 60); // Claims 2^60 elements.
+    std::istringstream is(os.str());
+    EXPECT_DEATH(readVector<Real>(is), "length prefix");
+}
+
+TEST(FailureDeath, SerializeAbsurdStringLength)
+{
+    std::ostringstream os;
+    writePod<std::uint64_t>(os, 1ull << 60);
+    std::istringstream is(os.str());
+    EXPECT_DEATH(readString(is), "length prefix");
+}
+
+TEST(FailureDeath, RollbackWithoutCheckpointDir)
+{
+    auto environment = env::makeCooperativeNavigationEnv(3, 1);
+    core::TrainConfig config = tinyConfig();
+    config.healthPolicy = core::HealthGuardPolicy::Rollback;
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment->numAgents(); ++i)
+        dims.push_back(environment->obsDim(i));
+    core::MaddpgTrainer trainer(
+        dims, environment->actionDim(), config,
+        [] { return std::make_unique<replay::UniformSampler>(); });
+    core::TrainLoop loop(*environment, trainer, config);
+    EXPECT_DEATH(loop.run(1), "requires a checkpoint");
 }
 
 TEST(FailureDeath, WeightedMseWrongWeightCount)
