@@ -123,6 +123,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Ablation: replay storage layout (SoA vs AoS vs "
            "interleaved)");

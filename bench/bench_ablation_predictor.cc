@@ -98,6 +98,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Ablation: info-prioritized neighbor predictor");
     const std::size_t agents = 6;

@@ -43,6 +43,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Ablation: prefetcher on/off under each sampler");
     const std::size_t agents = 6;

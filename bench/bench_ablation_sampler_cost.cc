@@ -55,6 +55,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Ablation: index-plan generation vs gather cost per "
            "update");

@@ -101,6 +101,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 10: reward curves, baseline vs cache-aware "
            "sampling");

@@ -138,6 +138,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 11 / Section VI-C1: information-prioritized "
            "locality-aware sampling");

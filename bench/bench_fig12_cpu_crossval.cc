@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     using namespace marlin::bench;
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 12: cross-validation on i7-9700K (CPU only, "
            "simulated)");

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 {
     using namespace marlin::bench;
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 13: cross-validation on i7-9700K + GTX 1070 "
            "(simulated)");

@@ -148,6 +148,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 14: transition data layout reorganization");
     runTask(Task::PredatorPrey);

@@ -42,6 +42,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 2: end-to-end phase breakdown");
     runConfig(Algo::Maddpg, Task::PredatorPrey);

@@ -41,6 +41,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 3: update-all-trainers internal breakdown");
     runConfig(Algo::Maddpg, Task::PredatorPrey);

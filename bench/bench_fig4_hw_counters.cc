@@ -125,6 +125,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 4: hardware-counter growth under agent doubling "
            "(trace-driven model)");

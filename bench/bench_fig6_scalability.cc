@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 6: MADDPG predator-prey scalability to 48 agents");
     const double paper_totals[] = {3366, 8505, 23406, 82769, 302825};

@@ -83,6 +83,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 8: sampling-phase reduction from cache "
            "locality-aware sampling");

@@ -87,6 +87,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Figure 9: end-to-end training-time reduction from "
            "cache-aware sampling");

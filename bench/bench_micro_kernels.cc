@@ -23,12 +23,33 @@ namespace
 
 using namespace marlin;
 using numeric::Matrix;
+using numeric::kernels::Isa;
+
+/**
+ * Pin the kernel ISA for one benchmark run, skipping cleanly when
+ * the host can't run it (the scalar fallback is always available).
+ * Returns false when the bench body should bail out.
+ */
+bool
+pinIsa(benchmark::State &state, Isa isa)
+{
+    if (!numeric::kernels::isaAvailable(isa)) {
+        state.SkipWithError("isa not available on this host");
+        return false;
+    }
+    numeric::kernels::setIsa(isa);
+    return true;
+}
 
 // --- GEMM at the paper's actor/critic shapes -----------------------
+// Each GEMM/elementwise bench has a scalar and an avx2 capture so a
+// single run reports the vector speedup side by side.
 
 void
-BM_GemmCriticForward(benchmark::State &state)
+BM_GemmCriticForward(benchmark::State &state, Isa isa)
 {
+    if (!pinIsa(state, isa))
+        return;
     // batch x jointDim times jointDim x 64 — the centralized
     // critic's first layer at the given agent count (PP dims).
     const std::size_t agents = static_cast<std::size_t>(state.range(0));
@@ -43,11 +64,16 @@ BM_GemmCriticForward(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * 1024 * joint * 64);
 }
-BENCHMARK(BM_GemmCriticForward)->Arg(3)->Arg(6)->Arg(12);
+BENCHMARK_CAPTURE(BM_GemmCriticForward, scalar, Isa::Scalar)
+    ->Arg(3)->Arg(6)->Arg(12);
+BENCHMARK_CAPTURE(BM_GemmCriticForward, avx2, Isa::Avx2)
+    ->Arg(3)->Arg(6)->Arg(12);
 
 void
-BM_GemmTN(benchmark::State &state)
+BM_GemmTN(benchmark::State &state, Isa isa)
 {
+    if (!pinIsa(state, isa))
+        return;
     const std::size_t n = static_cast<std::size_t>(state.range(0));
     Rng rng(2);
     Matrix a(1024, n), b(1024, 64), c;
@@ -57,8 +83,116 @@ BM_GemmTN(benchmark::State &state)
         numeric::gemmTN(a, b, c);
         benchmark::DoNotOptimize(c.data());
     }
+    state.SetItemsProcessed(state.iterations() * 1024 * n * 64);
 }
-BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_GemmTN, scalar, Isa::Scalar)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_GemmTN, avx2, Isa::Avx2)->Arg(64)->Arg(256);
+
+void
+BM_GemmNT(benchmark::State &state, Isa isa)
+{
+    if (!pinIsa(state, isa))
+        return;
+    // batch x out times (in x out)^T — the critic's input-gradient
+    // shape for the first hidden layer.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(9);
+    Matrix a(1024, 64), b(n, 64), c;
+    numeric::fillUniform(a, rng, -1, 1);
+    numeric::fillUniform(b, rng, -1, 1);
+    for (auto _ : state) {
+        numeric::gemmNT(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024 * 64 * n);
+}
+BENCHMARK_CAPTURE(BM_GemmNT, scalar, Isa::Scalar)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(BM_GemmNT, avx2, Isa::Avx2)->Arg(64)->Arg(512);
+
+// --- Elementwise / optimizer kernels --------------------------------
+
+void
+BM_ReluForward(benchmark::State &state, Isa isa)
+{
+    if (!pinIsa(state, isa))
+        return;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(10);
+    Matrix x(1, n), y(1, n);
+    numeric::fillUniform(x, rng, -1, 1);
+    const auto &kt = numeric::kernels::active();
+    for (auto _ : state) {
+        kt.reluForward(x.data(), y.data(), n);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_ReluForward, scalar, Isa::Scalar)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_ReluForward, avx2, Isa::Avx2)->Arg(1 << 16);
+
+void
+BM_Axpy(benchmark::State &state, Isa isa)
+{
+    if (!pinIsa(state, isa))
+        return;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(11);
+    Matrix x(1, n), y(1, n);
+    numeric::fillUniform(x, rng, -1, 1);
+    numeric::fillUniform(y, rng, -1, 1);
+    const auto &kt = numeric::kernels::active();
+    for (auto _ : state) {
+        kt.axpy(Real(0.5), x.data(), y.data(), n);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_Axpy, scalar, Isa::Scalar)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_Axpy, avx2, Isa::Avx2)->Arg(1 << 16);
+
+void
+BM_AdamStep(benchmark::State &state, Isa isa)
+{
+    if (!pinIsa(state, isa))
+        return;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(12);
+    Matrix w(1, n), g(1, n), m(1, n), v(1, n);
+    numeric::fillUniform(w, rng, -1, 1);
+    numeric::fillUniform(g, rng, -1, 1);
+    numeric::kernels::AdamParams params{
+        Real(0.9), Real(0.999), Real(0.1), Real(0.001),
+        Real(0.01), Real(1e-8)};
+    const auto &kt = numeric::kernels::active();
+    for (auto _ : state) {
+        kt.adamStep(params, g.data(), w.data(), m.data(), v.data(),
+                    n);
+        benchmark::DoNotOptimize(w.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_AdamStep, scalar, Isa::Scalar)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_AdamStep, avx2, Isa::Avx2)->Arg(1 << 16);
+
+void
+BM_SoftUpdate(benchmark::State &state, Isa isa)
+{
+    if (!pinIsa(state, isa))
+        return;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(13);
+    Matrix s(1, n), d(1, n);
+    numeric::fillUniform(s, rng, -1, 1);
+    numeric::fillUniform(d, rng, -1, 1);
+    const auto &kt = numeric::kernels::active();
+    for (auto _ : state) {
+        kt.softUpdate(Real(0.01), s.data(), d.data(), n);
+        benchmark::DoNotOptimize(d.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_SoftUpdate, scalar, Isa::Scalar)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_SoftUpdate, avx2, Isa::Avx2)->Arg(1 << 16);
 
 // --- Index-plan generation ------------------------------------------
 
@@ -175,11 +309,15 @@ BENCHMARK(BM_SumTreeFind);
 
 // Hand-rolled BENCHMARK_MAIN so --threads is consumed before
 // google-benchmark's flag parser (which rejects unknown flags).
+// The kernel benches pin their own ISA per variant; --isa still
+// selects the ISA for the plan/gather/sum-tree benches.
 int
 main(int argc, char **argv)
 {
     marlin::bench::initThreads(argc, argv);
+    marlin::bench::initIsa(argc, argv);
     marlin::bench::initLogLevel(argc, argv);
+    marlin::bench::banner("micro_kernels");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

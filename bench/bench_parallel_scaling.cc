@@ -107,6 +107,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Parallel scaling: update-all-trainers across "
            "threads x agents");

@@ -61,6 +61,7 @@ int
 main(int argc, char **argv)
 {
     initThreads(argc, argv);
+    initIsa(argc, argv);
     initLogLevel(argc, argv);
     banner("Table I: end-to-end training time, 60k episodes "
            "(extrapolated)");

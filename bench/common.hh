@@ -240,6 +240,46 @@ initThreads(int &argc, char **argv)
 }
 
 /**
+ * Configure the kernel ISA for a bench binary: honors an
+ * --isa NAME / --isa=NAME argument (auto, scalar or avx2) and
+ * consumes it from argv the same way initThreads() consumes
+ * --threads. "auto" (the default) keeps the startup resolution:
+ * MARLIN_ISA if set, else the best ISA the hardware supports.
+ * Returns the active ISA's name. Call before banner() so the JSON
+ * header records the right value.
+ */
+inline const char *
+initIsa(int &argc, char **argv)
+{
+    std::string requested;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--isa") == 0 && i + 1 < argc) {
+            requested = argv[++i];
+        } else if (std::strncmp(arg, "--isa=", 6) == 0) {
+            requested = arg + 6;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = out;
+    if (!requested.empty() && requested != "auto") {
+        const auto isa = numeric::kernels::isaFromString(requested);
+        if (!isa.has_value())
+            fatal("--isa '%s' is not 'auto', 'scalar' or 'avx2'",
+                  requested.c_str());
+        numeric::kernels::setIsa(*isa);
+    }
+    const char *name =
+        numeric::kernels::isaName(numeric::kernels::activeIsa());
+    std::printf("isa: %s\n", name);
+    return name;
+}
+
+/**
  * Configure log verbosity for a bench binary: honors a
  * --log-level NAME / --log-level=NAME argument (silent, fatal,
  * warn, inform or debug) and consumes it from argv the same way
@@ -271,16 +311,20 @@ initLogLevel(int &argc, char **argv)
 
 /**
  * Print a separator + bench header, plus a machine-readable JSON
- * header line recording the bench name and the thread count the
- * run used — every bench emits this so downstream tooling can
- * never misattribute numbers across parallelism settings.
+ * header line recording the bench name, the thread count and the
+ * kernel ISA the run used — every bench emits this so downstream
+ * tooling can never misattribute numbers across parallelism or
+ * ISA settings.
  */
 inline void
 banner(const char *title)
 {
     std::printf("\n=== %s ===\n", title);
-    std::printf("{\"bench\": \"%s\", \"threads\": %zu}\n", title,
-                base::ThreadPool::globalThreads());
+    std::printf("{\"bench\": \"%s\", \"threads\": %zu, "
+                "\"isa\": \"%s\"}\n",
+                title, base::ThreadPool::globalThreads(),
+                numeric::kernels::isaName(
+                    numeric::kernels::activeIsa()));
 }
 
 /** Percentage change from baseline to optimized wall-clock. */

@@ -117,6 +117,11 @@ main(int argc, char **argv)
                    "(0 = MARLIN_THREADS env var or hardware "
                    "concurrency; results are identical for any "
                    "value)");
+    args.addOption("isa", "auto",
+                   "kernel instruction set: auto, scalar or avx2 "
+                   "(auto = MARLIN_ISA env var or best supported; "
+                   "results are identical per ISA for any thread "
+                   "count)");
     args.addOption("save-checkpoint", "",
                    "write trainer state here after training");
     args.addOption("load-checkpoint", "",
@@ -151,6 +156,20 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getInt("threads")));
     std::printf("threads: %zu (deterministic for any count)\n",
                 base::ThreadPool::globalThreads());
+
+    if (args.get("isa") != "auto") {
+        const auto isa =
+            numeric::kernels::isaFromString(args.get("isa"));
+        if (!isa.has_value()) {
+            fatal("--isa '%s' is not 'auto', 'scalar' or 'avx2'",
+                  args.get("isa").c_str());
+        }
+        numeric::kernels::setIsa(*isa);
+    }
+    std::printf("isa: %s (cpu: %s)\n",
+                numeric::kernels::isaName(
+                    numeric::kernels::activeIsa()),
+                base::cpuVectorFeatures());
 
     auto environment = buildEnvironment(
         args.get("task"), agents,

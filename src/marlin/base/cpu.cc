@@ -1,0 +1,37 @@
+#include "marlin/base/cpu.hh"
+
+namespace marlin::base
+{
+
+namespace
+{
+
+bool
+detectAvx2()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+cpuSupportsAvx2()
+{
+    // Magic-static: cpuid runs once, first caller wins, thread-safe.
+    static const bool supported = detectAvx2();
+    return supported;
+}
+
+const char *
+cpuVectorFeatures()
+{
+    return cpuSupportsAvx2() ? "avx2+fma" : "baseline";
+}
+
+} // namespace marlin::base

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Runtime CPU feature detection for the ISA-dispatched kernel layer.
+ *
+ * The binary is compiled for baseline x86-64; vector kernels live in
+ * a separate translation unit built with -mavx2 -mfma and are only
+ * entered after these cpuid checks pass, so the same executable runs
+ * on any x86-64 machine and uses AVX2 where the hardware has it.
+ */
+
+#ifndef MARLIN_BASE_CPU_HH
+#define MARLIN_BASE_CPU_HH
+
+namespace marlin::base
+{
+
+/**
+ * True when the running CPU supports both AVX2 and FMA (the vector
+ * kernel TU requires the pair). Always false on non-x86 targets.
+ * The result is computed once via cpuid and cached.
+ */
+bool cpuSupportsAvx2();
+
+/**
+ * Short human-readable description of the detected vector features
+ * ("avx2+fma" or "baseline"), for log lines and bench headers.
+ */
+const char *cpuVectorFeatures();
+
+} // namespace marlin::base
+
+#endif // MARLIN_BASE_CPU_HH

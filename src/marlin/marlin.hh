@@ -8,6 +8,7 @@
 #define MARLIN_MARLIN_HH
 
 #include "marlin/base/args.hh"
+#include "marlin/base/cpu.hh"
 #include "marlin/base/crc32.hh"
 #include "marlin/base/fault_injector.hh"
 #include "marlin/base/logging.hh"
@@ -27,6 +28,7 @@
 #include "marlin/env/vector_env.hh"
 #include "marlin/memsim/platform.hh"
 #include "marlin/memsim/trace_replay.hh"
+#include "marlin/numeric/kernels.hh"
 #include "marlin/profile/report.hh"
 #include "marlin/replay/aos_buffer.hh"
 #include "marlin/replay/info_prioritized_sampler.hh"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "marlin/base/logging.hh"
+#include "marlin/numeric/kernels.hh"
 
 namespace marlin::nn
 {
@@ -42,11 +43,11 @@ ActivationLayer::forward(const Matrix &x, Matrix &y)
         break;
       case Activation::ReLU:
         cached = x;
-        for (std::size_t i = 0; i < y.size(); ++i)
-            if (y.data()[i] < Real(0))
-                y.data()[i] = Real(0);
+        numeric::kernels::active().reluForward(x.data(), y.data(),
+                                               y.size());
         break;
       case Activation::Tanh:
+        // Stays scalar: libm tanh has no lane-exact vector twin.
         for (std::size_t i = 0; i < y.size(); ++i)
             y.data()[i] = std::tanh(y.data()[i]);
         cached = y;
@@ -64,9 +65,8 @@ ActivationLayer::backward(const Matrix &grad_y, Matrix &grad_x) const
       case Activation::ReLU:
         MARLIN_ASSERT(cached.size() == grad_y.size(),
                       "ReLU backward without forward");
-        for (std::size_t i = 0; i < grad_x.size(); ++i)
-            if (cached.data()[i] <= Real(0))
-                grad_x.data()[i] = Real(0);
+        numeric::kernels::active().reluBackward(
+            cached.data(), grad_x.data(), grad_x.size());
         break;
       case Activation::Tanh:
         MARLIN_ASSERT(cached.size() == grad_y.size(),

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "marlin/base/logging.hh"
+#include "marlin/numeric/kernels.hh"
 
 namespace marlin::nn
 {
@@ -26,27 +27,21 @@ AdamOptimizer::step()
     if (_config.gradClipNorm > Real(0))
         clipGradNorm(_config.gradClipNorm);
     ++t;
-    const Real b1t = Real(1) - std::pow(_config.beta1,
-                                        static_cast<Real>(t));
-    const Real b2t = Real(1) - std::pow(_config.beta2,
-                                        static_cast<Real>(t));
+    numeric::kernels::AdamParams params;
+    params.beta1 = _config.beta1;
+    params.beta2 = _config.beta2;
+    params.biasCorr1 = Real(1) - std::pow(_config.beta1,
+                                          static_cast<Real>(t));
+    params.biasCorr2 = Real(1) - std::pow(_config.beta2,
+                                          static_cast<Real>(t));
+    params.lr = _config.lr;
+    params.epsilon = _config.epsilon;
+    const numeric::kernels::KernelTable &kt =
+        numeric::kernels::active();
     for (std::size_t i = 0; i < bound.size(); ++i) {
         Param &p = *bound[i];
-        Real *w = p.value.data();
-        Real *g = p.grad.data();
-        Real *mi = m[i].data();
-        Real *vi = v[i].data();
-        const std::size_t n = p.value.size();
-        for (std::size_t j = 0; j < n; ++j) {
-            mi[j] = _config.beta1 * mi[j] +
-                    (Real(1) - _config.beta1) * g[j];
-            vi[j] = _config.beta2 * vi[j] +
-                    (Real(1) - _config.beta2) * g[j] * g[j];
-            const Real mhat = mi[j] / b1t;
-            const Real vhat = vi[j] / b2t;
-            w[j] -= _config.lr * mhat /
-                    (std::sqrt(vhat) + _config.epsilon);
-        }
+        kt.adamStep(params, p.grad.data(), p.value.data(),
+                    m[i].data(), v[i].data(), p.value.size());
         p.zeroGrad();
     }
 }

@@ -1,6 +1,7 @@
 #include "marlin/nn/mlp.hh"
 
 #include "marlin/base/logging.hh"
+#include "marlin/numeric/kernels.hh"
 
 namespace marlin::nn
 {
@@ -117,14 +118,13 @@ Mlp::softUpdateFrom(const Mlp &src, Real tau)
     auto src_params = src.params();
     MARLIN_ASSERT(dst_params.size() == src_params.size(),
                   "softUpdateFrom network shape mismatch");
+    const numeric::kernels::KernelTable &kt =
+        numeric::kernels::active();
     for (std::size_t i = 0; i < dst_params.size(); ++i) {
         Matrix &d = dst_params[i]->value;
         const Matrix &s = src_params[i]->value;
         MARLIN_ASSERT(d.size() == s.size(), "param size mismatch");
-        for (std::size_t j = 0; j < d.size(); ++j) {
-            d.data()[j] = tau * s.data()[j] +
-                          (Real(1) - tau) * d.data()[j];
-        }
+        kt.softUpdate(tau, s.data(), d.data(), d.size());
     }
 }
 

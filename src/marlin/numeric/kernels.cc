@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Scalar reference kernels and the runtime ISA dispatch.
+ *
+ * This TU is compiled with -ffp-contract=off and vectorization
+ * disabled (see src/CMakeLists.txt): the scalar table must execute
+ * literally the written IEEE op sequence so it (a) reproduces the
+ * pre-kernel-layer numerics bit-for-bit and (b) measures true
+ * scalar throughput when benches compare ISAs.
+ */
+
+#include "marlin/numeric/kernels.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "marlin/base/cpu.hh"
+#include "marlin/base/logging.hh"
+
+namespace marlin::numeric::kernels
+{
+
+namespace
+{
+
+void
+axpyScalar(Real a, const Real *x, Real *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+addScalar(const Real *x, Real *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+subScalar(const Real *x, Real *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] -= x[i];
+}
+
+void
+scaleScalar(Real a, Real *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] *= a;
+}
+
+void
+clampScalar(Real lo, Real hi, Real *y, std::size_t n)
+{
+    // Mirrors std::clamp: (v < lo) ? lo : (hi < v) ? hi : v, so NaN
+    // passes through and -0 is preserved.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Real v = y[i];
+        y[i] = (v < lo) ? lo : (hi < v) ? hi : v;
+    }
+}
+
+void
+reluForwardScalar(const Real *x, Real *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = (x[i] < Real(0)) ? Real(0) : x[i];
+}
+
+void
+reluBackwardScalar(const Real *pre, Real *g, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (pre[i] <= Real(0))
+            g[i] = Real(0);
+}
+
+void
+adamStepScalar(const AdamParams &p, const Real *g, Real *w, Real *m,
+               Real *v, std::size_t n)
+{
+    const Real omb1 = Real(1) - p.beta1;
+    const Real omb2 = Real(1) - p.beta2;
+    for (std::size_t j = 0; j < n; ++j) {
+        m[j] = p.beta1 * m[j] + omb1 * g[j];
+        v[j] = p.beta2 * v[j] + omb2 * g[j] * g[j];
+        const Real mhat = m[j] / p.biasCorr1;
+        const Real vhat = v[j] / p.biasCorr2;
+        w[j] -= p.lr * mhat / (std::sqrt(vhat) + p.epsilon);
+    }
+}
+
+void
+softUpdateScalar(Real tau, const Real *s, Real *d, std::size_t n)
+{
+    const Real omt = Real(1) - tau;
+    for (std::size_t j = 0; j < n; ++j)
+        d[j] = tau * s[j] + omt * d[j];
+}
+
+void
+copyScalar(const Real *s, Real *d, std::size_t n)
+{
+    std::memcpy(d, s, n * sizeof(Real));
+}
+
+void
+gemmBlockScalar(const Real *a, std::size_t astride, const Real *b,
+                std::size_t ldb, std::size_t kb, Real *c,
+                std::size_t n, bool skip_zeros)
+{
+    for (std::size_t t = 0; t < kb; ++t) {
+        const Real coef = a[t * astride];
+        if (skip_zeros && coef == Real(0))
+            continue;
+        const Real *brow = b + t * ldb;
+        for (std::size_t j = 0; j < n; ++j)
+            c[j] += coef * brow[j];
+    }
+}
+
+constexpr KernelTable scalarTable = {
+    Isa::Scalar,     axpyScalar,       addScalar,
+    subScalar,       scaleScalar,      clampScalar,
+    reluForwardScalar, reluBackwardScalar, adamStepScalar,
+    softUpdateScalar, copyScalar,      gemmBlockScalar,
+};
+
+} // namespace
+
+} // namespace marlin::numeric::kernels
+
+#if defined(MARLIN_HAVE_AVX2_TU)
+namespace marlin::numeric::kernels
+{
+/** Defined in kernels_avx2.cc (built with -mavx2 -mfma). */
+const KernelTable &avx2Table();
+} // namespace marlin::numeric::kernels
+#endif
+
+namespace marlin::numeric::kernels
+{
+
+namespace
+{
+
+const KernelTable *
+tableFor(Isa isa)
+{
+#if defined(MARLIN_HAVE_AVX2_TU)
+    if (isa == Isa::Avx2)
+        return &avx2Table();
+#endif
+    return isa == Isa::Scalar ? &scalarTable : nullptr;
+}
+
+std::atomic<const KernelTable *> currentTable{nullptr};
+
+/** Best ISA the binary carries and the CPU can run. */
+Isa
+bestIsa()
+{
+    return isaAvailable(Isa::Avx2) ? Isa::Avx2 : Isa::Scalar;
+}
+
+const KernelTable *
+resolveStartupTable()
+{
+    const char *env = std::getenv("MARLIN_ISA");
+    if (env == nullptr || *env == '\0')
+        return tableFor(bestIsa());
+    const std::optional<Isa> isa = isaFromString(env);
+    if (!isa.has_value())
+        fatal("MARLIN_ISA='%s' is not 'scalar' or 'avx2'", env);
+    if (!isaAvailable(*isa))
+        fatal("MARLIN_ISA=%s requested but this build/CPU cannot "
+              "run it",
+              env);
+    return tableFor(*isa);
+}
+
+} // namespace
+
+const KernelTable &
+active()
+{
+    const KernelTable *table =
+        currentTable.load(std::memory_order_acquire);
+    if (MARLIN_LIKELY(table != nullptr))
+        return *table;
+    // Magic-static so concurrent first calls resolve exactly once.
+    static const KernelTable *resolved = [] {
+        const KernelTable *t = resolveStartupTable();
+        currentTable.store(t, std::memory_order_release);
+        return t;
+    }();
+    return *resolved;
+}
+
+Isa
+activeIsa()
+{
+    return active().isa;
+}
+
+const char *
+isaName(Isa isa)
+{
+    return isa == Isa::Avx2 ? "avx2" : "scalar";
+}
+
+bool
+isaAvailable(Isa isa)
+{
+    if (isa == Isa::Scalar)
+        return true;
+#if defined(MARLIN_HAVE_AVX2_TU)
+    return base::cpuSupportsAvx2();
+#else
+    return false;
+#endif
+}
+
+std::optional<Isa>
+isaFromString(const std::string &name)
+{
+    if (name == "scalar")
+        return Isa::Scalar;
+    if (name == "avx2")
+        return Isa::Avx2;
+    return std::nullopt;
+}
+
+void
+setIsa(Isa isa)
+{
+    if (!isaAvailable(isa))
+        fatal("ISA '%s' is not available in this build/CPU",
+              isaName(isa));
+    currentTable.store(tableFor(isa), std::memory_order_release);
+}
+
+} // namespace marlin::numeric::kernels

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * AVX2 kernel table. This is the only TU built with -mavx2 -mfma;
+ * it is entered strictly behind the cpuid check in isaAvailable(),
+ * so the rest of the binary stays runnable on baseline x86-64.
+ *
+ * Bit-exactness with the scalar reference is a hard contract here:
+ * every kernel maps one output element to one SIMD lane and runs
+ * the identical IEEE op sequence the scalar table runs. That means
+ *  - separate _mm256_mul_ps / _mm256_add_ps, never _mm256_fmadd_ps
+ *    (FMA's single rounding would diverge), and the TU is compiled
+ *    with -ffp-contract=off so the compiler cannot re-fuse them;
+ *  - compare+blend instead of min/max for ReLU and clamp, because
+ *    vmaxps(-0, +0) returns +0 where the scalar branch keeps -0;
+ *  - _mm256_sqrt_ps / _mm256_div_ps only, which are IEEE
+ *    correctly-rounded — no rsqrt/rcp approximations.
+ * Tail elements fall back to the same scalar expressions, compiled
+ * in this TU under the same -ffp-contract=off.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <immintrin.h>
+
+#include "marlin/numeric/kernels.hh"
+
+namespace marlin::numeric::kernels
+{
+
+namespace
+{
+
+constexpr std::size_t lanes = 8; // 256-bit / float32
+
+void
+axpyAvx2(Real a, const Real *x, Real *y, std::size_t n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const __m256 vx = _mm256_loadu_ps(x + i);
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        _mm256_storeu_ps(y + i,
+                         _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+addAvx2(const Real *x, Real *y, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const __m256 vx = _mm256_loadu_ps(x + i);
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        _mm256_storeu_ps(y + i, _mm256_add_ps(vy, vx));
+    }
+    for (; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+subAvx2(const Real *x, Real *y, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const __m256 vx = _mm256_loadu_ps(x + i);
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        _mm256_storeu_ps(y + i, _mm256_sub_ps(vy, vx));
+    }
+    for (; i < n; ++i)
+        y[i] -= x[i];
+}
+
+void
+scaleAvx2(Real a, Real *y, std::size_t n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        _mm256_storeu_ps(y + i, _mm256_mul_ps(vy, va));
+    }
+    for (; i < n; ++i)
+        y[i] *= a;
+}
+
+void
+clampAvx2(Real lo, Real hi, Real *y, std::size_t n)
+{
+    const __m256 vlo = _mm256_set1_ps(lo);
+    const __m256 vhi = _mm256_set1_ps(hi);
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        __m256 v = _mm256_loadu_ps(y + i);
+        // (v < lo) ? lo : v, then (hi < v) ? hi : v — ordered-quiet
+        // compares leave NaN lanes untouched, like std::clamp.
+        const __m256 below = _mm256_cmp_ps(v, vlo, _CMP_LT_OQ);
+        v = _mm256_blendv_ps(v, vlo, below);
+        const __m256 above = _mm256_cmp_ps(vhi, v, _CMP_LT_OQ);
+        v = _mm256_blendv_ps(v, vhi, above);
+        _mm256_storeu_ps(y + i, v);
+    }
+    for (; i < n; ++i) {
+        const Real v = y[i];
+        y[i] = (v < lo) ? lo : (hi < v) ? hi : v;
+    }
+}
+
+void
+reluForwardAvx2(const Real *x, Real *y, std::size_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const __m256 vx = _mm256_loadu_ps(x + i);
+        const __m256 neg = _mm256_cmp_ps(vx, zero, _CMP_LT_OQ);
+        _mm256_storeu_ps(y + i, _mm256_andnot_ps(neg, vx));
+    }
+    for (; i < n; ++i)
+        y[i] = (x[i] < Real(0)) ? Real(0) : x[i];
+}
+
+void
+reluBackwardAvx2(const Real *pre, Real *g, std::size_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const __m256 vp = _mm256_loadu_ps(pre + i);
+        const __m256 vg = _mm256_loadu_ps(g + i);
+        const __m256 dead = _mm256_cmp_ps(vp, zero, _CMP_LE_OQ);
+        _mm256_storeu_ps(g + i, _mm256_andnot_ps(dead, vg));
+    }
+    for (; i < n; ++i)
+        if (pre[i] <= Real(0))
+            g[i] = Real(0);
+}
+
+void
+adamStepAvx2(const AdamParams &p, const Real *g, Real *w, Real *m,
+             Real *v, std::size_t n)
+{
+    const Real omb1s = Real(1) - p.beta1;
+    const Real omb2s = Real(1) - p.beta2;
+    const __m256 b1 = _mm256_set1_ps(p.beta1);
+    const __m256 b2 = _mm256_set1_ps(p.beta2);
+    const __m256 omb1 = _mm256_set1_ps(omb1s);
+    const __m256 omb2 = _mm256_set1_ps(omb2s);
+    const __m256 corr1 = _mm256_set1_ps(p.biasCorr1);
+    const __m256 corr2 = _mm256_set1_ps(p.biasCorr2);
+    const __m256 lr = _mm256_set1_ps(p.lr);
+    const __m256 eps = _mm256_set1_ps(p.epsilon);
+    std::size_t j = 0;
+    for (; j + lanes <= n; j += lanes) {
+        const __m256 vg = _mm256_loadu_ps(g + j);
+        __m256 vm = _mm256_loadu_ps(m + j);
+        __m256 vv = _mm256_loadu_ps(v + j);
+        vm = _mm256_add_ps(_mm256_mul_ps(b1, vm),
+                           _mm256_mul_ps(omb1, vg));
+        // Matches the scalar (omb2 * g) * g association.
+        vv = _mm256_add_ps(
+            _mm256_mul_ps(b2, vv),
+            _mm256_mul_ps(_mm256_mul_ps(omb2, vg), vg));
+        const __m256 mhat = _mm256_div_ps(vm, corr1);
+        const __m256 vhat = _mm256_div_ps(vv, corr2);
+        const __m256 denom =
+            _mm256_add_ps(_mm256_sqrt_ps(vhat), eps);
+        const __m256 step =
+            _mm256_div_ps(_mm256_mul_ps(lr, mhat), denom);
+        _mm256_storeu_ps(m + j, vm);
+        _mm256_storeu_ps(v + j, vv);
+        _mm256_storeu_ps(
+            w + j, _mm256_sub_ps(_mm256_loadu_ps(w + j), step));
+    }
+    for (; j < n; ++j) {
+        m[j] = p.beta1 * m[j] + omb1s * g[j];
+        v[j] = p.beta2 * v[j] + omb2s * g[j] * g[j];
+        const Real mhat = m[j] / p.biasCorr1;
+        const Real vhat = v[j] / p.biasCorr2;
+        w[j] -= p.lr * mhat / (std::sqrt(vhat) + p.epsilon);
+    }
+}
+
+void
+softUpdateAvx2(Real tau, const Real *s, Real *d, std::size_t n)
+{
+    const Real omts = Real(1) - tau;
+    const __m256 vt = _mm256_set1_ps(tau);
+    const __m256 omt = _mm256_set1_ps(omts);
+    std::size_t j = 0;
+    for (; j + lanes <= n; j += lanes) {
+        const __m256 vs = _mm256_loadu_ps(s + j);
+        const __m256 vd = _mm256_loadu_ps(d + j);
+        _mm256_storeu_ps(d + j,
+                         _mm256_add_ps(_mm256_mul_ps(vt, vs),
+                                       _mm256_mul_ps(omt, vd)));
+    }
+    for (; j < n; ++j)
+        d[j] = tau * s[j] + omts * d[j];
+}
+
+void
+copyAvx2(const Real *s, Real *d, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 * lanes <= n; i += 4 * lanes) {
+        const __m256 a = _mm256_loadu_ps(s + i);
+        const __m256 b = _mm256_loadu_ps(s + i + lanes);
+        const __m256 c = _mm256_loadu_ps(s + i + 2 * lanes);
+        const __m256 e = _mm256_loadu_ps(s + i + 3 * lanes);
+        _mm256_storeu_ps(d + i, a);
+        _mm256_storeu_ps(d + i + lanes, b);
+        _mm256_storeu_ps(d + i + 2 * lanes, c);
+        _mm256_storeu_ps(d + i + 3 * lanes, e);
+    }
+    if (i < n)
+        std::memcpy(d + i, s + i, (n - i) * sizeof(Real));
+}
+
+void
+gemmBlockAvx2(const Real *a, std::size_t astride, const Real *b,
+              std::size_t ldb, std::size_t kb, Real *c,
+              std::size_t n, bool skip_zeros)
+{
+    for (std::size_t t = 0; t < kb; ++t) {
+        const Real coef = a[t * astride];
+        if (skip_zeros && coef == Real(0))
+            continue;
+        const Real *brow = b + t * ldb;
+        const __m256 vc = _mm256_set1_ps(coef);
+        std::size_t j = 0;
+        for (; j + lanes <= n; j += lanes) {
+            const __m256 vb = _mm256_loadu_ps(brow + j);
+            const __m256 acc = _mm256_loadu_ps(c + j);
+            _mm256_storeu_ps(
+                c + j,
+                _mm256_add_ps(acc, _mm256_mul_ps(vc, vb)));
+        }
+        for (; j < n; ++j)
+            c[j] += coef * brow[j];
+    }
+}
+
+constexpr KernelTable avx2TableInstance = {
+    Isa::Avx2,       axpyAvx2,       addAvx2,
+    subAvx2,         scaleAvx2,      clampAvx2,
+    reluForwardAvx2, reluBackwardAvx2, adamStepAvx2,
+    softUpdateAvx2,  copyAvx2,       gemmBlockAvx2,
+};
+
+} // namespace
+
+const KernelTable &
+avx2Table()
+{
+    return avx2TableInstance;
+}
+
+} // namespace marlin::numeric::kernels

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "marlin/numeric/kernels.hh"
+
 namespace marlin::numeric
 {
 
@@ -42,8 +44,8 @@ Matrix::operator+=(const Matrix &other)
 {
     MARLIN_ASSERT(_rows == other._rows && _cols == other._cols,
                   "shape mismatch in +=");
-    for (std::size_t i = 0; i < _data.size(); ++i)
-        _data[i] += other._data[i];
+    kernels::active().add(other._data.data(), _data.data(),
+                          _data.size());
     return *this;
 }
 
@@ -52,16 +54,15 @@ Matrix::operator-=(const Matrix &other)
 {
     MARLIN_ASSERT(_rows == other._rows && _cols == other._cols,
                   "shape mismatch in -=");
-    for (std::size_t i = 0; i < _data.size(); ++i)
-        _data[i] -= other._data[i];
+    kernels::active().sub(other._data.data(), _data.data(),
+                          _data.size());
     return *this;
 }
 
 Matrix &
 Matrix::operator*=(Real scale)
 {
-    for (auto &v : _data)
-        v *= scale;
+    kernels::active().scale(scale, _data.data(), _data.size());
     return *this;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "marlin/numeric/kernels.hh"
+
 namespace marlin::numeric
 {
 
@@ -36,24 +38,23 @@ addRowBias(Matrix &m, const Matrix &bias)
 {
     MARLIN_ASSERT(bias.rows() == 1 && bias.cols() == m.cols(),
                   "bias shape mismatch");
+    const kernels::KernelTable &kt = kernels::active();
     const Real *b = bias.row(0);
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        Real *row = m.row(r);
-        for (std::size_t c = 0; c < m.cols(); ++c)
-            row[c] += b[c];
-    }
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        kt.add(b, m.row(r), m.cols());
 }
 
 Matrix
 sumRows(const Matrix &m)
 {
     Matrix out(1, m.cols());
+    // Column-wise reduction: each output lane sums its own column
+    // in ascending row order, so the vector path is bit-identical
+    // to the scalar one.
+    const kernels::KernelTable &kt = kernels::active();
     Real *acc = out.row(0);
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        const Real *row = m.row(r);
-        for (std::size_t c = 0; c < m.cols(); ++c)
-            acc[c] += row[c];
-    }
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        kt.add(m.row(r), acc, m.cols());
     return out;
 }
 
@@ -222,9 +223,7 @@ fillGaussian(Matrix &m, Rng &rng, Real sigma)
 void
 clampInPlace(Matrix &m, Real lo, Real hi)
 {
-    Real *d = m.data();
-    for (std::size_t i = 0; i < m.size(); ++i)
-        d[i] = std::clamp(d[i], lo, hi);
+    kernels::active().clamp(lo, hi, m.data(), m.size());
 }
 
 } // namespace marlin::numeric

@@ -1,6 +1,6 @@
 #include "marlin/replay/gather.hh"
 
-#include <cstring>
+#include "marlin/numeric/kernels.hh"
 
 namespace marlin::replay
 {
@@ -27,6 +27,8 @@ gatherAgentBatch(const ReplayBuffer &buffer, const IndexPlan &plan,
 
     const std::size_t obs_bytes = shape.obsDim * sizeof(Real);
     const std::size_t act_bytes = shape.actDim * sizeof(Real);
+    const numeric::kernels::KernelTable &kt =
+        numeric::kernels::active();
 
     for (std::size_t b = 0; b < batch; ++b) {
         const BufferIndex idx = plan.indices[b];
@@ -36,10 +38,10 @@ gatherAgentBatch(const ReplayBuffer &buffer, const IndexPlan &plan,
         const Real *src_act = buffer.actRow(idx);
         const Real *src_next = buffer.nextObsRow(idx);
 
-        std::memcpy(out.obs.row(b), src_obs, obs_bytes);
-        std::memcpy(out.actions.row(b), src_act, act_bytes);
+        kt.copy(src_obs, out.obs.row(b), shape.obsDim);
+        kt.copy(src_act, out.actions.row(b), shape.actDim);
         out.rewards(b, 0) = buffer.rewardAt(idx);
-        std::memcpy(out.nextObs.row(b), src_next, obs_bytes);
+        kt.copy(src_next, out.nextObs.row(b), shape.obsDim);
         out.dones(b, 0) = buffer.doneAt(idx);
 
         if (MARLIN_UNLIKELY(trace != nullptr)) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "marlin/base/serialize.hh"
+#include "marlin/numeric/kernels.hh"
 
 namespace marlin::replay
 {
@@ -109,6 +110,8 @@ InterleavedReplayStore::gatherAllAgents(const IndexPlan &plan,
 
     // Single loop over the common indices: each iteration touches
     // one contiguous record holding every agent's transition.
+    const numeric::kernels::KernelTable &kt =
+        numeric::kernels::active();
     for (std::size_t b = 0; b < batch; ++b) {
         const BufferIndex idx = plan.indices[b];
         MARLIN_ASSERT(idx < _size,
@@ -120,15 +123,12 @@ InterleavedReplayStore::gatherAllAgents(const IndexPlan &plan,
             const AgentLayout &lay = layouts[a];
             const Real *src = rec + lay.base;
             AgentBatch &dst = out[a];
-            std::memcpy(dst.obs.row(b), src,
-                        lay.obsDim * sizeof(Real));
+            kt.copy(src, dst.obs.row(b), lay.obsDim);
             src += lay.obsDim;
-            std::memcpy(dst.actions.row(b), src,
-                        lay.actDim * sizeof(Real));
+            kt.copy(src, dst.actions.row(b), lay.actDim);
             src += lay.actDim;
             dst.rewards(b, 0) = *src++;
-            std::memcpy(dst.nextObs.row(b), src,
-                        lay.obsDim * sizeof(Real));
+            kt.copy(src, dst.nextObs.row(b), lay.obsDim);
             src += lay.obsDim;
             dst.dones(b, 0) = *src;
         }

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate MARLin bench output in CI's bench-smoke job.
+
+Two artifacts are checked:
+
+  1. The bench's stdout, which must contain the machine-readable
+     banner line every MARLin bench emits:
+         {"bench": "...", "threads": N, "isa": "..."}
+     Downstream tooling keys throughput numbers on those three
+     fields, so a bench that stops emitting them (or emits invalid
+     JSON) must fail CI, not silently produce unattributable data.
+
+  2. The google-benchmark --benchmark_out JSON file, which must
+     parse and contain a non-empty "benchmarks" array with real_time
+     readings.
+
+Usage: check_bench_json.py STDOUT_FILE BENCHMARK_JSON_FILE
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_banner(stdout_path: str) -> None:
+    banners = []
+    with open(stdout_path, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.strip()
+            if not (line.startswith("{") and line.endswith("}")):
+                continue
+            try:
+                banners.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"malformed banner line {line!r}: {e}")
+    if not banners:
+        fail(f"no JSON banner line found in {stdout_path}")
+    for banner in banners:
+        for key in ("bench", "threads", "isa"):
+            if key not in banner:
+                fail(f"banner {banner!r} is missing key {key!r}")
+        if not isinstance(banner["threads"], int) or banner["threads"] < 1:
+            fail(f"banner {banner!r} has a bad thread count")
+        if banner["isa"] not in ("scalar", "avx2"):
+            fail(f"banner {banner!r} has unknown isa {banner['isa']!r}")
+    print(f"ok: {len(banners)} banner line(s) in {stdout_path}")
+
+
+def check_benchmark_out(json_path: str) -> None:
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {json_path}: {e}")
+    runs = doc.get("benchmarks")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{json_path} has no benchmark runs")
+    for run in runs:
+        if "error_occurred" in run and run["error_occurred"]:
+            # Skipped variants (e.g. avx2 on a non-AVX2 runner) are
+            # fine; a run that errored for any other reason is not.
+            msg = run.get("error_message", "")
+            if "not available" not in msg:
+                fail(f"benchmark {run.get('name')!r} errored: {msg}")
+            continue
+        if "real_time" not in run:
+            fail(f"benchmark {run.get('name')!r} has no real_time")
+    print(f"ok: {len(runs)} benchmark run(s) in {json_path}")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_json.py STDOUT_FILE BENCH_JSON_FILE")
+    check_banner(sys.argv[1])
+    check_benchmark_out(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
