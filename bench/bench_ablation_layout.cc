@@ -125,6 +125,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_ablation_layout");
     banner("Ablation: replay storage layout (SoA vs AoS vs "
            "interleaved)");
     replay::UniformSampler uniform;

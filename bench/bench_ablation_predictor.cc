@@ -100,6 +100,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_ablation_predictor");
     banner("Ablation: info-prioritized neighbor predictor");
     const std::size_t agents = 6;
     auto shapes = taskShapes(Task::PredatorPrey, agents);

@@ -45,6 +45,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_ablation_prefetcher");
     banner("Ablation: prefetcher on/off under each sampler");
     const std::size_t agents = 6;
     auto shapes = taskShapes(Task::PredatorPrey, agents);

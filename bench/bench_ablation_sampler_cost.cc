@@ -57,6 +57,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_ablation_sampler_cost");
     banner("Ablation: index-plan generation vs gather cost per "
            "update");
     const std::size_t agents = 6;

@@ -103,6 +103,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig10_reward_curves");
     banner("Figure 10: reward curves, baseline vs cache-aware "
            "sampling");
     runScenario(Task::PredatorPrey, 6, 1600);

@@ -140,6 +140,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig11_per_rewards");
     banner("Figure 11 / Section VI-C1: information-prioritized "
            "locality-aware sampling");
     rewardScenario(Task::PredatorPrey, 6, 1600);

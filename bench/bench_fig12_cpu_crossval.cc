@@ -18,6 +18,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig12_cpu_crossval");
     banner("Figure 12: cross-validation on i7-9700K (CPU only, "
            "simulated)");
     printCrossval("i7-9700K (CPU only)", false);

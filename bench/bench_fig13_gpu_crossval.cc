@@ -19,6 +19,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig13_gpu_crossval");
     banner("Figure 13: cross-validation on i7-9700K + GTX 1070 "
            "(simulated)");
     printCrossval("i7-9700K + GTX 1070", true);

@@ -150,6 +150,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig14_layout_reorg");
     banner("Figure 14: transition data layout reorganization");
     runTask(Task::PredatorPrey);
     runTask(Task::CooperativeNavigation);

@@ -44,6 +44,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig2_phase_breakdown");
     banner("Figure 2: end-to-end phase breakdown");
     runConfig(Algo::Maddpg, Task::PredatorPrey);
     runConfig(Algo::Maddpg, Task::CooperativeNavigation);

@@ -43,6 +43,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig3_update_breakdown");
     banner("Figure 3: update-all-trainers internal breakdown");
     runConfig(Algo::Maddpg, Task::PredatorPrey);
     runConfig(Algo::Maddpg, Task::CooperativeNavigation);

@@ -127,6 +127,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig4_hw_counters");
     banner("Figure 4: hardware-counter growth under agent doubling "
            "(trace-driven model)");
     // Fixed capacity across the sweep, as in the paper's 1e6-entry

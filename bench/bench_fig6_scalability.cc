@@ -23,6 +23,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig6_scalability");
     banner("Figure 6: MADDPG predator-prey scalability to 48 agents");
     const double paper_totals[] = {3366, 8505, 23406, 82769, 302825};
     const double paper_update_pct[] = {34, 46, 61, 76, 87};

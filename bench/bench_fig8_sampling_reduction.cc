@@ -85,6 +85,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig8_sampling_reduction");
     banner("Figure 8: sampling-phase reduction from cache "
            "locality-aware sampling");
     std::printf("batch=1024; buffer scaled to fit memory (paper: "

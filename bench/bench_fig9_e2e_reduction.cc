@@ -89,6 +89,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_fig9_e2e_reduction");
     banner("Figure 9: end-to-end training-time reduction from "
            "cache-aware sampling");
     runTask(Task::PredatorPrey);

@@ -317,6 +317,7 @@ main(int argc, char **argv)
     marlin::bench::initThreads(argc, argv);
     marlin::bench::initIsa(argc, argv);
     marlin::bench::initLogLevel(argc, argv);
+    marlin::bench::ObsSession obs(argc, argv, "bench_micro_kernels");
     marlin::bench::banner("micro_kernels");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

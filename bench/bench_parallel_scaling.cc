@@ -109,6 +109,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_parallel_scaling");
     banner("Parallel scaling: update-all-trainers across "
            "threads x agents");
 

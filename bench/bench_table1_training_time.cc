@@ -63,6 +63,7 @@ main(int argc, char **argv)
     initThreads(argc, argv);
     initIsa(argc, argv);
     initLogLevel(argc, argv);
+    ObsSession obs(argc, argv, "bench_table1_training_time");
     banner("Table I: end-to-end training time, 60k episodes "
            "(extrapolated)");
     std::printf("CPU phases measured; GPU phases modeled as RTX "

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "marlin/marlin.hh"
+#include "marlin/version.hh"
 
 namespace marlin::bench
 {
@@ -321,10 +322,11 @@ banner(const char *title)
 {
     std::printf("\n=== %s ===\n", title);
     std::printf("{\"bench\": \"%s\", \"threads\": %zu, "
-                "\"isa\": \"%s\"}\n",
+                "\"isa\": \"%s\", \"commit\": \"%s\"}\n",
                 title, base::ThreadPool::globalThreads(),
                 numeric::kernels::isaName(
-                    numeric::kernels::activeIsa()));
+                    numeric::kernels::activeIsa()),
+                marlin::gitCommit);
 }
 
 /** Percentage change from baseline to optimized wall-clock. */
@@ -334,6 +336,135 @@ pctReduction(double baseline, double optimized)
     return baseline > 0 ? 100.0 * (baseline - optimized) / baseline
                         : 0.0;
 }
+
+/**
+ * One-line observability hookup for bench binaries: consumes
+ * --telemetry PATH, --telemetry-every N, --trace PATH and
+ * --trace-capacity N from argv (same compaction convention as
+ * initThreads(), so google-benchmark never sees them). When either
+ * sink is requested it turns on kernel invocation counting and, for
+ * --trace, installs the process-wide trace ring; destruction writes
+ * the closing telemetry summary (a final merged metrics snapshot)
+ * and exports the trace, reporting — never hiding — dropped events.
+ *
+ *   int main(int argc, char **argv) {
+ *       ...initThreads/initIsa...
+ *       bench::ObsSession obs(argc, argv, "bench_foo");
+ *
+ * With no flags given, construction is free apart from the argv scan
+ * and the bench runs exactly as before.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(int &argc, char **argv, const char *bench)
+    {
+        std::string every = "1";
+        std::string capacity = "262144";
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (!consume(argc, argv, i, "--telemetry",
+                         telemetryPath) &&
+                !consume(argc, argv, i, "--telemetry-every",
+                         every) &&
+                !consume(argc, argv, i, "--trace", tracePath) &&
+                !consume(argc, argv, i, "--trace-capacity",
+                         capacity)) {
+                argv[out++] = argv[i];
+            }
+        }
+        for (int i = out; i < argc; ++i)
+            argv[i] = nullptr;
+        argc = out;
+
+        if (!telemetryPath.empty() || !tracePath.empty())
+            numeric::kernels::setCounting(true);
+        if (!tracePath.empty()) {
+            obs::TraceRing::enable(static_cast<std::size_t>(
+                std::strtoull(capacity.c_str(), nullptr, 10)));
+        }
+        if (!telemetryPath.empty()) {
+            everySteps = static_cast<std::size_t>(
+                std::strtoull(every.c_str(), nullptr, 10));
+            if (everySteps == 0)
+                everySteps = 1;
+            writer = std::make_unique<obs::TelemetryWriter>(
+                telemetryPath,
+                std::vector<std::pair<std::string, std::string>>{
+                    {"tool", bench},
+                    {"threads",
+                     std::to_string(
+                         base::ThreadPool::globalThreads())},
+                    {"isa", numeric::kernels::isaName(
+                                numeric::kernels::activeIsa())},
+                });
+            if (!writer->ok())
+                fatal("cannot open --telemetry path '%s'",
+                      telemetryPath.c_str());
+        }
+    }
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    ~ObsSession()
+    {
+        if (writer)
+            writer->writeSummary(results);
+        if (!tracePath.empty()) {
+            const obs::TraceRing *ring = obs::TraceRing::active();
+            std::string error;
+            if (!obs::exportTrace(tracePath, &error)) {
+                warn("trace export to '%s' failed: %s",
+                     tracePath.c_str(), error.c_str());
+                return;
+            }
+            inform("trace: %zu event(s) -> '%s' (%llu dropped)",
+                   ring != nullptr ? ring->size() : std::size_t(0),
+                   tracePath.c_str(),
+                   static_cast<unsigned long long>(
+                       ring != nullptr ? ring->dropped() : 0));
+        }
+    }
+
+    /** Writer for benches that drive a TrainLoop; null otherwise. */
+    obs::TelemetryWriter *telemetry() { return writer.get(); }
+
+    /** Cadence requested via --telemetry-every (default 1). */
+    std::size_t telemetryEvery() const { return everySteps; }
+
+    /** Add a (key, value) to the closing summary record. */
+    void
+    addResult(const std::string &key, double value)
+    {
+        results.emplace_back(key, value);
+    }
+
+  private:
+    /** Consume "--flag VALUE" / "--flag=VALUE" at argv[i]. */
+    static bool
+    consume(int argc, char **argv, int &i, const char *flag,
+            std::string &value)
+    {
+        const std::size_t len = std::strlen(flag);
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+            value = argv[++i];
+            return true;
+        }
+        if (std::strncmp(argv[i], flag, len) == 0 &&
+            argv[i][len] == '=') {
+            value = argv[i] + len + 1;
+            return true;
+        }
+        return false;
+    }
+
+    std::string telemetryPath;
+    std::string tracePath;
+    std::size_t everySteps = 1;
+    std::unique_ptr<obs::TelemetryWriter> writer;
+    std::vector<std::pair<std::string, double>> results;
+};
 
 } // namespace marlin::bench
 

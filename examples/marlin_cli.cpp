@@ -136,6 +136,18 @@ main(int argc, char **argv)
                    "non-finite loss/gradient policy: off, halt, "
                    "skip or rollback (rollback needs "
                    "--checkpoint-dir)");
+    args.addOption("telemetry", "",
+                   "stream per-step run telemetry (JSONL) to this "
+                   "path; training numerics are unchanged");
+    args.addOption("telemetry-every", "1",
+                   "environment steps between telemetry records");
+    args.addOption("trace", "",
+                   "export a Chrome/Perfetto trace_event JSON of "
+                   "phase spans, pool tasks and checkpoint writes "
+                   "to this path");
+    args.addOption("trace-capacity", "262144",
+                   "trace ring capacity in events; overflow is "
+                   "counted, never silently lost");
     args.addOption("log-level", "inform",
                    "silent, fatal, warn, inform or debug");
     args.addFlag("interleaved",
@@ -235,7 +247,48 @@ main(int argc, char **argv)
                args.get("load-checkpoint").c_str());
     }
 
+    // Observability sinks. Both are pure observers: enabling them
+    // changes no training numerics and no checkpoint bytes.
+    const std::string telemetry_path = args.get("telemetry");
+    const std::string trace_path = args.get("trace");
+    if (!telemetry_path.empty() || !trace_path.empty())
+        numeric::kernels::setCounting(true);
+    if (!trace_path.empty()) {
+        obs::TraceRing::enable(static_cast<std::size_t>(
+            args.getInt("trace-capacity")));
+    }
+    std::unique_ptr<obs::TelemetryWriter> telemetry;
+    if (!telemetry_path.empty()) {
+        telemetry = std::make_unique<obs::TelemetryWriter>(
+            telemetry_path,
+            std::vector<std::pair<std::string, std::string>>{
+                {"tool", "marlin_cli"},
+                {"algo", algo},
+                {"task", args.get("task")},
+                {"agents", args.get("agents")},
+                {"episodes", args.get("episodes")},
+                {"sampler", args.get("sampler")},
+                {"seed", args.get("seed")},
+                {"threads",
+                 std::to_string(base::ThreadPool::globalThreads())},
+                {"isa",
+                 numeric::kernels::isaName(
+                     numeric::kernels::activeIsa())},
+                {"layout", args.getFlag("interleaved")
+                               ? "interleaved"
+                               : "aos"},
+            });
+        if (!telemetry->ok())
+            fatal("cannot open --telemetry path '%s'",
+                  telemetry_path.c_str());
+    }
+
     core::TrainLoop loop(*environment, *trainer, config);
+    if (telemetry) {
+        loop.setTelemetry(telemetry.get(),
+                          static_cast<std::size_t>(
+                              args.getInt("telemetry-every")));
+    }
     if (!args.get("checkpoint-dir").empty()) {
         core::CheckpointOptions ckpt;
         ckpt.dir = args.get("checkpoint-dir");
@@ -286,6 +339,24 @@ main(int argc, char **argv)
         core::saveTrainerFile(args.get("save-checkpoint"), *trainer);
         inform("saved checkpoint '%s'",
                args.get("save-checkpoint").c_str());
+    }
+
+    if (!trace_path.empty()) {
+        const obs::TraceRing *ring = obs::TraceRing::active();
+        std::string error;
+        if (!obs::exportTrace(trace_path, &error)) {
+            fatal("trace export to '%s' failed: %s",
+                  trace_path.c_str(), error.c_str());
+        }
+        inform("trace: %zu event(s) -> '%s' (%llu dropped)",
+               ring != nullptr ? ring->size() : std::size_t(0),
+               trace_path.c_str(),
+               static_cast<unsigned long long>(
+                   ring != nullptr ? ring->dropped() : 0));
+        if (ring != nullptr && ring->dropped() > 0) {
+            warn("trace ring overflowed; rerun with a larger "
+                 "--trace-capacity to keep every event");
+        }
     }
     return 0;
 }

@@ -1,0 +1,55 @@
+#include "marlin/base/instant.hh"
+
+#include <atomic>
+
+namespace marlin::base
+{
+
+namespace
+{
+
+/**
+ * Captured during static initialization so spans recorded from any
+ * point in main() have non-negative offsets. Dynamic-init order
+ * relative to other TUs does not matter: the first call from any
+ * consumer happens long after all static init completed.
+ */
+const std::chrono::steady_clock::time_point g_processStart =
+    std::chrono::steady_clock::now();
+
+std::atomic<unsigned> g_nextThreadTag{0};
+
+} // namespace
+
+std::chrono::steady_clock::time_point
+processStartTime() noexcept
+{
+    return g_processStart;
+}
+
+std::uint64_t
+nsSinceStart(std::chrono::steady_clock::time_point tp) noexcept
+{
+    if (tp <= g_processStart)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp - g_processStart)
+            .count());
+}
+
+std::uint64_t
+nowNsSinceStart() noexcept
+{
+    return nsSinceStart(std::chrono::steady_clock::now());
+}
+
+unsigned
+currentThreadTag() noexcept
+{
+    thread_local const unsigned tag =
+        g_nextThreadTag.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+} // namespace marlin::base

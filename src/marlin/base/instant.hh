@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Process-wide monotonic timebase and compact thread tags.
+ *
+ * Every observability consumer — trace spans, telemetry records and
+ * Debug-level log prefixes — stamps times against the same steady
+ * epoch (captured at static-init time, before main), so a log line at
+ * t=1.234s lines up with the trace span covering t=1.234s when both
+ * are opened side by side. Thread tags are small sequential integers
+ * (0 for the first thread that asks, usually main) rather than OS
+ * thread ids, so traces and logs from different runs stay comparable.
+ */
+
+#ifndef MARLIN_BASE_INSTANT_HH
+#define MARLIN_BASE_INSTANT_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace marlin::base
+{
+
+/** Steady-clock epoch shared by logs, traces and telemetry. */
+std::chrono::steady_clock::time_point processStartTime() noexcept;
+
+/** Nanoseconds between the process epoch and @p tp. */
+std::uint64_t
+nsSinceStart(std::chrono::steady_clock::time_point tp) noexcept;
+
+/** Nanoseconds since the process epoch, now. */
+std::uint64_t nowNsSinceStart() noexcept;
+
+/**
+ * Small per-thread integer, assigned in first-use order (main is
+ * almost always 0). Stable for the thread's lifetime.
+ */
+unsigned currentThreadTag() noexcept;
+
+} // namespace marlin::base
+
+#endif // MARLIN_BASE_INSTANT_HH

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "marlin/base/instant.hh"
 #include "marlin/base/string_utils.hh"
 
 namespace marlin
@@ -18,7 +19,18 @@ void
 emit(const char *tag, const char *fmt, va_list args)
 {
     std::string msg = vcsprintf(fmt, args);
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    if (global_level >= LogLevel::Debug) {
+        // At Debug verbosity every line carries seconds since the
+        // shared process epoch and the compact thread tag — the same
+        // timebase and tids the trace exporter stamps on spans, so
+        // log lines correlate with trace slices directly.
+        std::fprintf(stderr, "[%12.6f T%02u] %s: %s\n",
+                     static_cast<double>(base::nowNsSinceStart()) /
+                         1e9,
+                     base::currentThreadTag(), tag, msg.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    }
 }
 
 } // namespace

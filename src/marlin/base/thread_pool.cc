@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "marlin/base/instant.hh"
 #include "marlin/base/logging.hh"
 
 namespace marlin::base
@@ -13,6 +14,8 @@ namespace
 
 /** Set while the thread executes chunks of a pool dispatch. */
 thread_local bool t_inWorker = false;
+
+std::atomic<ThreadPool::TaskHook> g_taskHook{nullptr};
 
 /** Requested size for the global pool; 0 = resolve from env/hw. */
 std::size_t g_requestedThreads = 0;
@@ -71,6 +74,10 @@ ThreadPool::runChunks(Job &j)
             break;
         const std::size_t c0 = j.begin + chunk * j.grain;
         const std::size_t c1 = c0 + j.grain;
+        const TaskHook hook =
+            g_taskHook.load(std::memory_order_relaxed);
+        const std::uint64_t start_ns =
+            hook != nullptr ? nowNsSinceStart() : 0;
         try {
             (*j.fn)(c0, c1);
         } catch (...) {
@@ -78,6 +85,8 @@ ThreadPool::runChunks(Job &j)
             if (!j.error)
                 j.error = std::current_exception();
         }
+        if (hook != nullptr)
+            hook(start_ns, nowNsSinceStart() - start_ns);
         j.pendingChunks.fetch_sub(1, std::memory_order_acq_rel);
     }
     t_inWorker = was_worker;
@@ -209,6 +218,12 @@ ThreadPool::setGlobalThreads(std::size_t threads)
         return;
     g_globalPool.reset(); // Join the old workers before respawning.
     g_globalPool = std::make_unique<ThreadPool>(want);
+}
+
+void
+ThreadPool::setTaskHook(TaskHook hook) noexcept
+{
+    g_taskHook.store(hook, std::memory_order_relaxed);
 }
 
 std::size_t

@@ -96,6 +96,19 @@ class ThreadPool
     /** Thread count the global pool has (or would be built with). */
     static std::size_t globalThreads();
 
+    /**
+     * Observer invoked after each executed chunk with its start time
+     * and duration (nanoseconds on the instant.hh timebase). The base
+     * layer knows nothing about tracing; the obs subsystem installs a
+     * hook here when --trace enables the trace ring. Must be cheap
+     * and must not touch the pool. nullptr (the default) costs one
+     * relaxed load per chunk.
+     */
+    using TaskHook = void (*)(std::uint64_t start_ns,
+                              std::uint64_t dur_ns);
+
+    static void setTaskHook(TaskHook hook) noexcept;
+
   private:
     struct Job
     {

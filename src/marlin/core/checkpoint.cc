@@ -10,6 +10,8 @@
 #include "marlin/base/crc32.hh"
 #include "marlin/base/serialize.hh"
 #include "marlin/nn/serialize.hh"
+#include "marlin/obs/metrics.hh"
+#include "marlin/obs/trace.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -384,6 +386,14 @@ loadImage(const std::string &image, const RunState &state)
     return CkptResult::ok(version);
 }
 
+obs::Counter &
+fsyncCounter()
+{
+    static obs::Counter &fsyncs =
+        obs::Registry::instance().counter("ckpt.fsyncs");
+    return fsyncs;
+}
+
 void
 fsyncDirectory(const std::string &dir)
 {
@@ -391,6 +401,7 @@ fsyncDirectory(const std::string &dir)
     const int fd = ::open(dir.c_str(), O_RDONLY);
     if (fd >= 0) {
         ::fsync(fd);
+        fsyncCounter().add();
         ::close(fd);
     }
 #else
@@ -484,6 +495,15 @@ CkptResult
 saveRunFile(const std::string &path, const RunState &state,
             base::FaultInjector *injector)
 {
+    // Spans + counters expose the paper-relevant cost of durability:
+    // how many bytes each rotation writes and how often fsync stalls
+    // the loop.
+    obs::TraceSpan span("checkpoint_write", "ckpt");
+    static obs::Counter &files =
+        obs::Registry::instance().counter("ckpt.files_written");
+    static obs::Counter &bytes =
+        obs::Registry::instance().counter("ckpt.bytes_written");
+
     std::ostringstream buf;
     saveRun(buf, state);
     const std::string image = buf.str();
@@ -511,8 +531,10 @@ saveRunFile(const std::string &path, const RunState &state,
         std::fwrite(image.data(), 1, image.size(), f);
     const bool flushed = std::fflush(f) == 0;
 #if defined(__unix__) || defined(__APPLE__)
-    if (flushed)
+    if (flushed) {
         ::fsync(::fileno(f));
+        fsyncCounter().add();
+    }
 #endif
     std::fclose(f);
     if (wrote != image.size() || !flushed) {
@@ -528,6 +550,8 @@ saveRunFile(const std::string &path, const RunState &state,
         r.path = path;
         return r;
     }
+    files.add();
+    bytes.add(image.size());
     CkptResult r = CkptResult::ok(checkpointVersion);
     r.path = path;
     return r;
@@ -536,8 +560,14 @@ saveRunFile(const std::string &path, const RunState &state,
 CkptResult
 loadRunFile(const std::string &path, const RunState &state)
 {
+    static obs::Counter &loads =
+        obs::Registry::instance().counter("ckpt.loads");
+    static obs::Counter &failures =
+        obs::Registry::instance().counter("ckpt.load_failures");
+    loads.add();
     std::ifstream is(path, std::ios::binary);
     if (!is) {
+        failures.add();
         CkptResult r = CkptResult::fail(
             CkptError::NotFound, "cannot open '" + path + "'");
         r.path = path;
@@ -545,6 +575,8 @@ loadRunFile(const std::string &path, const RunState &state)
     }
     CkptResult r = loadRun(is, state);
     r.path = path;
+    if (!r)
+        failures.add();
     return r;
 }
 

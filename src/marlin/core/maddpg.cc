@@ -10,6 +10,7 @@
 #include "marlin/base/thread_pool.hh"
 #include "marlin/nn/loss.hh"
 #include "marlin/numeric/ops.hh"
+#include "marlin/obs/metrics.hh"
 #include "marlin/replay/gather.hh"
 
 namespace marlin::core
@@ -17,6 +18,35 @@ namespace marlin::core
 
 using profile::Phase;
 using profile::ScopedPhase;
+
+namespace
+{
+
+/**
+ * L2 norm accumulated in double regardless of Real: a diagnostic
+ * read-out, deliberately outside the kernel layer so it can never
+ * alter the training arithmetic.
+ */
+Real
+l2Norm(const Matrix &m)
+{
+    double acc = 0.0;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+        const double v = static_cast<double>(m.data()[k]);
+        acc += v * v;
+    }
+    return static_cast<Real>(std::sqrt(acc));
+}
+
+obs::Counter &
+nonFiniteTrips()
+{
+    static obs::Counter &trips =
+        obs::Registry::instance().counter("health.nonfinite_trips");
+    return trips;
+}
+
+} // namespace
 
 CtdeTrainerBase::CtdeTrainerBase(std::vector<std::size_t> obs_dims,
                                  std::size_t act_dim,
@@ -235,6 +265,8 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
             stats.criticLoss += agentStats[i].criticLoss;
             stats.actorLoss += agentStats[i].actorLoss;
             stats.meanAbsTd += agentStats[i].meanAbsTd;
+            stats.criticGradNorm += agentStats[i].criticGradNorm;
+            stats.actorGradNorm += agentStats[i].actorGradNorm;
             stats.nonFiniteCount += agentStats[i].nonFiniteCount;
         }
     }
@@ -243,6 +275,8 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
     stats.criticLoss *= inv;
     stats.actorLoss *= inv;
     stats.meanAbsTd *= inv;
+    stats.criticGradNorm *= inv;
+    stats.actorGradNorm *= inv;
     ++updates;
     return stats;
 }
@@ -353,6 +387,7 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
         (net.critic2 == nullptr || !numeric::hasNonFinite(dq2));
     if (!critic_healthy) {
         ++stats.nonFiniteCount;
+        nonFiniteTrips().add();
         if (policy != HealthGuardPolicy::Off) {
             // Poisoned TD errors must not reach the sampler
             // priorities either, so the whole agent step is dropped.
@@ -365,6 +400,9 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
         net.critic2->backward(dq2);
     net.criticOpt.step();
     stats.criticLoss += critic_loss;
+    stats.criticGradNorm += l2Norm(dq);
+    if (net.critic2)
+        stats.criticGradNorm += l2Norm(dq2);
 
     // Refresh priorities from the fresh TD errors (no-op for
     // unprioritized samplers).
@@ -447,6 +485,7 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
         std::isfinite(actor_loss) && !numeric::hasNonFinite(d_logits);
     if (!actor_healthy) {
         ++stats.nonFiniteCount;
+        nonFiniteTrips().add();
         if (policy != HealthGuardPolicy::Off) {
             net.actorOpt.zeroGrad();
             return false;
@@ -455,6 +494,7 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
     net.actor.backward(d_logits);
     net.actorOpt.step();
     stats.actorLoss += actor_loss;
+    stats.actorGradNorm += l2Norm(d_logits);
     return critic_healthy && actor_healthy;
 }
 

@@ -62,6 +62,50 @@ TrainLoop::setFaultInjector(base::FaultInjector *injector_in)
     injector = injector_in;
 }
 
+void
+TrainLoop::setTelemetry(obs::TelemetryWriter *writer,
+                        std::size_t every_steps)
+{
+    telemetry = writer;
+    telemetryEvery = every_steps > 0 ? every_steps : 1;
+    telemetryLastNs.fill(0);
+    telemetryHaveStats = false;
+}
+
+void
+TrainLoop::maybeEmitTelemetry(const TrainResult &result)
+{
+    if (telemetry == nullptr ||
+        progress.envSteps % telemetryEvery != 0)
+        return;
+    obs::StepRecord rec;
+    rec.episode = progress.episodeIndex;
+    rec.envStep = progress.envSteps;
+    rec.updateCalls = progress.updateCalls;
+    rec.phaseNs.reserve(profile::numPhases);
+    for (std::size_t p = 0; p < profile::numPhases; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        const std::uint64_t total = result.timer.nanoseconds(phase);
+        rec.phaseNs.emplace_back(profile::phaseName(phase),
+                                 total - telemetryLastNs[p]);
+        telemetryLastNs[p] = total;
+    }
+    if (telemetryHaveStats) {
+        rec.haveLosses = true;
+        rec.criticLoss =
+            static_cast<double>(telemetryLastStats.criticLoss);
+        rec.actorLoss =
+            static_cast<double>(telemetryLastStats.actorLoss);
+        rec.meanAbsTd =
+            static_cast<double>(telemetryLastStats.meanAbsTd);
+        rec.criticGradNorm =
+            static_cast<double>(telemetryLastStats.criticGradNorm);
+        rec.actorGradNorm =
+            static_cast<double>(telemetryLastStats.actorGradNorm);
+    }
+    telemetry->writeStep(rec);
+}
+
 std::vector<Real>
 TrainLoop::oneHotAction(int action) const
 {
@@ -96,6 +140,21 @@ TrainLoop::finish(TrainResult &result)
         for (std::size_t e = done - tail; e < done; ++e)
             total += result.episodeRewards[e];
         result.finalScore = total / static_cast<Real>(tail);
+    }
+    if (telemetry != nullptr) {
+        telemetry->writeSummary({
+            {"episodes", static_cast<double>(done)},
+            {"env_steps", static_cast<double>(result.envSteps)},
+            {"update_calls",
+             static_cast<double>(result.updateCalls)},
+            {"final_score",
+             static_cast<double>(result.finalScore)},
+            {"nonfinite_updates",
+             static_cast<double>(result.nonFiniteUpdates)},
+            {"rollbacks", static_cast<double>(result.rollbacks)},
+            {"killed", result.killed ? 1.0 : 0.0},
+            {"halted", result.halted ? 1.0 : 0.0},
+        });
     }
     return result;
 }
@@ -220,6 +279,8 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
                     trainer.update(buffers, store.get(),
                                    result.timer);
                 ++progress.updateCalls;
+                telemetryLastStats = stats;
+                telemetryHaveStats = true;
                 if (stats.nonFiniteCount > 0) {
                     result.nonFiniteUpdates += stats.nonFiniteCount;
                     switch (config.healthPolicy) {
@@ -268,6 +329,7 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
             }
             if (rolled_back)
                 break;
+            maybeEmitTelemetry(result);
         }
 
         if (rolled_back)

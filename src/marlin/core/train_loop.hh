@@ -20,6 +20,7 @@
 #include "marlin/core/checkpoint.hh"
 #include "marlin/core/trainer.hh"
 #include "marlin/env/environment.hh"
+#include "marlin/obs/telemetry.hh"
 
 namespace marlin::core
 {
@@ -97,6 +98,16 @@ class TrainLoop
     void setCheckpointing(CheckpointOptions options);
 
     /**
+     * Stream one telemetry step record every @p every_steps
+     * environment steps (plus the run summary from the final
+     * record). The writer is a pure observer — training numerics,
+     * RNG streams and checkpoint bytes are identical with or without
+     * it. Not owned; pass nullptr to detach.
+     */
+    void setTelemetry(obs::TelemetryWriter *writer,
+                      std::size_t every_steps = 1);
+
+    /**
      * Attach a fault injector: the loop polls onStep() once per
      * environment step and abandons the run (result.killed) when a
      * kill fires, without any cleanup — on-disk state is left
@@ -140,6 +151,20 @@ class TrainLoop
     LoopProgress progress;
     CheckpointOptions ckptOptions;
     base::FaultInjector *injector = nullptr;
+    obs::TelemetryWriter *telemetry = nullptr;
+    std::size_t telemetryEvery = 1;
+
+    /**
+     * Phase accumulator values at the last telemetry record, so each
+     * record carries per-phase deltas rather than running totals.
+     */
+    std::array<std::uint64_t, profile::numPhases> telemetryLastNs{};
+    /** Last trainer update's stats, for the next step record. */
+    UpdateStats telemetryLastStats;
+    bool telemetryHaveStats = false;
+
+    /** Emit one step record if the cadence says so. */
+    void maybeEmitTelemetry(const TrainResult &result);
 
     /** One-hot encode a discrete action. */
     std::vector<Real> oneHotAction(int action) const;

@@ -29,6 +29,14 @@ struct UpdateStats
     Real actorLoss = 0;
     Real meanAbsTd = 0;
     /**
+     * L2 norms of the critic/actor loss gradients (dL/dQ resp.
+     * dL/dlogits), averaged over agents. Telemetry diagnostics only:
+     * computed from values the update already produced, so recording
+     * them cannot perturb the training numerics.
+     */
+    Real criticGradNorm = 0;
+    Real actorGradNorm = 0;
+    /**
      * Agent updates in which a non-finite loss or gradient was
      * detected this call (0 on a healthy update). Under
      * HealthGuardPolicy::Off the poisoned updates were applied

@@ -11,6 +11,7 @@
 #include "marlin/base/cpu.hh"
 #include "marlin/base/crc32.hh"
 #include "marlin/base/fault_injector.hh"
+#include "marlin/base/instant.hh"
 #include "marlin/base/logging.hh"
 #include "marlin/base/random.hh"
 #include "marlin/base/string_utils.hh"
@@ -29,6 +30,9 @@
 #include "marlin/memsim/platform.hh"
 #include "marlin/memsim/trace_replay.hh"
 #include "marlin/numeric/kernels.hh"
+#include "marlin/obs/metrics.hh"
+#include "marlin/obs/telemetry.hh"
+#include "marlin/obs/trace.hh"
 #include "marlin/profile/report.hh"
 #include "marlin/replay/aos_buffer.hh"
 #include "marlin/replay/info_prioritized_sampler.hh"

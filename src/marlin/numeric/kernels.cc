@@ -18,6 +18,7 @@
 
 #include "marlin/base/cpu.hh"
 #include "marlin/base/logging.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::numeric::kernels
 {
@@ -160,6 +161,135 @@ tableFor(Isa isa)
 
 std::atomic<const KernelTable *> currentTable{nullptr};
 
+/**
+ * Counting shim. When enabled, currentTable points at countingTable
+ * (below), whose entries bump per-kernel call/element counters and
+ * forward to the real ISA table held in underlyingTable. When
+ * disabled — the default — currentTable points straight at the real
+ * table and none of this code runs, so the detached-sink kernel path
+ * is byte-for-byte the uninstrumented dispatch.
+ */
+std::atomic<const KernelTable *> underlyingTable{nullptr};
+std::atomic<bool> countingOn{false};
+
+const KernelTable &
+real()
+{
+    return *underlyingTable.load(std::memory_order_relaxed);
+}
+
+/** Registers kernels.<name>.{calls,elems} once per wrapper. */
+#define MARLIN_KERNEL_COUNT(kernel, nelems)                            \
+    do {                                                               \
+        static obs::Counter &calls_ =                                  \
+            obs::Registry::instance().counter("kernels." kernel        \
+                                              ".calls");               \
+        static obs::Counter &elems_ =                                  \
+            obs::Registry::instance().counter("kernels." kernel        \
+                                              ".elems");               \
+        calls_.add();                                                  \
+        elems_.add(nelems);                                            \
+    } while (0)
+
+void
+axpyCounting(Real a, const Real *x, Real *y, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("axpy", n);
+    real().axpy(a, x, y, n);
+}
+
+void
+addCounting(const Real *x, Real *y, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("add", n);
+    real().add(x, y, n);
+}
+
+void
+subCounting(const Real *x, Real *y, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("sub", n);
+    real().sub(x, y, n);
+}
+
+void
+scaleCounting(Real a, Real *y, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("scale", n);
+    real().scale(a, y, n);
+}
+
+void
+clampCounting(Real lo, Real hi, Real *y, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("clamp", n);
+    real().clamp(lo, hi, y, n);
+}
+
+void
+reluForwardCounting(const Real *x, Real *y, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("relu_forward", n);
+    real().reluForward(x, y, n);
+}
+
+void
+reluBackwardCounting(const Real *pre, Real *g, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("relu_backward", n);
+    real().reluBackward(pre, g, n);
+}
+
+void
+adamStepCounting(const AdamParams &p, const Real *g, Real *w, Real *m,
+                 Real *v, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("adam_step", n);
+    real().adamStep(p, g, w, m, v, n);
+}
+
+void
+softUpdateCounting(Real tau, const Real *s, Real *d, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("soft_update", n);
+    real().softUpdate(tau, s, d, n);
+}
+
+void
+copyCounting(const Real *s, Real *d, std::size_t n)
+{
+    MARLIN_KERNEL_COUNT("copy", n);
+    real().copy(s, d, n);
+}
+
+void
+gemmBlockCounting(const Real *a, std::size_t astride, const Real *b,
+                  std::size_t ldb, std::size_t kb, Real *c,
+                  std::size_t n, bool skip_zeros)
+{
+    MARLIN_KERNEL_COUNT("gemm_block", kb * n);
+    real().gemmBlock(a, astride, b, ldb, kb, c, n, skip_zeros);
+}
+
+#undef MARLIN_KERNEL_COUNT
+
+/** isa mirrors the underlying table; rewritten on every install. */
+KernelTable countingTable = {
+    Isa::Scalar,        axpyCounting,        addCounting,
+    subCounting,        scaleCounting,       clampCounting,
+    reluForwardCounting, reluBackwardCounting, adamStepCounting,
+    softUpdateCounting, copyCounting,        gemmBlockCounting,
+};
+
+/** 0 = scalar, 1 = avx2; lets telemetry record the dispatch. */
+void
+publishIsaGauge(Isa isa)
+{
+    static obs::Gauge &gauge =
+        obs::Registry::instance().gauge("kernels.active_isa");
+    gauge.set(static_cast<double>(static_cast<int>(isa)));
+}
+
 /** Best ISA the binary carries and the CPU can run. */
 Isa
 bestIsa()
@@ -195,6 +325,8 @@ active()
     // Magic-static so concurrent first calls resolve exactly once.
     static const KernelTable *resolved = [] {
         const KernelTable *t = resolveStartupTable();
+        underlyingTable.store(t, std::memory_order_release);
+        publishIsaGauge(t->isa);
         currentTable.store(t, std::memory_order_release);
         return t;
     }();
@@ -241,7 +373,40 @@ setIsa(Isa isa)
     if (!isaAvailable(isa))
         fatal("ISA '%s' is not available in this build/CPU",
               isaName(isa));
-    currentTable.store(tableFor(isa), std::memory_order_release);
+    const KernelTable *table = tableFor(isa);
+    underlyingTable.store(table, std::memory_order_release);
+    publishIsaGauge(isa);
+    if (countingOn.load(std::memory_order_relaxed)) {
+        countingTable.isa = isa;
+        currentTable.store(&countingTable,
+                           std::memory_order_release);
+    } else {
+        currentTable.store(table, std::memory_order_release);
+    }
+}
+
+void
+setCounting(bool enabled)
+{
+    // Resolve first so underlyingTable is valid before the shim can
+    // be entered.
+    const KernelTable &resolved = active();
+    countingOn.store(enabled, std::memory_order_relaxed);
+    if (enabled) {
+        countingTable.isa = resolved.isa;
+        currentTable.store(&countingTable,
+                           std::memory_order_release);
+    } else {
+        currentTable.store(
+            underlyingTable.load(std::memory_order_acquire),
+            std::memory_order_release);
+    }
+}
+
+bool
+countingEnabled()
+{
+    return countingOn.load(std::memory_order_relaxed);
 }
 
 } // namespace marlin::numeric::kernels

@@ -152,6 +152,21 @@ std::optional<Isa> isaFromString(const std::string &name);
  */
 void setIsa(Isa isa);
 
+/**
+ * Route every kernel call through counting wrappers that bump
+ * per-kernel invocation and element counters in the obs registry
+ * ("kernels.<name>.calls" / "kernels.<name>.elems"; gemmBlock counts
+ * multiply-accumulates). Off by default, and the off state is free:
+ * the dispatched table *is* the real ISA table, so kernel calls carry
+ * exactly zero instrumentation cost until the CLI or a bench enables
+ * counting for a telemetry/trace run. Not synchronized against
+ * in-flight kernels — same caveat as setIsa().
+ */
+void setCounting(bool enabled);
+
+/** Whether the counting shim is currently installed. */
+bool countingEnabled();
+
 /** RAII ISA override for tests and benches comparing ISAs. */
 class ScopedIsa
 {

@@ -1,0 +1,101 @@
+#include "marlin/obs/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "marlin/base/thread_pool.hh"
+
+namespace marlin::obs
+{
+
+std::atomic<TraceRing *> TraceRing::g_active{nullptr};
+
+namespace
+{
+
+/**
+ * Rings are never destroyed once enabled: recording sites hold no
+ * lock, so a racing record() must stay valid even if the ring is
+ * being replaced. A leaked ring per enable() call is the price; the
+ * CLI enables at most once per process.
+ */
+TraceRing *
+retire(TraceRing *ring)
+{
+    static std::vector<std::unique_ptr<TraceRing>> graveyard;
+    if (ring != nullptr)
+        graveyard.emplace_back(ring);
+    return nullptr;
+}
+
+void
+poolChunkHook(std::uint64_t start_ns, std::uint64_t dur_ns)
+{
+    recordSpan("pool_chunk", "pool", start_ns, dur_ns);
+}
+
+} // namespace
+
+void
+TraceRing::enable(std::size_t capacity)
+{
+    if (capacity == 0)
+        capacity = 1;
+    TraceRing *ring = new TraceRing(capacity);
+    retire(g_active.exchange(ring, std::memory_order_acq_rel));
+    base::ThreadPool::setTaskHook(&poolChunkHook);
+}
+
+void
+TraceRing::disable()
+{
+    base::ThreadPool::setTaskHook(nullptr);
+    retire(g_active.exchange(nullptr, std::memory_order_acq_rel));
+}
+
+bool
+exportTrace(const std::string &path, std::string *error)
+{
+    TraceRing *ring = TraceRing::active();
+    if (ring == nullptr) {
+        if (error != nullptr)
+            *error = "tracing is not enabled";
+        return false;
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+
+    std::fputs("{\"traceEvents\":[", f);
+    const std::size_t n = ring->size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &e = ring->event(i);
+        // ts/dur are microseconds in the trace_event spec; keep the
+        // sub-microsecond part as a fraction so short kernels do not
+        // collapse to zero-width slices.
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                     i == 0 ? "" : ",", e.name, e.cat,
+                     static_cast<double>(e.startNs) / 1e3,
+                     static_cast<double>(e.durNs) / 1e3, e.tid);
+    }
+    std::fprintf(f,
+                 "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                 "\"capacity\":%zu,\"storedEvents\":%zu,"
+                 "\"droppedEvents\":%zu}}\n",
+                 ring->capacity(), n, ring->dropped());
+
+    const bool ok = std::fflush(f) == 0;
+    std::fclose(f);
+    if (!ok && error != nullptr)
+        *error = "write to '" + path + "' failed";
+    return ok;
+}
+
+} // namespace marlin::obs

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Bounded in-memory trace-event buffer with Chrome/Perfetto
+ * trace_event JSON export.
+ *
+ * Disabled by default: recording sites pay one relaxed atomic load
+ * and a predicted-not-taken branch. When enabled (--trace on the CLI
+ * and benches), phase spans, checkpoint writes and thread-pool chunk
+ * executions land in a fixed-capacity buffer via a single fetch_add
+ * — no locks, no allocation — and exportTrace() serializes them into
+ * a JSON file that ui.perfetto.dev / chrome://tracing open directly.
+ *
+ * Overflow policy: once the buffer is full, further events are
+ * dropped (the earliest events win — a trace that loses its warm-up
+ * would misattribute startup cost) and *counted*; the exporter
+ * reports the dropped total in the JSON and callers surface it, so
+ * truncation is never silent.
+ *
+ * Event names/categories are `const char *` by contract: they must
+ * point at string literals or other process-lifetime storage, which
+ * every MARLin call site satisfies (phase names, static labels).
+ */
+
+#ifndef MARLIN_OBS_TRACE_HH
+#define MARLIN_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "marlin/base/instant.hh"
+
+namespace marlin::obs
+{
+
+/** One completed span ("ph":"X"), times in ns since process start. */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+    std::uint32_t tid = 0;
+};
+
+/** The process-wide bounded trace buffer. */
+class TraceRing
+{
+  public:
+    /**
+     * Install a fresh buffer of @p capacity events as the active
+     * ring (replacing any previous one). Not thread-safe against
+     * concurrent recording — call at startup, like --trace does.
+     */
+    static void enable(std::size_t capacity);
+
+    /** Detach the active ring (recording sites go back to no-ops). */
+    static void disable();
+
+    /** Active ring, or nullptr when tracing is off. */
+    static TraceRing *
+    active() noexcept
+    {
+        return g_active.load(std::memory_order_acquire);
+    }
+
+    /** Record one span. Lock-free; drops (and counts) when full. */
+    void
+    record(const char *name, const char *cat, std::uint64_t start_ns,
+           std::uint64_t dur_ns) noexcept
+    {
+        const std::size_t idx =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= events.size()) {
+            droppedCount.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        TraceEvent &e = events[idx];
+        e.name = name;
+        e.cat = cat;
+        e.startNs = start_ns;
+        e.durNs = dur_ns;
+        e.tid = base::currentThreadTag();
+    }
+
+    std::size_t capacity() const { return events.size(); }
+
+    /** Events actually stored (<= capacity). */
+    std::size_t
+    size() const noexcept
+    {
+        const std::size_t n = next.load(std::memory_order_relaxed);
+        return n < events.size() ? n : events.size();
+    }
+
+    /** Events rejected because the buffer was full. */
+    std::size_t
+    dropped() const noexcept
+    {
+        return droppedCount.load(std::memory_order_relaxed);
+    }
+
+    const TraceEvent &
+    event(std::size_t i) const
+    {
+        return events[i];
+    }
+
+  private:
+    explicit TraceRing(std::size_t capacity) : events(capacity) {}
+
+    static std::atomic<TraceRing *> g_active;
+
+    std::vector<TraceEvent> events;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> droppedCount{0};
+};
+
+/**
+ * Record a completed span into the active ring, if any. The cheap
+ * always-on entry point used by ScopedPhase and the checkpoint
+ * writer.
+ */
+inline void
+recordSpan(const char *name, const char *cat, std::uint64_t start_ns,
+           std::uint64_t dur_ns) noexcept
+{
+    if (TraceRing *ring = TraceRing::active())
+        ring->record(name, cat, start_ns, dur_ns);
+}
+
+/** RAII span: times its scope and records on destruction. */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *name, const char *cat) noexcept
+        : _name(name), _cat(cat), startNs(base::nowNsSinceStart())
+    {
+    }
+
+    ~TraceSpan()
+    {
+        recordSpan(_name, _cat, startNs,
+                   base::nowNsSinceStart() - startNs);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *_name;
+    const char *_cat;
+    std::uint64_t startNs;
+};
+
+/**
+ * Serialize the active ring as Chrome trace_event JSON ("traceEvents"
+ * array of complete events, ts/dur in microseconds) plus an
+ * "otherData" block reporting capacity, stored and dropped counts.
+ * Returns false (with @p error filled) on I/O failure or when
+ * tracing was never enabled.
+ */
+bool exportTrace(const std::string &path,
+                 std::string *error = nullptr);
+
+} // namespace marlin::obs
+
+#endif // MARLIN_OBS_TRACE_HH

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "marlin/base/instant.hh"
+#include "marlin/obs/trace.hh"
 #include "marlin/profile/phase.hh"
 
 namespace marlin::profile
@@ -23,13 +25,23 @@ using Clock = std::chrono::steady_clock;
 class PhaseTimer
 {
   public:
-    /** Add @p ns nanoseconds to phase @p p. */
+    /**
+     * Add @p ns nanoseconds to phase @p p. noexcept so ScopedPhase
+     * destructors account time even while an exception unwinds.
+     */
     void
-    add(Phase p, std::uint64_t ns)
+    add(Phase p, std::uint64_t ns) noexcept
     {
         auto &slot = slots[static_cast<std::size_t>(p)];
         slot.ns += ns;
         ++slot.count;
+    }
+
+    /** Accumulated nanoseconds in phase @p p (telemetry deltas). */
+    std::uint64_t
+    nanoseconds(Phase p) const noexcept
+    {
+        return slots[static_cast<std::size_t>(p)].ns;
     }
 
     /** Accumulated seconds in phase @p p. */
@@ -70,11 +82,18 @@ class PhaseTimer
     std::array<Slot, numPhases> slots{};
 };
 
-/** RAII guard accumulating the enclosed scope into one phase. */
+/**
+ * RAII guard accumulating the enclosed scope into one phase, and —
+ * when tracing is enabled — recording the scope as a trace span.
+ * Both the timer add and the span record run in the destructor and
+ * are noexcept, so phases are fully accounted even when panic paths
+ * or trainer exceptions unwind through the scope (no dangling span,
+ * no lost time).
+ */
 class ScopedPhase
 {
   public:
-    ScopedPhase(PhaseTimer &timer, Phase phase)
+    ScopedPhase(PhaseTimer &timer, Phase phase) noexcept
         : _timer(timer), _phase(phase), start(Clock::now())
     {
     }
@@ -86,6 +105,9 @@ class ScopedPhase
                 Clock::now() - start)
                 .count();
         _timer.add(_phase, static_cast<std::uint64_t>(ns));
+        obs::recordSpan(phaseName(_phase), "phase",
+                        base::nsSinceStart(start),
+                        static_cast<std::uint64_t>(ns));
     }
 
     ScopedPhase(const ScopedPhase &) = delete;

@@ -1,6 +1,7 @@
 #include "marlin/replay/gather.hh"
 
 #include "marlin/numeric/kernels.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -29,6 +30,17 @@ gatherAgentBatch(const ReplayBuffer &buffer, const IndexPlan &plan,
     const std::size_t act_bytes = shape.actDim * sizeof(Real);
     const numeric::kernels::KernelTable &kt =
         numeric::kernels::active();
+
+    // One add per gather call, not per row: the gather loop is the
+    // memory-bound path the paper characterizes, so the counters
+    // must observe it without joining it.
+    static obs::Counter &rows =
+        obs::Registry::instance().counter("replay.gather.rows");
+    static obs::Counter &bytes =
+        obs::Registry::instance().counter("replay.gather.bytes");
+    rows.add(batch);
+    bytes.add(batch *
+              (2 * obs_bytes + act_bytes + 2 * sizeof(Real)));
 
     for (std::size_t b = 0; b < batch; ++b) {
         const BufferIndex idx = plan.indices[b];

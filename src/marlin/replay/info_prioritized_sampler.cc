@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "marlin/base/logging.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -38,6 +39,16 @@ InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     MARLIN_ASSERT(_tree.total() > 0.0,
                   "plan before any onAdd/updatePriorities");
+    // references vs run_indices_total exposes the predictor's mean
+    // predicted run length, the knob the paper's IPLS design tunes.
+    static obs::Counter &plans =
+        obs::Registry::instance().counter("replay.ipls.plans");
+    static obs::Counter &references =
+        obs::Registry::instance().counter("replay.ipls.references");
+    static obs::Counter &run_indices =
+        obs::Registry::instance().counter(
+            "replay.ipls.run_indices_total");
+    plans.add();
     IndexPlan out;
     out.indices.reserve(batch);
     out.weights.reserve(batch);
@@ -73,6 +84,8 @@ InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
             std::max(_tree.maxPriority(), 1e-12));
         std::size_t run = predictNeighbors(norm_priority, _predictor);
         run = std::min<std::size_t>(run, batch - out.indices.size());
+        references.add();
+        run_indices.add(run);
 
         // Keep the run inside the valid region so it stays
         // contiguous in memory.

@@ -4,6 +4,7 @@
 
 #include "marlin/base/serialize.hh"
 #include "marlin/numeric/kernels.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -55,6 +56,14 @@ InterleavedReplayStore::rebuildFrom(const MultiAgentBuffer &buffers)
                   "agent count mismatch in rebuildFrom");
     const BufferIndex n =
         std::min<BufferIndex>(buffers.size(), _capacity);
+    static obs::Counter &reorgs = obs::Registry::instance().counter(
+        "replay.interleaved.reorgs");
+    static obs::Counter &reorg_bytes =
+        obs::Registry::instance().counter(
+            "replay.interleaved.reorg_bytes");
+    reorgs.add();
+    reorg_bytes.add(static_cast<std::uint64_t>(n) * stride *
+                    sizeof(Real));
     // Reshaping pass: stream every agent's SoA arrays into the
     // record-major layout. This is the cost Figure 14 accounts for.
     for (std::size_t a = 0; a < shapes.size(); ++a) {
@@ -112,6 +121,12 @@ InterleavedReplayStore::gatherAllAgents(const IndexPlan &plan,
     // one contiguous record holding every agent's transition.
     const numeric::kernels::KernelTable &kt =
         numeric::kernels::active();
+    static obs::Counter &recs = obs::Registry::instance().counter(
+        "replay.interleaved.gather_records");
+    static obs::Counter &bytes = obs::Registry::instance().counter(
+        "replay.interleaved.gather_bytes");
+    recs.add(batch);
+    bytes.add(batch * stride * sizeof(Real));
     for (std::size_t b = 0; b < batch; ++b) {
         const BufferIndex idx = plan.indices[b];
         MARLIN_ASSERT(idx < _size,

@@ -4,6 +4,7 @@
 
 #include "marlin/base/logging.hh"
 #include "marlin/base/string_utils.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -37,6 +38,18 @@ LocalityAwareSampler::plan(BufferIndex buffer_size, std::size_t batch,
         warnedMismatch = true;
     }
 
+    // Anchor/run counters quantify the locality actually delivered:
+    // run_indices_total / anchors is the mean contiguous run length
+    // the prefetcher sees.
+    static obs::Counter &plans =
+        obs::Registry::instance().counter("replay.locality.plans");
+    static obs::Counter &anchors =
+        obs::Registry::instance().counter("replay.locality.anchors");
+    static obs::Counter &run_indices =
+        obs::Registry::instance().counter(
+            "replay.locality.run_indices_total");
+    plans.add();
+
     IndexPlan out;
     out.indices.reserve(batch);
     while (out.indices.size() < batch) {
@@ -45,10 +58,13 @@ LocalityAwareSampler::plan(BufferIndex buffer_size, std::size_t batch,
         const BufferIndex max_anchor = buffer_size - run;
         BufferIndex anchor =
             max_anchor > 0 ? rng.randint(max_anchor + 1) : 0;
+        anchors.add();
+        const std::size_t before = out.indices.size();
         for (std::size_t k = 0;
              k < run && out.indices.size() < batch; ++k) {
             out.indices.push_back(anchor + k);
         }
+        run_indices.add(out.indices.size() - before);
     }
     return out;
 }

@@ -5,6 +5,7 @@
 
 #include "marlin/base/logging.hh"
 #include "marlin/base/serialize.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -29,6 +30,9 @@ PrioritizedSampler::plan(BufferIndex buffer_size, std::size_t batch,
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     MARLIN_ASSERT(_tree.total() > 0.0,
                   "PER plan before any onAdd/updatePriorities");
+    static obs::Counter &plans =
+        obs::Registry::instance().counter("replay.per.plans");
+    plans.add();
     IndexPlan out;
     out.indices.resize(batch);
     out.weights.resize(batch);
@@ -72,6 +76,10 @@ PrioritizedSampler::updatePriorities(
 {
     MARLIN_ASSERT(priority_ids.size() == td_errors.size(),
                   "priority update size mismatch");
+    static obs::Counter &updates =
+        obs::Registry::instance().counter(
+            "replay.per.priority_updates");
+    updates.add(priority_ids.size());
     for (std::size_t i = 0; i < priority_ids.size(); ++i) {
         const double p =
             std::pow(std::abs(static_cast<double>(td_errors[i])) +

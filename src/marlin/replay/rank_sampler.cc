@@ -6,6 +6,7 @@
 
 #include "marlin/base/logging.hh"
 #include "marlin/base/serialize.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -55,6 +56,11 @@ RankBasedSampler::updatePriorities(
 void
 RankBasedSampler::resort()
 {
+    // Resorts are the rank sampler's amortized cost center; the
+    // counter makes the resort interval's effect visible.
+    static obs::Counter &resorts =
+        obs::Registry::instance().counter("replay.rank.resorts");
+    resorts.add();
     std::sort(order.begin(), order.begin() + known,
               [this](BufferIndex a, BufferIndex b) {
                   return tdError[a] > tdError[b];
@@ -71,6 +77,9 @@ RankBasedSampler::plan(BufferIndex buffer_size, std::size_t batch,
     const BufferIndex n = std::min<BufferIndex>(
         std::min(buffer_size, known), _config.capacity);
     MARLIN_ASSERT(n > 0, "rank sampler used before any onAdd");
+    static obs::Counter &plans =
+        obs::Registry::instance().counter("replay.rank.plans");
+    plans.add();
     if (dirty && plansSinceSort++ % resortInterval == 0)
         resort();
 

@@ -5,6 +5,7 @@
 
 #include "marlin/base/logging.hh"
 #include "marlin/base/serialize.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -59,9 +60,20 @@ BufferIndex
 SumTree::find(double prefix) const
 {
     MARLIN_ASSERT(total() > 0.0, "sampling from an empty sum tree");
+    // The paper attributes prioritized sampling's cost to these
+    // pointer-chasing descents; the counters expose the traffic
+    // (depth is log2(leafCount), so depth_total/finds recovers the
+    // effective tree height a run paid for).
+    static obs::Counter &finds =
+        obs::Registry::instance().counter("replay.sumtree.finds");
+    static obs::Counter &depth_total =
+        obs::Registry::instance().counter(
+            "replay.sumtree.depth_total");
+    finds.add();
     if (prefix < 0.0)
         prefix = 0.0;
     BufferIndex node = 1;
+    std::uint64_t depth = 0;
     while (node < leafCount) {
         const BufferIndex left = 2 * node;
         if (prefix < nodes[left]) {
@@ -70,7 +82,9 @@ SumTree::find(double prefix) const
             prefix -= nodes[left];
             node = left + 1;
         }
+        ++depth;
     }
+    depth_total.add(depth);
     BufferIndex leaf = node - leafCount;
     // Guard against floating-point drift landing on a zero-priority
     // padding leaf.

@@ -1,6 +1,7 @@
 #include "marlin/replay/uniform_sampler.hh"
 
 #include "marlin/base/logging.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::replay
 {
@@ -10,6 +11,9 @@ UniformSampler::plan(BufferIndex buffer_size, std::size_t batch,
                      Rng &rng)
 {
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    static obs::Counter &plans =
+        obs::Registry::instance().counter("replay.uniform.plans");
+    plans.add();
     IndexPlan out;
     out.indices = rng.sampleIndices(buffer_size, batch);
     return out;

@@ -40,13 +40,15 @@ def check_banner(stdout_path: str) -> None:
     if not banners:
         fail(f"no JSON banner line found in {stdout_path}")
     for banner in banners:
-        for key in ("bench", "threads", "isa"):
+        for key in ("bench", "threads", "isa", "commit"):
             if key not in banner:
                 fail(f"banner {banner!r} is missing key {key!r}")
         if not isinstance(banner["threads"], int) or banner["threads"] < 1:
             fail(f"banner {banner!r} has a bad thread count")
         if banner["isa"] not in ("scalar", "avx2"):
             fail(f"banner {banner!r} has unknown isa {banner['isa']!r}")
+        if not isinstance(banner["commit"], str) or not banner["commit"]:
+            fail(f"banner {banner!r} has an empty commit")
     print(f"ok: {len(banners)} banner line(s) in {stdout_path}")
 
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate a MARLin trace export (--trace output) as Chrome/Perfetto
+trace_event JSON.
+
+Checks the properties a trace viewer needs and the accounting MARLin
+promises:
+
+  * the document parses and carries a non-empty "traceEvents" array;
+  * every event is a complete span ("ph":"X") with string name/cat,
+    numeric non-negative ts/dur (microseconds) and integer pid/tid;
+  * "otherData" reports capacity, storedEvents and droppedEvents, and
+    storedEvents matches the array length — the overflow contract is
+    that truncation is counted, never silent;
+  * optionally (--require-phases) at least one event from each named
+    category is present, so CI can assert the training phases,
+    thread-pool chunks or checkpoint writes actually landed.
+
+Usage: check_trace_json.py FILE [--require-cat CAT ...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("file")
+    parser.add_argument("--require-cat", action="append", default=[],
+                        help="fail unless >=1 event has this category")
+    parser.add_argument("--allow-empty", action="store_true",
+                        help="accept a trace with zero events (e.g. a "
+                             "kernel micro-bench records no spans)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.file}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{args.file} has no traceEvents array")
+    if not events and not args.allow_empty:
+        fail(f"{args.file} has zero trace events")
+
+    cats = set()
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if e.get("ph") != "X":
+            fail(f"{where}: expected complete span ph 'X', "
+                 f"got {e.get('ph')!r}")
+        for key in ("name", "cat"):
+            if not isinstance(e.get(key), str) or not e[key]:
+                fail(f"{where}: missing or empty {key!r}")
+        for key in ("ts", "dur"):
+            v = e.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{where}: {key!r} is not a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                fail(f"{where}: {key!r} is not an integer")
+        cats.add(e["cat"])
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("missing otherData accounting block")
+    for key in ("capacity", "storedEvents", "droppedEvents"):
+        v = other.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"otherData.{key} is not a non-negative integer")
+    if other["storedEvents"] != len(events):
+        fail(f"otherData.storedEvents {other['storedEvents']} != "
+             f"{len(events)} events in the array")
+    if other["storedEvents"] > other["capacity"]:
+        fail("storedEvents exceeds capacity")
+
+    for cat in args.require_cat:
+        if cat not in cats:
+            fail(f"no event with category {cat!r} "
+                 f"(saw: {sorted(cats)})")
+
+    print(f"ok: {len(events)} event(s), "
+          f"{other['droppedEvents']} dropped, categories: "
+          f"{', '.join(sorted(cats))}")
+
+
+if __name__ == "__main__":
+    main()
