@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scoped heap-allocation accounting for the zero-allocation
+ * steady-state contract.
+ *
+ * The paper's characterization blames MARL training time on
+ * memory-hierarchy behaviour; allocation churn inside the step loop
+ * pollutes the very caches the samplers optimize. AllocGuard makes
+ * the discipline enforceable: the TU installs replacement global
+ * operator new/delete hooks that count every heap allocation (and
+ * its bytes) made while at least one guard is alive, and optionally
+ * abort the process on the first allocation inside a Forbid scope.
+ *
+ * Design constraints:
+ *  - Zero overhead when no guard is active beyond one relaxed atomic
+ *    load per operator-new call.
+ *  - The hooks live in the same translation unit as the AllocGuard
+ *    class, so any binary that references AllocGuard (every training
+ *    binary does, via TrainLoop) links the replacement operators.
+ *    Binaries that never mention AllocGuard keep the default ones.
+ *  - Counting is process-wide: allocations made by worker threads
+ *    inside a guarded region are charged too, which is exactly what
+ *    the steady-state contract needs to cover parallel updates.
+ */
+
+#ifndef MARLIN_BASE_ALLOC_GUARD_HH
+#define MARLIN_BASE_ALLOC_GUARD_HH
+
+#include <cstdint>
+
+namespace marlin::base
+{
+
+/**
+ * RAII scope that snapshots the global allocation counters so the
+ * caller can ask "how many heap allocations happened in here?".
+ * Guards nest: the counters advance while any guard is alive, and
+ * each guard reports the delta since its own construction.
+ */
+class AllocGuard
+{
+  public:
+    enum class Mode
+    {
+        /** Count allocations; never interfere. */
+        Count,
+        /**
+         * Count, and abort() with a diagnostic on the first
+         * allocation inside the scope — turns a broken
+         * zero-allocation contract into a hard failure (used by the
+         * MARLIN_ALLOC_GUARD=1 ctest leg).
+         */
+        Forbid
+    };
+
+    explicit AllocGuard(Mode mode = Mode::Count) noexcept;
+    ~AllocGuard() noexcept;
+
+    AllocGuard(const AllocGuard &) = delete;
+    AllocGuard &operator=(const AllocGuard &) = delete;
+
+    /** Heap allocations observed since this guard was constructed. */
+    std::uint64_t allocations() const noexcept;
+
+    /** Bytes requested by those allocations. */
+    std::uint64_t bytes() const noexcept;
+
+    /**
+     * True when the replacement operator new/delete from this TU is
+     * what the process runs (always true for binaries that link this
+     * object file; provided so tests can assert the hook is live).
+     */
+    static bool hooked() noexcept;
+
+  private:
+    Mode _mode;
+    std::uint64_t startAllocs;
+    std::uint64_t startBytes;
+};
+
+} // namespace marlin::base
+
+#endif // MARLIN_BASE_ALLOC_GUARD_HH

@@ -112,11 +112,19 @@ Rng::gaussian(double mu, double sigma)
 std::vector<BufferIndex>
 Rng::sampleIndices(BufferIndex n, std::size_t count)
 {
+    std::vector<BufferIndex> out;
+    sampleIndicesInto(n, count, out);
+    return out;
+}
+
+void
+Rng::sampleIndicesInto(BufferIndex n, std::size_t count,
+                       std::vector<BufferIndex> &out)
+{
     MARLIN_ASSERT(n > 0, "cannot sample from an empty range");
-    std::vector<BufferIndex> out(count);
+    out.resize(count);
     for (auto &idx : out)
         idx = static_cast<BufferIndex>(randint(n));
-    return out;
 }
 
 std::vector<BufferIndex>

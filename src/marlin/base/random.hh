@@ -107,6 +107,14 @@ class Rng
                                            std::size_t count);
 
     /**
+     * sampleIndices into caller-owned storage (capacity-retaining).
+     * Draw order and count are identical to sampleIndices, so the
+     * two produce the same stream state and the same indices.
+     */
+    void sampleIndicesInto(BufferIndex n, std::size_t count,
+                           std::vector<BufferIndex> &out);
+
+    /**
      * Sample @p count distinct indices from [0, n) without
      * replacement (partial Fisher-Yates over a temporary).
      * @pre count <= n.

@@ -73,13 +73,15 @@ ThreadPool::runChunks(Job &j)
         if (chunk >= j.chunks)
             break;
         const std::size_t c0 = j.begin + chunk * j.grain;
-        const std::size_t c1 = c0 + j.grain;
+        std::size_t c1 = c0 + j.grain;
+        if (c1 > j.end)
+            c1 = j.end; // Tail chunk.
         const TaskHook hook =
             g_taskHook.load(std::memory_order_relaxed);
         const std::uint64_t start_ns =
             hook != nullptr ? nowNsSinceStart() : 0;
         try {
-            (*j.fn)(c0, c1);
+            j.fn(j.ctx, c0, c1);
         } catch (...) {
             std::lock_guard<std::mutex> lock(j.errorMutex);
             if (!j.error)
@@ -123,8 +125,9 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(std::size_t begin, std::size_t end,
-                        std::size_t grain, const RangeFn &fn)
+ThreadPool::parallelForRaw(std::size_t begin, std::size_t end,
+                           std::size_t grain, RawRangeFn fn,
+                           void *ctx)
 {
     if (begin >= end)
         return;
@@ -138,7 +141,7 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     // nested range runs serially right here. Single-thread pools and
     // sub-grain ranges take the same trivial path.
     if (_threads == 1 || range <= grain || t_inWorker) {
-        fn(begin, end);
+        fn(ctx, begin, end);
         return;
     }
 
@@ -154,15 +157,11 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
         grain;
     const std::size_t chunks = (range + per_chunk - 1) / per_chunk;
 
-    // Clamp the tail chunk once here so runChunks stays simple.
-    const RangeFn clamped = [&fn, end](std::size_t c0,
-                                       std::size_t c1) {
-        fn(c0, c1 < end ? c1 : end);
-    };
-
     Job j;
-    j.fn = &clamped;
+    j.fn = fn;
+    j.ctx = ctx;
     j.begin = begin;
+    j.end = end;
     j.grain = per_chunk;
     j.chunks = chunks;
     j.pendingChunks.store(chunks, std::memory_order_relaxed);

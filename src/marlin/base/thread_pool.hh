@@ -32,8 +32,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace marlin::base
@@ -48,6 +50,17 @@ class ThreadPool
      * never overlap, so per-index outputs need no locking.
      */
     using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+    /**
+     * Type-erased chunk callback: @p ctx is the callable the
+     * template parallelFor captured by address. Using a raw function
+     * pointer instead of std::function keeps dispatch free of heap
+     * allocations for any capture size — std::function's small-buffer
+     * optimization tops out around two pointers, and several hot-path
+     * callers (GEMM row blocks, per-agent updates) capture more.
+     */
+    using RawRangeFn = void (*)(void *ctx, std::size_t begin,
+                                std::size_t end);
 
     /**
      * @param threads Worker count including the calling thread;
@@ -71,9 +84,30 @@ class ThreadPool
      * boundaries depend only on the range, grain and thread count,
      * never on runtime timing. Empty ranges return immediately.
      * Called from a pool worker, the whole range runs inline.
+     *
+     * @p fn is any callable taking (begin, end); it is captured by
+     * reference for the duration of the call (parallelFor blocks, so
+     * the reference cannot dangle) and dispatch performs no heap
+     * allocation regardless of capture size.
      */
-    void parallelFor(std::size_t begin, std::size_t end,
-                     std::size_t grain, const RangeFn &fn);
+    template <typename F>
+    void
+    parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                F &&fn)
+    {
+        using Fn = std::remove_reference_t<F>;
+        parallelForRaw(
+            begin, end, grain,
+            [](void *ctx, std::size_t c0, std::size_t c1) {
+                (*static_cast<Fn *>(ctx))(c0, c1);
+            },
+            const_cast<void *>(
+                static_cast<const void *>(std::addressof(fn))));
+    }
+
+    /** Type-erased core of parallelFor; same contract. */
+    void parallelForRaw(std::size_t begin, std::size_t end,
+                        std::size_t grain, RawRangeFn fn, void *ctx);
 
     /** True when the calling thread is a pool worker of any pool. */
     static bool inWorker();
@@ -112,8 +146,10 @@ class ThreadPool
   private:
     struct Job
     {
-        const RangeFn *fn = nullptr;
+        RawRangeFn fn = nullptr;
+        void *ctx = nullptr;
         std::size_t begin = 0;
+        std::size_t end = 0;
         std::size_t grain = 1;
         std::size_t chunks = 0;
         std::atomic<std::size_t> nextChunk{0};

@@ -1,0 +1,33 @@
+#include "marlin/base/workspace.hh"
+
+namespace marlin::base
+{
+
+std::vector<Real> &
+Workspace::scratch(std::size_t slot, std::size_t n)
+{
+    if (pool.size() <= slot)
+        pool.resize(slot + 1);
+    std::vector<Real> &buffer = pool[slot];
+    if (buffer.size() < n)
+        buffer.resize(n);
+    return buffer;
+}
+
+std::size_t
+Workspace::footprintElements() const
+{
+    std::size_t total = 0;
+    for (const auto &buffer : pool)
+        total += buffer.capacity();
+    return total;
+}
+
+Workspace &
+Workspace::threadLocal()
+{
+    static thread_local Workspace workspace;
+    return workspace;
+}
+
+} // namespace marlin::base

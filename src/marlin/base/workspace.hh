@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Preallocated, capacity-retaining scratch-buffer pool.
+ *
+ * The steady-state allocation discipline (see alloc_guard.hh) needs
+ * every hot-path temporary to live in storage that survives the call
+ * that fills it. Most subsystems own their scratch as members; for
+ * free functions (e.g. the gemmNT B-pack buffer) Workspace provides
+ * slot-keyed buffers that grow to the high-water mark of each call
+ * site and then never reallocate again.
+ */
+
+#ifndef MARLIN_BASE_WORKSPACE_HH
+#define MARLIN_BASE_WORKSPACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "marlin/base/types.hh"
+
+namespace marlin::base
+{
+
+/**
+ * A pool of growable-but-never-shrinking Real buffers keyed by a
+ * small integer slot. Each call site owns one slot (see the
+ * WorkspaceSlot enum); asking for n elements returns a buffer of at
+ * least n elements whose first n are yours to overwrite. Capacity is
+ * retained across calls, so once a workload's shapes stabilize the
+ * pool stops touching the allocator entirely.
+ *
+ * Not thread-safe; use threadLocal() for per-thread scratch.
+ */
+class Workspace
+{
+  public:
+    /**
+     * Buffer for @p slot, grown (zero-filled growth) to at least
+     * @p n elements. Contents beyond what the caller writes are
+     * unspecified. The reference stays valid until the next
+     * scratch() call for the same slot.
+     */
+    std::vector<Real> &scratch(std::size_t slot, std::size_t n);
+
+    /** Number of slots ever touched. */
+    std::size_t slots() const { return pool.size(); }
+
+    /** Total Real elements held across all slots. */
+    std::size_t footprintElements() const;
+
+    /** This thread's workspace (lazily constructed, never freed
+     *  before thread exit). */
+    static Workspace &threadLocal();
+
+  private:
+    std::vector<std::vector<Real>> pool;
+};
+
+/** Registry of Workspace slot owners, so call sites can't collide. */
+enum WorkspaceSlot : std::size_t
+{
+    /** gemmNT's packed-transpose of the B operand. */
+    wsGemmNTPack = 0,
+};
+
+} // namespace marlin::base
+
+#endif // MARLIN_BASE_WORKSPACE_HH

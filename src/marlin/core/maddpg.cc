@@ -90,6 +90,10 @@ CtdeTrainerBase::CtdeTrainerBase(std::vector<std::size_t> obs_dims,
                                     : nn::Activation::Identity;
         nets.push_back(std::make_unique<AgentNetworks>(nc, rng));
         samplers.push_back(sampler_factory());
+        // Pre-size rank tables / priority scratch for the full
+        // buffer so sampler-internal growth never allocates during
+        // steady-state plans.
+        samplers.back()->reserve(_config.bufferCapacity);
         if (continuous) {
             ouNoise.emplace_back(actDim, Real(0.15),
                                  _config.ouSigma);
@@ -107,28 +111,28 @@ CtdeTrainerBase::transitionShapes() const
     return shapes;
 }
 
-std::vector<int>
-CtdeTrainerBase::selectActions(
-    const std::vector<std::vector<Real>> &obs, std::size_t episode)
+void
+CtdeTrainerBase::selectActionsInto(
+    const std::vector<std::vector<Real>> &obs, std::size_t episode,
+    std::vector<int> &out)
 {
     MARLIN_ASSERT(obs.size() == obsDims.size(),
                   "one observation per agent required");
     const Real eps = epsilon.value(episode);
-    std::vector<int> actions(obs.size());
+    out.resize(obs.size());
     for (std::size_t i = 0; i < obs.size(); ++i) {
         if (rng.uniform() < eps) {
-            actions[i] = static_cast<int>(rng.randint(actDim));
+            out[i] = static_cast<int>(rng.randint(actDim));
             continue;
         }
-        Matrix x(1, obsDims[i],
-                 std::vector<Real>(obs[i].begin(), obs[i].end()));
-        Matrix logits = nets[i]->actor.forward(x);
+        selObs.reshape(1, obsDims[i]);
+        std::copy(obs[i].begin(), obs[i].end(), selObs.data());
+        nets[i]->actor.forward(selObs, selOut);
         // Gumbel draw == sampling the softmax policy: the stochastic
         // policy itself provides exploration.
-        actions[i] = static_cast<int>(
-            numeric::gumbelArgmaxRows(logits, rng)[0]);
+        out[i] = static_cast<int>(
+            numeric::gumbelArgmaxRow(selOut, 0, rng));
     }
-    return actions;
 }
 
 std::vector<int>
@@ -148,27 +152,27 @@ CtdeTrainerBase::greedyActions(
     return actions;
 }
 
-std::vector<std::array<Real, 2>>
-CtdeTrainerBase::selectContinuousActions(
-    const std::vector<std::vector<Real>> &obs, std::size_t episode)
+void
+CtdeTrainerBase::selectContinuousActionsInto(
+    const std::vector<std::vector<Real>> &obs, std::size_t episode,
+    std::vector<std::array<Real, 2>> &out)
 {
     MARLIN_ASSERT(_config.actionMode == ActionMode::Continuous,
                   "trainer was built for discrete actions");
     MARLIN_ASSERT(obs.size() == obsDims.size(),
                   "one observation per agent required");
-    std::vector<std::array<Real, 2>> actions(obs.size());
+    out.resize(obs.size());
     for (std::size_t i = 0; i < obs.size(); ++i) {
-        Matrix x(1, obsDims[i],
-                 std::vector<Real>(obs[i].begin(), obs[i].end()));
-        Matrix a = nets[i]->actor.forward(x); // Tanh-squashed.
+        selObs.reshape(1, obsDims[i]);
+        std::copy(obs[i].begin(), obs[i].end(), selObs.data());
+        nets[i]->actor.forward(selObs, selOut); // Tanh-squashed.
         const auto &noise = ouNoise[i].step(rng);
         for (std::size_t c = 0; c < 2; ++c) {
-            actions[i][c] = std::clamp(a(0, c) + noise[c], Real(-1),
-                                       Real(1));
+            out[i][c] = std::clamp(selOut(0, c) + noise[c], Real(-1),
+                                   Real(1));
         }
     }
     (void)episode;
-    return actions;
 }
 
 std::vector<std::array<Real, 2>>
@@ -206,6 +210,8 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
     const std::size_t n = obsDims.size();
     if (scratchBatches.size() != n)
         scratchBatches.resize(n);
+    if (workspaces.size() != n)
+        workspaces.resize(n);
 
     // Serial prologue. Mini-batch sampling consumes the shared RNG
     // stream in agent order, and the cross-agent target-action pass
@@ -214,60 +220,63 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
     // thus reads the same pre-update snapshot of all target policies
     // — the simultaneous-update semantics that make the per-agent
     // steps below independent.
-    std::vector<replay::IndexPlan> plans(n);
-    std::vector<std::vector<Matrix>> nextActions(n);
     for (std::size_t i = 0; i < n; ++i) {
+        UpdateWorkspace &ws = workspaces[i];
         {
             ScopedPhase sp(timer, Phase::Sampling);
-            plans[i] = samplers[i]->plan(buffers.size(),
-                                         _config.batchSize, rng);
+            samplers[i]->planInto(buffers.size(), _config.batchSize,
+                                  rng, ws.plan);
             if (store != nullptr) {
-                store->gatherAllAgents(plans[i], scratchBatches[i]);
+                store->gatherAllAgents(ws.plan, scratchBatches[i]);
             } else {
-                replay::gatherAllAgents(buffers, plans[i],
+                replay::gatherAllAgents(buffers, ws.plan,
                                         scratchBatches[i]);
             }
         }
         {
             ScopedPhase sp(timer, Phase::TargetQ);
-            nextActions[i] =
-                targetNextActions(scratchBatches[i], agentRngs[i]);
+            targetNextActionsInto(scratchBatches[i], agentRngs[i],
+                                  ws.nextActions);
         }
     }
 
     // Per-agent critic+actor updates: agents own disjoint networks,
-    // Adam moments, samplers and RNG streams, and only read the
-    // shared batches, so the pool runs them concurrently and the
-    // result is bit-identical for any thread count.
+    // Adam moments, samplers, RNG streams and workspaces, and only
+    // read the shared batches, so the pool runs them concurrently
+    // and the result is bit-identical for any thread count.
     UpdateStats stats;
     base::ThreadPool &pool = base::ThreadPool::global();
     if (pool.numThreads() == 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i) {
-            updateAgent(i, scratchBatches[i], plans[i],
-                        nextActions[i], timer, stats);
+            updateAgent(i, scratchBatches[i], workspaces[i], timer,
+                        stats);
         }
     } else {
-        std::vector<UpdateStats> agentStats(n);
-        std::vector<profile::PhaseTimer> agentTimers(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            workspaces[i].stats = UpdateStats{};
+            workspaces[i].timer.reset();
+        }
         pool.parallelFor(
-            0, n, 1, [&](std::size_t b0, std::size_t b1) {
+            0, n, 1, [this](std::size_t b0, std::size_t b1) {
                 for (std::size_t i = b0; i < b1; ++i) {
-                    updateAgent(i, scratchBatches[i], plans[i],
-                                nextActions[i], agentTimers[i],
-                                agentStats[i]);
+                    updateAgent(i, scratchBatches[i], workspaces[i],
+                                workspaces[i].timer,
+                                workspaces[i].stats);
                 }
             });
         // Deterministic reduction in agent order: phase CPU time
         // merges into the caller's timer and the losses sum in the
         // same sequence the serial loop would use.
         for (std::size_t i = 0; i < n; ++i) {
-            timer.merge(agentTimers[i]);
-            stats.criticLoss += agentStats[i].criticLoss;
-            stats.actorLoss += agentStats[i].actorLoss;
-            stats.meanAbsTd += agentStats[i].meanAbsTd;
-            stats.criticGradNorm += agentStats[i].criticGradNorm;
-            stats.actorGradNorm += agentStats[i].actorGradNorm;
-            stats.nonFiniteCount += agentStats[i].nonFiniteCount;
+            timer.merge(workspaces[i].timer);
+            stats.criticLoss += workspaces[i].stats.criticLoss;
+            stats.actorLoss += workspaces[i].stats.actorLoss;
+            stats.meanAbsTd += workspaces[i].stats.meanAbsTd;
+            stats.criticGradNorm +=
+                workspaces[i].stats.criticGradNorm;
+            stats.actorGradNorm += workspaces[i].stats.actorGradNorm;
+            stats.nonFiniteCount +=
+                workspaces[i].stats.nonFiniteCount;
         }
     }
 
@@ -281,65 +290,63 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
     return stats;
 }
 
-std::vector<Matrix>
-CtdeTrainerBase::targetNextActions(
-    const std::vector<AgentBatch> &batches, Rng &noise_rng)
+void
+CtdeTrainerBase::targetNextActionsInto(
+    const std::vector<AgentBatch> &batches, Rng &noise_rng,
+    std::vector<Matrix> &out)
 {
     (void)noise_rng; // MADDPG's target policies are noise-free.
     // The N x (N-1) cross-agent policy reads the paper describes:
     // every trainer evaluates every agent's target actor.
     const bool discrete =
         _config.actionMode == ActionMode::Discrete;
-    std::vector<Matrix> next_actions(batches.size());
+    out.resize(batches.size());
     for (std::size_t j = 0; j < batches.size(); ++j) {
-        next_actions[j] =
-            nets[j]->targetActor.forward(batches[j].nextObs);
+        nets[j]->targetActor.forward(batches[j].nextObs, out[j]);
         // Discrete: softmax relaxation over logits. Continuous:
         // the Tanh output activation already squashes.
         if (discrete)
-            numeric::softmaxRows(next_actions[j]);
+            numeric::softmaxRows(out[j]);
     }
-    return next_actions;
 }
 
-Matrix
-CtdeTrainerBase::buildJointCurrent(
+void
+CtdeTrainerBase::buildJointCurrentInto(
     const std::vector<AgentBatch> &batches,
-    std::vector<const Matrix *> &scratch) const
+    std::vector<const Matrix *> &scratch, Matrix &out) const
 {
     scratch.clear();
     for (const AgentBatch &b : batches)
         scratch.push_back(&b.obs);
     for (const AgentBatch &b : batches)
         scratch.push_back(&b.actions);
-    return numeric::hconcat(scratch);
+    numeric::hconcatInto(scratch, out);
 }
 
-Matrix
-CtdeTrainerBase::buildJointNext(
+void
+CtdeTrainerBase::buildJointNextInto(
     const std::vector<AgentBatch> &batches,
     const std::vector<Matrix> &next_actions,
-    std::vector<const Matrix *> &scratch) const
+    std::vector<const Matrix *> &scratch, Matrix &out) const
 {
     scratch.clear();
     for (const AgentBatch &b : batches)
         scratch.push_back(&b.nextObs);
     for (const Matrix &a : next_actions)
         scratch.push_back(&a);
-    return numeric::hconcat(scratch);
+    numeric::hconcatInto(scratch, out);
 }
 
-Matrix
-CtdeTrainerBase::tdTarget(const AgentBatch &batch,
-                          const Matrix &q_next) const
+void
+CtdeTrainerBase::tdTargetInto(const AgentBatch &batch,
+                              const Matrix &q_next, Matrix &y) const
 {
-    Matrix y(q_next.rows(), 1);
+    y.reshape(q_next.rows(), 1);
     for (std::size_t r = 0; r < q_next.rows(); ++r) {
         const Real not_done = Real(1) - batch.dones(r, 0);
         y(r, 0) = batch.rewards(r, 0) +
                   _config.gamma * not_done * q_next(r, 0);
     }
-    return y;
 }
 
 std::size_t
@@ -351,35 +358,37 @@ CtdeTrainerBase::actionColumn(std::size_t i) const
 bool
 CtdeTrainerBase::criticActorStep(std::size_t i,
                                  const std::vector<AgentBatch> &batches,
-                                 const replay::IndexPlan &plan,
-                                 const Matrix &y, bool update_actor,
+                                 UpdateWorkspace &ws, bool update_actor,
                                  UpdateStats &stats)
 {
     AgentNetworks &net = *nets[i];
-    std::vector<const Matrix *> scratch;
-    const Matrix joint = buildJointCurrent(batches, scratch);
+    const replay::IndexPlan &plan = ws.plan;
+    buildJointCurrentInto(batches, ws.concat, ws.joint);
+    const Matrix &joint = ws.joint;
+    const Matrix &y = ws.y;
     const HealthGuardPolicy policy = _config.healthPolicy;
 
     // ---- Critic (Q loss) ----
     // Losses and loss gradients are computed before any backward /
     // optimizer call so a NaN or Inf can be caught while the weights
     // are still untouched.
-    Matrix q1 = net.critic.forward(joint);
-    Matrix dq;
+    net.critic.forward(joint, ws.q1);
+    Matrix &q1 = ws.q1;
+    Matrix &dq = ws.dq;
     Real critic_loss;
     if (plan.weights.empty()) {
         critic_loss = nn::mseLoss(q1, y, dq);
     } else {
         critic_loss = nn::weightedMseLoss(q1, y, plan.weights, dq);
     }
-    Matrix dq2;
+    Matrix &dq2 = ws.dq2;
     if (net.critic2) {
-        Matrix q2 = net.critic2->forward(joint);
+        net.critic2->forward(joint, ws.q2);
         if (plan.weights.empty()) {
-            critic_loss += nn::mseLoss(q2, y, dq2);
+            critic_loss += nn::mseLoss(ws.q2, y, dq2);
         } else {
             critic_loss +=
-                nn::weightedMseLoss(q2, y, plan.weights, dq2);
+                nn::weightedMseLoss(ws.q2, y, plan.weights, dq2);
         }
     }
     const bool critic_healthy =
@@ -406,22 +415,13 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
 
     // Refresh priorities from the fresh TD errors (no-op for
     // unprioritized samplers).
-    if (!plan.priorityIds.empty()) {
-        const std::vector<Real> td = nn::absTdError(q1, y);
-        samplers[i]->updatePriorities(plan.priorityIds, td);
-        Real mean_td = 0;
-        for (Real t : td)
-            mean_td += t;
-        stats.meanAbsTd +=
-            mean_td / static_cast<Real>(td.size());
-    } else {
-        const std::vector<Real> td = nn::absTdError(q1, y);
-        Real mean_td = 0;
-        for (Real t : td)
-            mean_td += t;
-        stats.meanAbsTd +=
-            mean_td / static_cast<Real>(td.size());
-    }
+    nn::absTdErrorInto(q1, y, ws.td);
+    if (!plan.priorityIds.empty())
+        samplers[i]->updatePriorities(plan.priorityIds, ws.td);
+    Real mean_td = 0;
+    for (Real t : ws.td)
+        mean_td += t;
+    stats.meanAbsTd += mean_td / static_cast<Real>(ws.td.size());
 
     if (!update_actor)
         return critic_healthy;
@@ -434,12 +434,15 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
     // actor.
     const bool discrete =
         _config.actionMode == ActionMode::Discrete;
-    Matrix logits = net.actor.forward(batches[i].obs);
-    Matrix soft = logits;
+    net.actor.forward(batches[i].obs, ws.logits);
+    Matrix &logits = ws.logits;
+    ws.soft = logits;
+    Matrix &soft = ws.soft;
     if (discrete)
         numeric::softmaxRows(soft);
 
-    Matrix joint_pi = joint;
+    ws.jointPi = joint;
+    Matrix &joint_pi = ws.jointPi;
     const std::size_t col = actionColumn(i);
     for (std::size_t r = 0; r < joint_pi.rows(); ++r) {
         Real *dst = joint_pi.row(r) + col;
@@ -448,24 +451,23 @@ CtdeTrainerBase::criticActorStep(std::size_t i,
             dst[c] = src[c];
     }
 
-    Matrix q_pi = net.critic.forward(joint_pi);
-    Matrix dq_pi;
-    const Real actor_loss = nn::policyLoss(q_pi, dq_pi);
-    Matrix d_joint;
-    net.critic.backward(dq_pi, &d_joint);
+    net.critic.forward(joint_pi, ws.qPi);
+    const Real actor_loss = nn::policyLoss(ws.qPi, ws.dqPi);
+    net.critic.backward(ws.dqPi, &ws.dJoint);
     // The critic is frozen during the actor step: discard the
     // gradients this pass accumulated into it.
     net.critic.zeroGrad();
 
-    Matrix d_soft(q_pi.rows(), actDim);
-    for (std::size_t r = 0; r < d_joint.rows(); ++r) {
-        const Real *src = d_joint.row(r) + col;
+    ws.dSoft.reshape(ws.qPi.rows(), actDim);
+    Matrix &d_soft = ws.dSoft;
+    for (std::size_t r = 0; r < ws.dJoint.rows(); ++r) {
+        const Real *src = ws.dJoint.row(r) + col;
         Real *dst = d_soft.row(r);
         for (std::size_t c = 0; c < actDim; ++c)
             dst[c] = src[c];
     }
 
-    Matrix d_logits;
+    Matrix &d_logits = ws.dLogits;
     if (discrete) {
         numeric::softmaxBackwardRows(soft, d_soft, d_logits);
         // Logit magnitude regularization (reference implementations
@@ -574,24 +576,20 @@ MaddpgTrainer::MaddpgTrainer(std::vector<std::size_t> obs_dims,
 void
 MaddpgTrainer::updateAgent(std::size_t i,
                            const std::vector<AgentBatch> &batches,
-                           const replay::IndexPlan &plan,
-                           const std::vector<Matrix> &next_actions,
+                           UpdateWorkspace &ws,
                            profile::PhaseTimer &timer,
                            UpdateStats &stats)
 {
-    Matrix y;
     {
         ScopedPhase sp(timer, Phase::TargetQ);
-        std::vector<const Matrix *> scratch;
-        const Matrix joint_next =
-            buildJointNext(batches, next_actions, scratch);
-        const Matrix q_next =
-            nets[i]->targetCritic.forward(joint_next);
-        y = tdTarget(batches[i], q_next);
+        buildJointNextInto(batches, ws.nextActions, ws.concat,
+                           ws.jointNext);
+        nets[i]->targetCritic.forward(ws.jointNext, ws.qNext);
+        tdTargetInto(batches[i], ws.qNext, ws.y);
     }
     {
         ScopedPhase sp(timer, Phase::QPLoss);
-        if (criticActorStep(i, batches, plan, y, true, stats))
+        if (criticActorStep(i, batches, ws, true, stats))
             nets[i]->softUpdateTargets(_config.tau);
     }
 }

@@ -43,16 +43,17 @@ class CtdeTrainerBase : public Trainer
 
     std::size_t numAgents() const override { return obsDims.size(); }
 
-    std::vector<int>
-    selectActions(const std::vector<std::vector<Real>> &obs,
-                  std::size_t episode) override;
+    void
+    selectActionsInto(const std::vector<std::vector<Real>> &obs,
+                      std::size_t episode,
+                      std::vector<int> &out) override;
 
     std::vector<int>
     greedyActions(const std::vector<std::vector<Real>> &obs) override;
 
-    std::vector<std::array<Real, 2>>
-    selectContinuousActions(const std::vector<std::vector<Real>> &obs,
-                            std::size_t episode) override;
+    void selectContinuousActionsInto(
+        const std::vector<std::vector<Real>> &obs, std::size_t episode,
+        std::vector<std::array<Real, 2>> &out) override;
 
     std::vector<std::array<Real, 2>>
     greedyContinuousActions(
@@ -97,47 +98,86 @@ class CtdeTrainerBase : public Trainer
 
   protected:
     /**
+     * Per-agent update workspace: every index plan, batch matrix and
+     * intermediate the sampling / target-Q / loss pipeline produces,
+     * owned by the agent so the pool can run agent updates
+     * concurrently without sharing mutable buffers — and retained
+     * across update() calls so a warm update performs no heap
+     * allocation (the zero-allocation steady-state contract).
+     */
+    struct UpdateWorkspace
+    {
+        replay::IndexPlan plan;
+        /** Target actions of every agent (cross-agent policy read). */
+        std::vector<Matrix> nextActions;
+        /** Pointer scratch for the hconcat joint assembly. */
+        std::vector<const Matrix *> concat;
+        Matrix jointNext; ///< [next obs | target actions].
+        Matrix qNext;     ///< Target critic output.
+        Matrix qNext2;    ///< Twin target critic output (MATD3).
+        Matrix y;         ///< TD target.
+        Matrix joint;     ///< [stored obs | stored actions].
+        Matrix q1, q2;    ///< Critic outputs on the stored joint.
+        Matrix dq, dq2;   ///< Critic loss gradients.
+        Matrix logits;    ///< Actor forward on this agent's obs.
+        Matrix soft;      ///< Softmax relaxation of the logits.
+        Matrix jointPi;   ///< Joint with agent i's policy action.
+        Matrix qPi;       ///< Critic output on jointPi.
+        Matrix dqPi;      ///< Policy-loss gradient dL/dQ.
+        Matrix dJoint;    ///< Critic input gradient.
+        Matrix dSoft;     ///< dJoint slice at agent i's action block.
+        Matrix dLogits;   ///< Gradient through the relaxation.
+        std::vector<Real> td; ///< |TD error| per batch row.
+        /** Per-agent accumulators for the concurrent update path. */
+        UpdateStats stats;
+        profile::PhaseTimer timer;
+    };
+
+    /**
      * Per-agent algorithm step, called inside update() after the
      * mini-batch gather and cross-agent target-action computation.
-     * @p next_actions comes from targetNextActions() on this agent's
-     * batch. The step may only touch agent @p i's networks, sampler
-     * and Adam state — update() runs all agents concurrently on the
-     * global ThreadPool, which is race-free exactly because agents
-     * own disjoint state and only read the shared batches.
-     * Implementations charge their work to the TargetQ / QPLoss
-     * phases of @p timer.
+     * @p ws holds this agent's index plan, target next actions and
+     * every intermediate buffer. The step may only touch agent
+     * @p i's networks, sampler, Adam state and workspace — update()
+     * runs all agents concurrently on the global ThreadPool, which
+     * is race-free exactly because agents own disjoint state and
+     * only read the shared batches. Implementations charge their
+     * work to the TargetQ / QPLoss phases of @p timer.
      */
     virtual void updateAgent(std::size_t i,
                              const std::vector<AgentBatch> &batches,
-                             const replay::IndexPlan &plan,
-                             const std::vector<Matrix> &next_actions,
+                             UpdateWorkspace &ws,
                              profile::PhaseTimer &timer,
                              UpdateStats &stats) = 0;
 
     /**
-     * Target next actions for every agent: target-actor forward on
-     * next observations followed by a softmax relaxation. MATD3
-     * overrides to inject clipped smoothing noise (drawn from
+     * Target next actions for every agent, written into @p out (one
+     * matrix per agent, capacity reused across updates): target-actor
+     * forward on next observations followed by a softmax relaxation.
+     * MATD3 overrides to inject clipped smoothing noise (drawn from
      * @p noise_rng, the per-agent stream of the updating agent) into
      * the logits. Runs in the serial prologue of update() because it
      * forwards every agent's target actor: all agents read one
      * consistent pre-update snapshot of the target networks.
      */
-    virtual std::vector<Matrix>
-    targetNextActions(const std::vector<AgentBatch> &batches,
-                      Rng &noise_rng);
+    virtual void
+    targetNextActionsInto(const std::vector<AgentBatch> &batches,
+                          Rng &noise_rng, std::vector<Matrix> &out);
 
     /** [obs_0..obs_{N-1} | act_0..act_{N-1}] from stored samples. */
-    Matrix buildJointCurrent(const std::vector<AgentBatch> &batches,
-                             std::vector<const Matrix *> &scratch) const;
+    void buildJointCurrentInto(const std::vector<AgentBatch> &batches,
+                               std::vector<const Matrix *> &scratch,
+                               Matrix &out) const;
 
     /** Same layout from next observations and given next actions. */
-    Matrix buildJointNext(const std::vector<AgentBatch> &batches,
-                          const std::vector<Matrix> &next_actions,
-                          std::vector<const Matrix *> &scratch) const;
+    void buildJointNextInto(const std::vector<AgentBatch> &batches,
+                            const std::vector<Matrix> &next_actions,
+                            std::vector<const Matrix *> &scratch,
+                            Matrix &out) const;
 
     /** TD target y = r + gamma * (1 - done) * q_next. */
-    Matrix tdTarget(const AgentBatch &batch, const Matrix &q_next) const;
+    void tdTargetInto(const AgentBatch &batch, const Matrix &q_next,
+                      Matrix &y) const;
 
     /** Column where agent @p i's action block starts in the joint. */
     std::size_t actionColumn(std::size_t i) const;
@@ -145,7 +185,8 @@ class CtdeTrainerBase : public Trainer
     /**
      * Critic-loss + actor-loss + optimizer step shared by both
      * algorithms (MATD3 passes its twin critic and defers the actor
-     * by gating @p update_actor).
+     * by gating @p update_actor). Consumes @p ws.plan / @p ws.y and
+     * the workspace intermediates.
      *
      * Losses and loss gradients are screened for NaN/Inf before the
      * optimizers apply them. @return false when a non-finite value
@@ -155,8 +196,8 @@ class CtdeTrainerBase : public Trainer
      */
     bool criticActorStep(std::size_t i,
                          const std::vector<AgentBatch> &batches,
-                         const replay::IndexPlan &plan, const Matrix &y,
-                         bool update_actor, UpdateStats &stats);
+                         UpdateWorkspace &ws, bool update_actor,
+                         UpdateStats &stats);
 
     /** Subclass hook: extra runtime state (MATD3 criticSteps). */
     virtual void saveExtraState(std::ostream &os) const { (void)os; }
@@ -187,6 +228,13 @@ class CtdeTrainerBase : public Trainer
     // keeps its own gathered batches so the pool can run agent
     // updates concurrently without sharing mutable buffers.
     std::vector<std::vector<AgentBatch>> scratchBatches;
+    /** One retained workspace per agent (see UpdateWorkspace). */
+    std::vector<UpdateWorkspace> workspaces;
+    // Action-selection scratch (selection runs serially on the
+    // calling thread): single-row observation input and the actor's
+    // output logits / squashed action.
+    Matrix selObs;
+    Matrix selOut;
 };
 
 /** The baseline workload of the paper. */
@@ -202,9 +250,7 @@ class MaddpgTrainer : public CtdeTrainerBase
   protected:
     void updateAgent(std::size_t i,
                      const std::vector<AgentBatch> &batches,
-                     const replay::IndexPlan &plan,
-                     const std::vector<Matrix> &next_actions,
-                     profile::PhaseTimer &timer,
+                     UpdateWorkspace &ws, profile::PhaseTimer &timer,
                      UpdateStats &stats) override;
 };
 

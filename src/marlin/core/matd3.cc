@@ -20,61 +20,58 @@ Matd3Trainer::Matd3Trainer(std::vector<std::size_t> obs_dims,
 {
 }
 
-std::vector<Matrix>
-Matd3Trainer::targetNextActions(const std::vector<AgentBatch> &batches,
-                                Rng &noise_rng)
+void
+Matd3Trainer::targetNextActionsInto(
+    const std::vector<AgentBatch> &batches, Rng &noise_rng,
+    std::vector<Matrix> &out)
 {
     const bool discrete =
         _config.actionMode == ActionMode::Discrete;
-    std::vector<Matrix> next_actions(batches.size());
+    out.resize(batches.size());
     for (std::size_t j = 0; j < batches.size(); ++j) {
-        Matrix out =
-            nets[j]->targetActor.forward(batches[j].nextObs);
+        Matrix &a = out[j];
+        nets[j]->targetActor.forward(batches[j].nextObs, a);
         // Target policy smoothing: clipped Gaussian noise on the
         // logits before the softmax relaxation (discrete), or on
         // the squashed action re-clamped to the action box
         // (continuous, as in TD3). Drawn from the updating agent's
         // private stream so the draw order never depends on how the
         // pool schedules the agent updates.
-        for (std::size_t k = 0; k < out.size(); ++k) {
+        for (std::size_t k = 0; k < a.size(); ++k) {
             Real noise = static_cast<Real>(
                 noise_rng.gaussian(0.0, _config.targetNoiseStd));
             noise = std::clamp(noise, -_config.targetNoiseClip,
                                _config.targetNoiseClip);
-            out.data()[k] += noise;
+            a.data()[k] += noise;
         }
         if (discrete) {
-            numeric::softmaxRows(out);
+            numeric::softmaxRows(a);
         } else {
-            numeric::clampInPlace(out, Real(-1), Real(1));
+            numeric::clampInPlace(a, Real(-1), Real(1));
         }
-        next_actions[j] = std::move(out);
     }
-    return next_actions;
 }
 
 void
 Matd3Trainer::updateAgent(std::size_t i,
                           const std::vector<AgentBatch> &batches,
-                          const replay::IndexPlan &plan,
-                          const std::vector<Matrix> &next_actions,
+                          UpdateWorkspace &ws,
                           profile::PhaseTimer &timer,
                           UpdateStats &stats)
 {
     AgentNetworks &net = *nets[i];
-    Matrix y;
     {
         ScopedPhase sp(timer, Phase::TargetQ);
-        std::vector<const Matrix *> scratch;
-        const Matrix joint_next =
-            buildJointNext(batches, next_actions, scratch);
+        buildJointNextInto(batches, ws.nextActions, ws.concat,
+                           ws.jointNext);
         // Clipped double-Q: the minimum of the twin target critics
         // counters over-estimation bias.
-        Matrix q1 = net.targetCritic.forward(joint_next);
-        const Matrix q2 = net.targetCritic2->forward(joint_next);
+        net.targetCritic.forward(ws.jointNext, ws.qNext);
+        net.targetCritic2->forward(ws.jointNext, ws.qNext2);
+        Matrix &q1 = ws.qNext;
         for (std::size_t r = 0; r < q1.rows(); ++r)
-            q1(r, 0) = std::min(q1(r, 0), q2(r, 0));
-        y = tdTarget(batches[i], q1);
+            q1(r, 0) = std::min(q1(r, 0), ws.qNext2(r, 0));
+        tdTargetInto(batches[i], q1, ws.y);
     }
     {
         ScopedPhase sp(timer, Phase::QPLoss);
@@ -83,7 +80,7 @@ Matd3Trainer::updateAgent(std::size_t i,
             (criticSteps[i] % std::max<std::size_t>(
                                   1, _config.policyDelay)) == 0;
         const bool healthy =
-            criticActorStep(i, batches, plan, y, update_actor, stats);
+            criticActorStep(i, batches, ws, update_actor, stats);
         if (update_actor && healthy)
             net.softUpdateTargets(_config.tau);
     }

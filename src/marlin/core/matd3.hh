@@ -26,9 +26,7 @@ class Matd3Trainer : public CtdeTrainerBase
   protected:
     void updateAgent(std::size_t i,
                      const std::vector<AgentBatch> &batches,
-                     const replay::IndexPlan &plan,
-                     const std::vector<Matrix> &next_actions,
-                     profile::PhaseTimer &timer,
+                     UpdateWorkspace &ws, profile::PhaseTimer &timer,
                      UpdateStats &stats) override;
 
     /**
@@ -36,9 +34,10 @@ class Matd3Trainer : public CtdeTrainerBase
      * comes from @p noise_rng — the updating agent's private stream
      * — so concurrent agent updates stay deterministic.
      */
-    std::vector<Matrix>
-    targetNextActions(const std::vector<AgentBatch> &batches,
-                      Rng &noise_rng) override;
+    void
+    targetNextActionsInto(const std::vector<AgentBatch> &batches,
+                          Rng &noise_rng,
+                          std::vector<Matrix> &out) override;
 
     /** Persist the policy-delay counters across resume. */
     void saveExtraState(std::ostream &os) const override;

@@ -1,6 +1,11 @@
 #include "marlin/core/train_loop.hh"
 
+#include <cstdlib>
+#include <optional>
+
+#include "marlin/base/alloc_guard.hh"
 #include "marlin/base/logging.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::core
 {
@@ -106,14 +111,6 @@ TrainLoop::maybeEmitTelemetry(const TrainResult &result)
     telemetry->writeStep(rec);
 }
 
-std::vector<Real>
-TrainLoop::oneHotAction(int action) const
-{
-    std::vector<Real> onehot(environment.actionDim(), Real(0));
-    onehot[static_cast<std::size_t>(action)] = Real(1);
-    return onehot;
-}
-
 RunState
 TrainLoop::runState(CtdeTrainerBase *ctde)
 {
@@ -199,10 +196,26 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
     // state, so a resumed process fairly starts with a fresh budget.
     std::size_t rollbacks_left = config.healthMaxRollbacks;
 
+    // MARLIN_ALLOC_GUARD=1 hardens the steady-state contract: the
+    // first heap allocation inside a guarded step body aborts the
+    // process (used by the Release CI leg). Default is Count mode,
+    // which only feeds the alloc.steady_state_* gauges.
+    const char *guard_env = std::getenv("MARLIN_ALLOC_GUARD");
+    const base::AllocGuard::Mode guard_mode =
+        (guard_env != nullptr && guard_env[0] == '1')
+            ? base::AllocGuard::Mode::Forbid
+            : base::AllocGuard::Mode::Count;
+    // Gauge registration takes the registry lock; fetch the
+    // references here, outside any guarded region.
+    obs::Gauge &alloc_count_gauge =
+        obs::Registry::instance().gauge("alloc.steady_state_count");
+    obs::Gauge &alloc_bytes_gauge =
+        obs::Registry::instance().gauge("alloc.steady_state_bytes");
+
     while (progress.episodeIndex < episodes) {
         const auto episode =
             static_cast<std::size_t>(progress.episodeIndex);
-        std::vector<std::vector<Real>> obs = environment.reset();
+        environment.resetInto(obs);
         Real episode_reward = 0;
         bool rolled_back = false;
 
@@ -216,38 +229,58 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
             }
             const bool continuous =
                 config.actionMode == ActionMode::Continuous;
-            std::vector<int> actions;
-            std::vector<std::array<Real, 2>> forces;
+
+            // Steady state: this process has performed enough live
+            // updates that every lazily-grown buffer is warm — at
+            // least one full policy-delay cycle, since MATD3's actor
+            // path first runs on update policyDelay and only then is
+            // its scratch sized. Restored progress.updateCalls does
+            // not count: a resumed process starts with cold scratch.
+            const bool steady =
+                liveUpdates >
+                static_cast<StepCount>(config.policyDelay);
+            std::optional<base::AllocGuard> guard;
+            if (steady)
+                guard.emplace(guard_mode);
+
+            std::vector<int> &actions = actionScratch;
+            std::vector<std::array<Real, 2>> &forces = forceScratch;
             {
                 ScopedPhase sp(result.timer, Phase::ActionSelection);
                 if (continuous) {
-                    forces = trainer.selectContinuousActions(obs,
-                                                             episode);
+                    trainer.selectContinuousActionsInto(obs, episode,
+                                                        forces);
                 } else {
-                    actions = trainer.selectActions(obs, episode);
+                    trainer.selectActionsInto(obs, episode, actions);
                 }
             }
 
-            env::StepResult step;
+            env::StepResult &step = stepScratch;
             {
                 ScopedPhase sp(result.timer, Phase::EnvStep);
                 if (continuous) {
-                    std::vector<env::Vec2> vec_forces(n);
+                    vecForceScratch.resize(n);
                     for (std::size_t i = 0; i < n; ++i)
-                        vec_forces[i] = {forces[i][0], forces[i][1]};
-                    step = environment.stepContinuous(vec_forces);
+                        vecForceScratch[i] = {forces[i][0],
+                                              forces[i][1]};
+                    environment.stepContinuousInto(vecForceScratch,
+                                                   step);
                 } else {
-                    step = environment.step(actions);
+                    environment.stepInto(actions, step);
                 }
             }
             ++progress.envSteps;
 
-            std::vector<std::vector<Real>> onehots(n);
+            onehotScratch.resize(n);
+            std::vector<std::vector<Real>> &onehots = onehotScratch;
             for (std::size_t i = 0; i < n; ++i) {
                 if (continuous) {
-                    onehots[i] = {forces[i][0], forces[i][1]};
+                    onehots[i].assign({forces[i][0], forces[i][1]});
                 } else {
-                    onehots[i] = oneHotAction(actions[i]);
+                    onehots[i].assign(environment.actionDim(),
+                                      Real(0));
+                    onehots[i][static_cast<std::size_t>(
+                        actions[i])] = Real(1);
                 }
             }
             {
@@ -266,19 +299,41 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
 
             for (Real r : step.rewards)
                 episode_reward += r / static_cast<Real>(n);
-            obs = std::move(step.observations);
+            // Swap rather than move: both sides keep their heap
+            // capacity, so the next stepInto reuses the buffers.
+            std::swap(obs, step.observations);
 
             const bool warm =
                 buffers.size() >= config.warmupTransitions &&
                 buffers.size() >=
                     static_cast<BufferIndex>(config.batchSize);
+            bool did_update = false;
+            UpdateStats stats;
             if (warm && progress.insertionsSinceUpdate >=
                             config.updateEvery) {
                 progress.insertionsSinceUpdate = 0;
-                const UpdateStats stats =
-                    trainer.update(buffers, store.get(),
-                                   result.timer);
+                stats = trainer.update(buffers, store.get(),
+                                       result.timer);
                 ++progress.updateCalls;
+                ++liveUpdates;
+                did_update = true;
+            }
+
+            // The guarded region ends here: telemetry, the health
+            // policy's rollback machinery and checkpointing are
+            // cold-path observers, free to allocate.
+            if (guard.has_value()) {
+                ++result.steadyStateSteps;
+                result.steadyStateAllocs += guard->allocations();
+                result.steadyStateAllocBytes += guard->bytes();
+                guard.reset();
+                alloc_count_gauge.set(static_cast<double>(
+                    result.steadyStateAllocs));
+                alloc_bytes_gauge.set(static_cast<double>(
+                    result.steadyStateAllocBytes));
+            }
+
+            if (did_update) {
                 telemetryLastStats = stats;
                 telemetryHaveStats = true;
                 if (stats.nonFiniteCount > 0) {

@@ -50,6 +50,17 @@ struct TrainResult
     std::size_t rollbacks = 0;
     /** Episode the run resumed from (0 when started fresh). */
     std::size_t resumedFromEpisode = 0;
+    /**
+     * Allocation discipline of the steady-state regime (every step
+     * after warm-up and the first full policy-delay cycle), measured
+     * by base::AllocGuard around the step body: action selection,
+     * env step, replay insertion and the trainer update. Telemetry,
+     * checkpointing and fault-injection bookkeeping sit outside the
+     * guarded region. A healthy build reports zero allocations.
+     */
+    StepCount steadyStateSteps = 0;
+    std::uint64_t steadyStateAllocs = 0;
+    std::uint64_t steadyStateAllocBytes = 0;
 };
 
 /** Per-episode progress callback. */
@@ -166,8 +177,25 @@ class TrainLoop
     /** Emit one step record if the cadence says so. */
     void maybeEmitTelemetry(const TrainResult &result);
 
-    /** One-hot encode a discrete action. */
-    std::vector<Real> oneHotAction(int action) const;
+    /**
+     * Trainer updates performed by THIS process (deliberately not
+     * serialized): a run resumed from a checkpoint inherits
+     * progress.updateCalls but cold scratch buffers, so the
+     * steady-state allocation guard must wait for live updates to
+     * warm them, not restored ones.
+     */
+    StepCount liveUpdates = 0;
+
+    // Step-loop scratch, retained across steps and episodes so the
+    // steady-state step body performs no heap allocation. The
+    // current observations swap with the step result's observation
+    // buffers each step, so both sides keep their capacity.
+    std::vector<std::vector<Real>> obs;
+    env::StepResult stepScratch;
+    std::vector<int> actionScratch;
+    std::vector<std::array<Real, 2>> forceScratch;
+    std::vector<env::Vec2> vecForceScratch;
+    std::vector<std::vector<Real>> onehotScratch;
 
     /** RunState bundle over this loop's members. */
     RunState runState(CtdeTrainerBase *ctde);

@@ -66,14 +66,27 @@ class Trainer
 
     /**
      * Action-selection phase: one discrete action per agent from the
-     * current policies (with exploration).
+     * current policies (with exploration), written into @p out. The
+     * out-parameter form is the steady-state hot path: a warm call
+     * reuses @p out's capacity and performs no heap allocation.
      *
      * @param obs Per-agent observations.
      * @param episode Episode number (drives epsilon decay).
+     * @param out Destination, resized to one action per agent.
      */
-    virtual std::vector<int>
+    virtual void
+    selectActionsInto(const std::vector<std::vector<Real>> &obs,
+                      std::size_t episode, std::vector<int> &out) = 0;
+
+    /** Convenience by-value form of selectActionsInto. */
+    std::vector<int>
     selectActions(const std::vector<std::vector<Real>> &obs,
-                  std::size_t episode) = 0;
+                  std::size_t episode)
+    {
+        std::vector<int> out;
+        selectActionsInto(obs, episode, out);
+        return out;
+    }
 
     /** Greedy actions (no exploration), for evaluation. */
     virtual std::vector<int>
@@ -82,14 +95,28 @@ class Trainer
     /**
      * Continuous-control action selection (ActionMode::Continuous
      * trainers only): one clipped 2D force per agent with
-     * exploration noise. Panics on discrete trainers.
+     * exploration noise, written into @p out. Panics on discrete
+     * trainers.
      */
-    virtual std::vector<std::array<Real, 2>>
+    virtual void selectContinuousActionsInto(
+        const std::vector<std::vector<Real>> &obs, std::size_t episode,
+        std::vector<std::array<Real, 2>> &out)
+    {
+        (void)obs;
+        (void)episode;
+        (void)out;
+        panic("trainer '%s' does not support continuous actions",
+              name().c_str());
+    }
+
+    /** Convenience by-value form of selectContinuousActionsInto. */
+    std::vector<std::array<Real, 2>>
     selectContinuousActions(const std::vector<std::vector<Real>> &obs,
                             std::size_t episode)
     {
-        panic("trainer '%s' does not support continuous actions",
-              name().c_str());
+        std::vector<std::array<Real, 2>> out;
+        selectContinuousActionsInto(obs, episode, out);
+        return out;
     }
 
     /** Greedy continuous actions (no exploration). */

@@ -24,6 +24,8 @@ CooperativeNavigationScenario::makeWorld(World &world)
 {
     world.agents.clear();
     world.landmarks.clear();
+    world.agents.reserve(_config.numAgents);
+    world.landmarks.reserve(_config.numLandmarks);
     for (std::size_t i = 0; i < _config.numAgents; ++i) {
         Agent a;
         a.name = csprintf("agent_%zu", i);
@@ -65,37 +67,35 @@ CooperativeNavigationScenario::learnableAgents(const World &world) const
     return _config.numAgents;
 }
 
-std::vector<Real>
-CooperativeNavigationScenario::observation(const World &world,
-                                           std::size_t i) const
+void
+CooperativeNavigationScenario::observationInto(const World &world,
+                                               std::size_t i,
+                                               Real *out) const
 {
     // Layout (MPE simple_spread): self vel(2), self pos(2),
     // landmark rel pos(2L), other agent rel pos(2*(N-1)),
     // communication channels (2*(N-1), zeros — agents don't emit).
     const Agent &self = world.agents[i];
-    std::vector<Real> obs;
-    obs.reserve(observationDim(i));
-    obs.push_back(self.vel.x);
-    obs.push_back(self.vel.y);
-    obs.push_back(self.pos.x);
-    obs.push_back(self.pos.y);
+    *out++ = self.vel.x;
+    *out++ = self.vel.y;
+    *out++ = self.pos.x;
+    *out++ = self.pos.y;
     for (const Entity &lm : world.landmarks) {
-        obs.push_back(lm.pos.x - self.pos.x);
-        obs.push_back(lm.pos.y - self.pos.y);
+        *out++ = lm.pos.x - self.pos.x;
+        *out++ = lm.pos.y - self.pos.y;
     }
     for (std::size_t j = 0; j < world.agents.size(); ++j) {
         if (j == i)
             continue;
-        obs.push_back(world.agents[j].pos.x - self.pos.x);
-        obs.push_back(world.agents[j].pos.y - self.pos.y);
+        *out++ = world.agents[j].pos.x - self.pos.x;
+        *out++ = world.agents[j].pos.y - self.pos.y;
     }
     // Communication slots (silent in this task, kept for parity with
     // the reference observation size).
     for (std::size_t j = 0; j + 1 < world.agents.size(); ++j) {
-        obs.push_back(0);
-        obs.push_back(0);
+        *out++ = 0;
+        *out++ = 0;
     }
-    return obs;
 }
 
 std::size_t

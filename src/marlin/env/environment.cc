@@ -28,15 +28,16 @@ Environment::obsDim(std::size_t i) const
     return _scenario->observationDim(i);
 }
 
-std::vector<std::vector<Real>>
-Environment::reset()
+void
+Environment::resetInto(std::vector<std::vector<Real>> &obs)
 {
     _scenario->resetWorld(_world, rng);
-    return gatherObservations();
+    gatherObservationsInto(obs);
 }
 
-StepResult
-Environment::step(const std::vector<int> &actions)
+void
+Environment::stepInto(const std::vector<int> &actions,
+                      StepResult &result)
 {
     MARLIN_ASSERT(actions.size() == _numAgents,
                   "one action per learnable agent required");
@@ -58,17 +59,16 @@ Environment::step(const std::vector<int> &actions)
 
     _world.step();
 
-    StepResult result;
-    result.observations = gatherObservations();
+    gatherObservationsInto(result.observations);
     result.rewards.resize(_numAgents);
     result.dones.assign(_numAgents, false);
     for (std::size_t i = 0; i < _numAgents; ++i)
         result.rewards[i] = _scenario->reward(_world, i);
-    return result;
 }
 
-StepResult
-Environment::stepContinuous(const std::vector<Vec2> &forces)
+void
+Environment::stepContinuousInto(const std::vector<Vec2> &forces,
+                                StepResult &result)
 {
     MARLIN_ASSERT(forces.size() == _numAgents,
                   "one force per learnable agent required");
@@ -90,25 +90,22 @@ Environment::stepContinuous(const std::vector<Vec2> &forces)
 
     _world.step();
 
-    StepResult result;
-    result.observations = gatherObservations();
+    gatherObservationsInto(result.observations);
     result.rewards.resize(_numAgents);
     result.dones.assign(_numAgents, false);
     for (std::size_t i = 0; i < _numAgents; ++i)
         result.rewards[i] = _scenario->reward(_world, i);
-    return result;
 }
 
-std::vector<std::vector<Real>>
-Environment::gatherObservations() const
+void
+Environment::gatherObservationsInto(
+    std::vector<std::vector<Real>> &obs) const
 {
-    std::vector<std::vector<Real>> obs(_numAgents);
+    obs.resize(_numAgents);
     for (std::size_t i = 0; i < _numAgents; ++i) {
-        obs[i] = _scenario->observation(_world, i);
-        MARLIN_ASSERT(obs[i].size() == _scenario->observationDim(i),
-                      "observation size does not match declared dim");
+        obs[i].resize(_scenario->observationDim(i));
+        _scenario->observationInto(_world, i, obs[i].data());
     }
-    return obs;
 }
 
 std::unique_ptr<Environment>

@@ -57,22 +57,53 @@ class Environment
     const World &world() const { return _world; }
     World &world() { return _world; }
 
-    /** Randomize the world; returns initial observations. */
-    std::vector<std::vector<Real>> reset();
+    /**
+     * Randomize the world and write initial observations into
+     * @p obs (resized to one vector per agent; inner capacity is
+     * reused across episodes, so a warm reset does not allocate).
+     */
+    void resetInto(std::vector<std::vector<Real>> &obs);
+
+    /** Convenience by-value form of resetInto. */
+    std::vector<std::vector<Real>> reset()
+    {
+        std::vector<std::vector<Real>> obs;
+        resetInto(obs);
+        return obs;
+    }
 
     /**
      * Apply one discrete action per learnable agent, script the
-     * remaining agents, advance physics, and return observations,
-     * rewards and done flags.
+     * remaining agents, advance physics, and write observations,
+     * rewards and done flags into @p result (the steady-state hot
+     * path: a warm call reuses the result's capacity and performs
+     * no heap allocation).
      */
-    StepResult step(const std::vector<int> &actions);
+    void stepInto(const std::vector<int> &actions, StepResult &result);
+
+    /** Convenience by-value form of stepInto. */
+    StepResult step(const std::vector<int> &actions)
+    {
+        StepResult result;
+        stepInto(actions, result);
+        return result;
+    }
 
     /**
      * Continuous-control variant: apply one 2D force per learnable
      * agent (each component clamped to [-1, 1]); scripted agents
      * still follow their discrete scenario policy.
      */
-    StepResult stepContinuous(const std::vector<Vec2> &forces);
+    void stepContinuousInto(const std::vector<Vec2> &forces,
+                            StepResult &result);
+
+    /** Convenience by-value form of stepContinuousInto. */
+    StepResult stepContinuous(const std::vector<Vec2> &forces)
+    {
+        StepResult result;
+        stepContinuousInto(forces, result);
+        return result;
+    }
 
     /**
      * Snapshot / restore the environment RNG stream. At an episode
@@ -89,7 +120,8 @@ class Environment
     Rng rng;
     std::size_t _numAgents = 0;
 
-    std::vector<std::vector<Real>> gatherObservations() const;
+    void
+    gatherObservationsInto(std::vector<std::vector<Real>> &obs) const;
 };
 
 /** Factory: predator-prey with N trained predators. */

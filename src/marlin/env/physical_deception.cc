@@ -24,6 +24,8 @@ PhysicalDeceptionScenario::makeWorld(World &world)
 {
     world.agents.clear();
     world.landmarks.clear();
+    world.agents.reserve(1 + _config.numGoodAgents);
+    world.landmarks.reserve(_config.numLandmarks);
 
     Agent adversary;
     adversary.name = "adversary_0";
@@ -77,32 +79,30 @@ PhysicalDeceptionScenario::learnableAgents(const World &world) const
     return 1 + _config.numGoodAgents;
 }
 
-std::vector<Real>
-PhysicalDeceptionScenario::observation(const World &world,
-                                       std::size_t i) const
+void
+PhysicalDeceptionScenario::observationInto(const World &world,
+                                           std::size_t i,
+                                           Real *out) const
 {
     // Good agents: goal rel pos, landmark rel pos, other agents rel
     // pos. The adversary sees the same minus the goal (it must
     // infer the goal from the good team's behaviour).
     const Agent &self = world.agents[i];
-    std::vector<Real> obs;
-    obs.reserve(observationDim(i));
     if (i != 0) {
         const Entity &g = world.landmarks[goal];
-        obs.push_back(g.pos.x - self.pos.x);
-        obs.push_back(g.pos.y - self.pos.y);
+        *out++ = g.pos.x - self.pos.x;
+        *out++ = g.pos.y - self.pos.y;
     }
     for (const Entity &lm : world.landmarks) {
-        obs.push_back(lm.pos.x - self.pos.x);
-        obs.push_back(lm.pos.y - self.pos.y);
+        *out++ = lm.pos.x - self.pos.x;
+        *out++ = lm.pos.y - self.pos.y;
     }
     for (std::size_t j = 0; j < world.agents.size(); ++j) {
         if (j == i)
             continue;
-        obs.push_back(world.agents[j].pos.x - self.pos.x);
-        obs.push_back(world.agents[j].pos.y - self.pos.y);
+        *out++ = world.agents[j].pos.x - self.pos.x;
+        *out++ = world.agents[j].pos.y - self.pos.y;
     }
-    return obs;
 }
 
 std::size_t

@@ -29,6 +29,8 @@ PredatorPreyScenario::makeWorld(World &world)
 {
     world.agents.clear();
     world.landmarks.clear();
+    world.agents.reserve(_config.numPredators + _config.numPrey);
+    world.landmarks.reserve(_config.numLandmarks);
 
     for (std::size_t i = 0; i < _config.numPredators; ++i) {
         Agent a;
@@ -85,9 +87,9 @@ PredatorPreyScenario::learnableAgents(const World &world) const
     return _config.numPredators;
 }
 
-std::vector<Real>
-PredatorPreyScenario::observation(const World &world,
-                                  std::size_t i) const
+void
+PredatorPreyScenario::observationInto(const World &world,
+                                      std::size_t i, Real *out) const
 {
     // Layout (MPE simple_tag):
     //   self vel(2), self pos(2), landmark rel pos(2L),
@@ -95,33 +97,30 @@ PredatorPreyScenario::observation(const World &world,
     //   prey velocities (2*numPrey for predators,
     //                    2*(numPrey-1) for prey).
     const Agent &self = world.agents[i];
-    std::vector<Real> obs;
-    obs.reserve(observationDim(i));
-    obs.push_back(self.vel.x);
-    obs.push_back(self.vel.y);
-    obs.push_back(self.pos.x);
-    obs.push_back(self.pos.y);
+    *out++ = self.vel.x;
+    *out++ = self.vel.y;
+    *out++ = self.pos.x;
+    *out++ = self.pos.y;
     for (const Entity &lm : world.landmarks) {
-        obs.push_back(lm.pos.x - self.pos.x);
-        obs.push_back(lm.pos.y - self.pos.y);
+        *out++ = lm.pos.x - self.pos.x;
+        *out++ = lm.pos.y - self.pos.y;
     }
     for (std::size_t j = 0; j < world.agents.size(); ++j) {
         if (j == i)
             continue;
         const Agent &other = world.agents[j];
-        obs.push_back(other.pos.x - self.pos.x);
-        obs.push_back(other.pos.y - self.pos.y);
+        *out++ = other.pos.x - self.pos.x;
+        *out++ = other.pos.y - self.pos.y;
     }
     for (std::size_t j = 0; j < world.agents.size(); ++j) {
         if (j == i)
             continue;
         const Agent &other = world.agents[j];
         if (!other.adversary) {
-            obs.push_back(other.vel.x);
-            obs.push_back(other.vel.y);
+            *out++ = other.vel.x;
+            *out++ = other.vel.y;
         }
     }
-    return obs;
 }
 
 std::size_t

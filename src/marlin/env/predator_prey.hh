@@ -43,8 +43,8 @@ class PredatorPreyScenario : public Scenario
     void makeWorld(World &world) override;
     void resetWorld(World &world, Rng &rng) override;
     std::size_t learnableAgents(const World &world) const override;
-    std::vector<Real> observation(const World &world,
-                                  std::size_t i) const override;
+    void observationInto(const World &world, std::size_t i,
+                         Real *out) const override;
     std::size_t observationDim(std::size_t i) const override;
     Real reward(const World &world, std::size_t i) const override;
     int scriptedAction(const World &world, std::size_t i,

@@ -44,9 +44,22 @@ class Scenario
     /** Number of agents trained by the MARL algorithm. */
     virtual std::size_t learnableAgents(const World &world) const = 0;
 
-    /** Observation vector for agent @p i. */
-    virtual std::vector<Real> observation(const World &world,
-                                          std::size_t i) const = 0;
+    /**
+     * Write agent @p i's observation into @p out, which must hold
+     * observationDim(i) elements. This is the steady-state hot path:
+     * implementations write in place and perform no heap allocation.
+     */
+    virtual void observationInto(const World &world, std::size_t i,
+                                 Real *out) const = 0;
+
+    /** Convenience by-value form of observationInto. */
+    std::vector<Real>
+    observation(const World &world, std::size_t i) const
+    {
+        std::vector<Real> out(observationDim(i));
+        observationInto(world, i, out.data());
+        return out;
+    }
 
     /** Observation dimensionality for agent @p i. */
     virtual std::size_t observationDim(std::size_t i) const = 0;

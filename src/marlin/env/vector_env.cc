@@ -1,5 +1,7 @@
 #include "marlin/env/vector_env.hh"
 
+#include <algorithm>
+
 #include "marlin/base/logging.hh"
 #include "marlin/base/thread_pool.hh"
 
@@ -92,6 +94,87 @@ VectorEnvironment::step(const std::vector<std::vector<int>> &actions)
                              results[i] = lanes[i]->step(actions[i]);
                      });
     return results;
+}
+
+void
+VectorEnvironment::initLayout(ObsBatch &out) const
+{
+    const std::size_t agents = lanes.front()->numAgents();
+    out.agentOffsets.resize(agents + 1);
+    std::size_t offset = 0;
+    for (std::size_t a = 0; a < agents; ++a) {
+        out.agentOffsets[a] = offset;
+        offset += lanes.front()->obsDim(a);
+    }
+    out.agentOffsets[agents] = offset;
+    out.laneStride = offset;
+    out.data.resize(lanes.size() * offset);
+}
+
+void
+VectorEnvironment::resetInto(ObsBatch &out)
+{
+    initLayout(out);
+    const std::size_t agents = lanes.front()->numAgents();
+    laneObsScratch.resize(lanes.size());
+    // Each lane resets into its own retained scratch, then copies
+    // into its disjoint slice of the flat batch — safe to fan out,
+    // and the scratch keeps lane RNG draws identical to serial.
+    const auto reset_lane = [&](std::size_t i) {
+        lanes[i]->resetInto(laneObsScratch[i]);
+        for (std::size_t a = 0; a < agents; ++a) {
+            const std::vector<Real> &src = laneObsScratch[i][a];
+            std::copy(src.begin(), src.end(), out.agentObs(i, a));
+        }
+    };
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, lanes.size())) {
+        for (std::size_t i = 0; i < lanes.size(); ++i)
+            reset_lane(i);
+        return;
+    }
+    pool.parallelFor(0, lanes.size(), 1,
+                     [&](std::size_t i0, std::size_t i1) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             reset_lane(i);
+                     });
+}
+
+void
+VectorEnvironment::stepInto(
+    const std::vector<std::vector<int>> &actions, StepBatch &out)
+{
+    MARLIN_ASSERT(actions.size() == lanes.size(),
+                  "one action vector per lane required");
+    initLayout(out.observations);
+    const std::size_t agents = lanes.front()->numAgents();
+    out.rewards.resize(lanes.size() * agents);
+    out.dones.resize(lanes.size() * agents);
+    laneStepScratch.resize(lanes.size());
+
+    const auto step_lane = [&](std::size_t i) {
+        StepResult &scratch = laneStepScratch[i];
+        lanes[i]->stepInto(actions[i], scratch);
+        for (std::size_t a = 0; a < agents; ++a) {
+            const std::vector<Real> &src = scratch.observations[a];
+            std::copy(src.begin(), src.end(),
+                      out.observations.agentObs(i, a));
+            out.rewards[i * agents + a] = scratch.rewards[a];
+            out.dones[i * agents + a] =
+                scratch.dones[a] ? std::uint8_t{1} : std::uint8_t{0};
+        }
+    };
+    base::ThreadPool &pool = base::ThreadPool::global();
+    if (!useParallel(pool, lanes.size())) {
+        for (std::size_t i = 0; i < lanes.size(); ++i)
+            step_lane(i);
+        return;
+    }
+    pool.parallelFor(0, lanes.size(), 1,
+                     [&](std::size_t i0, std::size_t i1) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             step_lane(i);
+                     });
 }
 
 } // namespace marlin::env

@@ -9,6 +9,7 @@
 #ifndef MARLIN_ENV_VECTOR_ENV_HH
 #define MARLIN_ENV_VECTOR_ENV_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -21,6 +22,66 @@ namespace marlin::env
 /** Builds one environment instance for lane @p lane. */
 using EnvFactory =
     std::function<std::unique_ptr<Environment>(std::size_t lane)>;
+
+/**
+ * Flat batch-major observation storage for a vectorized rollout:
+ * one contiguous allocation holding [lane][agent][dim], so a K-lane
+ * batch is a single cache-friendly streaming write instead of
+ * K * numAgents separate heap vectors. Lane blocks are laneStride
+ * elements apart and agent a's slice starts at agentOffsets[a]
+ * within its lane block, which also makes each lane's region
+ * disjoint — parallel lane stepping writes without synchronization.
+ */
+struct ObsBatch
+{
+    /** numLanes() * laneStride elements, lane-major. */
+    std::vector<Real> data;
+    /**
+     * Offset of agent a's observation inside a lane block; has
+     * numAgents + 1 entries, the last equal to laneStride.
+     */
+    std::vector<std::size_t> agentOffsets;
+    /** Elements per lane block (sum of per-agent obs dims). */
+    std::size_t laneStride = 0;
+
+    std::size_t numLanes() const
+    {
+        return laneStride == 0 ? 0 : data.size() / laneStride;
+    }
+
+    std::size_t agentDim(std::size_t agent) const
+    {
+        return agentOffsets[agent + 1] - agentOffsets[agent];
+    }
+
+    /** Pointer to agent @p agent's observation in lane @p lane. */
+    Real *agentObs(std::size_t lane, std::size_t agent)
+    {
+        return data.data() + lane * laneStride + agentOffsets[agent];
+    }
+    const Real *agentObs(std::size_t lane, std::size_t agent) const
+    {
+        return data.data() + lane * laneStride + agentOffsets[agent];
+    }
+};
+
+/**
+ * Flat step output for all lanes: observations plus lane-major
+ * [lane][agent] rewards and done flags. Dones are bytes, not
+ * vector<bool>, so concurrent lanes never share a word.
+ */
+struct StepBatch
+{
+    ObsBatch observations;
+    std::vector<Real> rewards;
+    std::vector<std::uint8_t> dones;
+
+    Real reward(std::size_t lane, std::size_t agent,
+                std::size_t num_agents) const
+    {
+        return rewards[lane * num_agents + agent];
+    }
+};
 
 /**
  * A batch of homogeneous environments. All lanes share the same
@@ -56,8 +117,32 @@ class VectorEnvironment
     std::vector<StepResult>
     step(const std::vector<std::vector<int>> &actions);
 
+    /**
+     * Reset every lane into a flat batch-major buffer. A warm call
+     * (same @p out reused across calls) performs no heap allocation:
+     * the layout is computed once and the data block is overwritten
+     * in place.
+     */
+    void resetInto(ObsBatch &out);
+
+    /**
+     * Step every lane into a flat batch. Lanes write disjoint slices
+     * of @p out, so the parallel path needs no synchronization and
+     * matches the serial path bit-for-bit. Warm calls are
+     * allocation-free.
+     */
+    void stepInto(const std::vector<std::vector<int>> &actions,
+                  StepBatch &out);
+
   private:
     std::vector<std::unique_ptr<Environment>> lanes;
+    /** Per-lane StepResult scratch for stepInto (index = lane). */
+    std::vector<StepResult> laneStepScratch;
+    /** Per-lane observation scratch for resetInto. */
+    std::vector<std::vector<std::vector<Real>>> laneObsScratch;
+
+    /** Size @p out's layout and data for this env's shapes. */
+    void initLayout(ObsBatch &out) const;
 };
 
 } // namespace marlin::env

@@ -44,7 +44,7 @@ void
 World::step()
 {
     const std::size_t n = agents.size();
-    std::vector<Vec2> forces(n);
+    forces.assign(n, Vec2{});
 
     // Action forces scaled by per-agent acceleration.
     for (std::size_t i = 0; i < n; ++i) {

@@ -60,6 +60,11 @@ class World
 
   private:
     WorldConfig _config;
+    /**
+     * Per-step net-force accumulator, retained across steps so the
+     * physics step performs no heap allocation once warm.
+     */
+    std::vector<Vec2> forces;
 };
 
 } // namespace marlin::env

@@ -7,6 +7,7 @@
 #ifndef MARLIN_MARLIN_HH
 #define MARLIN_MARLIN_HH
 
+#include "marlin/base/alloc_guard.hh"
 #include "marlin/base/args.hh"
 #include "marlin/base/cpu.hh"
 #include "marlin/base/crc32.hh"
@@ -16,6 +17,7 @@
 #include "marlin/base/random.hh"
 #include "marlin/base/string_utils.hh"
 #include "marlin/base/thread_pool.hh"
+#include "marlin/base/workspace.hh"
 #include "marlin/core/checkpoint.hh"
 #include "marlin/core/config.hh"
 #include "marlin/core/evaluator.hh"

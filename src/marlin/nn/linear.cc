@@ -33,10 +33,10 @@ Linear::backward(const Matrix &grad_y, Matrix &grad_x)
     MARLIN_ASSERT(grad_y.rows() == cachedInput.rows(),
                   "backward batch mismatch — missing forward()?");
     // dW += x^T dy ; db += sum_rows(dy) ; dx = dy W^T
-    Matrix dw;
-    numeric::gemmTN(cachedInput, grad_y, dw);
-    weight.grad += dw;
-    bias.grad += numeric::sumRows(grad_y);
+    numeric::gemmTN(cachedInput, grad_y, dwScratch);
+    weight.grad += dwScratch;
+    numeric::sumRowsInto(grad_y, dbScratch);
+    bias.grad += dbScratch;
     numeric::gemmNT(grad_y, weight.value, grad_x);
 }
 

@@ -75,6 +75,10 @@ class Linear
 
   private:
     Matrix cachedInput;
+    // Persistent backward scratch (dL/dW, dL/db) so steady-state
+    // backprop performs no heap allocations.
+    Matrix dwScratch;
+    Matrix dbScratch;
 };
 
 } // namespace marlin::nn

@@ -67,13 +67,21 @@ policyLoss(const Matrix &q, Matrix &grad)
 std::vector<Real>
 absTdError(const Matrix &pred, const Matrix &target)
 {
+    std::vector<Real> out;
+    absTdErrorInto(pred, target, out);
+    return out;
+}
+
+void
+absTdErrorInto(const Matrix &pred, const Matrix &target,
+               std::vector<Real> &out)
+{
     MARLIN_ASSERT(pred.cols() == 1 && target.cols() == 1,
                   "TD error expects column vectors");
     MARLIN_ASSERT(pred.rows() == target.rows(), "TD error row mismatch");
-    std::vector<Real> out(pred.rows());
+    out.resize(pred.rows());
     for (std::size_t r = 0; r < pred.rows(); ++r)
         out[r] = std::abs(pred(r, 0) - target(r, 0));
-    return out;
 }
 
 } // namespace marlin::nn

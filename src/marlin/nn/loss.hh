@@ -48,6 +48,10 @@ Real policyLoss(const Matrix &q, Matrix &grad);
  */
 std::vector<Real> absTdError(const Matrix &pred, const Matrix &target);
 
+/** absTdError into caller-owned storage (capacity-retaining). */
+void absTdErrorInto(const Matrix &pred, const Matrix &target,
+                    std::vector<Real> &out);
+
 } // namespace marlin::nn
 
 #endif // MARLIN_NN_LOSS_HH

@@ -20,6 +20,8 @@ Mlp::Mlp(const MlpConfig &config, Rng &rng) : _config(config)
     acts.emplace_back(config.outputActivation);
     preact.resize(layers.size());
     postact.resize(layers.size());
+    dpre.resize(layers.size());
+    dinput.resize(layers.size());
 }
 
 void
@@ -46,22 +48,16 @@ void
 Mlp::backward(const Matrix &grad_y, Matrix *grad_x)
 {
     MARLIN_ASSERT(!layers.empty(), "backward on empty Mlp");
-    Matrix grad = grad_y;
-    Matrix next;
+    // Pointer walk over persistent per-layer scratch: identical
+    // arithmetic to a copy-based chain, zero allocations once warm.
+    const Matrix *grad = &grad_y;
     for (std::size_t i = layers.size(); i-- > 0;) {
-        Matrix d_pre;
-        acts[i].backward(grad, d_pre);
-        if (i == 0 && grad_x == nullptr) {
-            // Still must accumulate the first layer's weight grads;
-            // reuse `next` as a discard buffer.
-            layers[i].backward(d_pre, next);
-        } else {
-            layers[i].backward(d_pre, next);
-        }
-        grad = next;
+        acts[i].backward(*grad, dpre[i]);
+        layers[i].backward(dpre[i], dinput[i]);
+        grad = &dinput[i];
     }
     if (grad_x)
-        *grad_x = grad;
+        *grad_x = *grad;
 }
 
 std::vector<Param *>
@@ -93,38 +89,45 @@ Mlp::paramCount() const
     return n;
 }
 
+// zeroGrad/copyFrom/softUpdateFrom iterate the layers directly
+// (weight then bias, matching params() order) instead of building a
+// params() vector: softUpdateFrom runs once per network per update,
+// and the steady-state contract forbids that per-call allocation.
+
 void
 Mlp::zeroGrad()
 {
-    for (Param *p : params())
-        p->zeroGrad();
+    for (auto &layer : layers) {
+        layer.weight.zeroGrad();
+        layer.bias.zeroGrad();
+    }
 }
 
 void
 Mlp::copyFrom(const Mlp &src)
 {
-    auto dst_params = params();
-    auto src_params = src.params();
-    MARLIN_ASSERT(dst_params.size() == src_params.size(),
+    MARLIN_ASSERT(layers.size() == src.layers.size(),
                   "copyFrom network shape mismatch");
-    for (std::size_t i = 0; i < dst_params.size(); ++i)
-        dst_params[i]->value = src_params[i]->value;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        layers[i].weight.value = src.layers[i].weight.value;
+        layers[i].bias.value = src.layers[i].bias.value;
+    }
 }
 
 void
 Mlp::softUpdateFrom(const Mlp &src, Real tau)
 {
-    auto dst_params = params();
-    auto src_params = src.params();
-    MARLIN_ASSERT(dst_params.size() == src_params.size(),
+    MARLIN_ASSERT(layers.size() == src.layers.size(),
                   "softUpdateFrom network shape mismatch");
     const numeric::kernels::KernelTable &kt =
         numeric::kernels::active();
-    for (std::size_t i = 0; i < dst_params.size(); ++i) {
-        Matrix &d = dst_params[i]->value;
-        const Matrix &s = src_params[i]->value;
+    const auto blend = [&kt, tau](Matrix &d, const Matrix &s) {
         MARLIN_ASSERT(d.size() == s.size(), "param size mismatch");
         kt.softUpdate(tau, s.data(), d.data(), d.size());
+    };
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        blend(layers[i].weight.value, src.layers[i].weight.value);
+        blend(layers[i].bias.value, src.layers[i].bias.value);
     }
 }
 

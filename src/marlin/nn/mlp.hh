@@ -79,6 +79,11 @@ class Mlp
     // Scratch activations to avoid per-call allocation.
     std::vector<Matrix> preact;
     std::vector<Matrix> postact;
+    // Backward scratch, one pair per layer: dL/d(pre-activation)
+    // and dL/d(layer input). Persisting them makes a warm backward
+    // pass allocation-free.
+    std::vector<Matrix> dpre;
+    std::vector<Matrix> dinput;
 };
 
 } // namespace marlin::nn

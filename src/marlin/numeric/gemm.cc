@@ -5,6 +5,7 @@
 
 #include "marlin/base/compiler.hh"
 #include "marlin/base/thread_pool.hh"
+#include "marlin/base/workspace.hh"
 #include "marlin/numeric/kernels.hh"
 
 namespace marlin::numeric
@@ -206,10 +207,13 @@ gemmNT(const Matrix &a, const Matrix &b, Matrix &c)
         return;
 
     // Pack B^T once (pure data movement, so exact); amortized over
-    // the m output rows, and thread_local because per-agent updates
-    // run whole gemmNT calls inside pool workers concurrently.
-    static thread_local std::vector<Real> packed;
-    packed.resize(k * n);
+    // the m output rows. The buffer comes from the thread-local
+    // Workspace — per-agent updates run whole gemmNT calls inside
+    // pool workers concurrently, and the slot's capacity persists at
+    // its high-water mark so warm calls never touch the allocator.
+    std::vector<Real> &packed =
+        base::Workspace::threadLocal().scratch(base::wsGemmNTPack,
+                                               k * n);
     for (std::size_t j = 0; j < n; ++j) {
         const Real *brow = b.row(j);
         for (std::size_t kk = 0; kk < k; ++kk)

@@ -34,9 +34,21 @@ Matrix::fill(Real value)
 void
 Matrix::resize(std::size_t rows, std::size_t cols)
 {
+    // resize + fill rather than assign: both retain capacity on
+    // every mainstream libstdc++/libc++, but spelling it this way
+    // makes the no-reallocation-within-capacity contract explicit.
     _rows = rows;
     _cols = cols;
-    _data.assign(rows * cols, Real(0));
+    _data.resize(rows * cols);
+    std::fill(_data.begin(), _data.end(), Real(0));
+}
+
+void
+Matrix::reshape(std::size_t rows, std::size_t cols)
+{
+    _rows = rows;
+    _cols = cols;
+    _data.resize(rows * cols);
 }
 
 Matrix &

@@ -78,8 +78,23 @@ class Matrix
     /** Fill with a constant. */
     void fill(Real value);
 
-    /** Resize (contents become undefined zeroes). */
+    /**
+     * Resize to rows x cols and zero every element. Storage is
+     * capacity-retaining: shrinking or re-growing within the
+     * high-water mark never touches the allocator, which is what
+     * lets warm hot-path scratch matrices be reshaped per batch at
+     * zero allocation cost.
+     */
     void resize(std::size_t rows, std::size_t cols);
+
+    /**
+     * Resize to rows x cols WITHOUT defining the contents (existing
+     * elements keep whatever was there; grown elements are
+     * unspecified). Same capacity-retaining storage contract as
+     * resize(). For outputs that every caller fully overwrites —
+     * skipping the zero-fill keeps the write out of the cache twice.
+     */
+    void reshape(std::size_t rows, std::size_t cols);
 
     /** Elementwise in-place operations. */
     Matrix &operator+=(const Matrix &other);

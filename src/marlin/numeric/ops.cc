@@ -47,7 +47,15 @@ addRowBias(Matrix &m, const Matrix &bias)
 Matrix
 sumRows(const Matrix &m)
 {
-    Matrix out(1, m.cols());
+    Matrix out;
+    sumRowsInto(m, out);
+    return out;
+}
+
+void
+sumRowsInto(const Matrix &m, Matrix &out)
+{
+    out.resize(1, m.cols());
     // Column-wise reduction: each output lane sums its own column
     // in ascending row order, so the vector path is bit-identical
     // to the scalar one.
@@ -55,7 +63,6 @@ sumRows(const Matrix &m)
     Real *acc = out.row(0);
     for (std::size_t r = 0; r < m.rows(); ++r)
         kt.add(m.row(r), acc, m.cols());
-    return out;
 }
 
 Real
@@ -140,23 +147,28 @@ std::vector<std::size_t>
 gumbelArgmaxRows(const Matrix &logits, Rng &rng)
 {
     std::vector<std::size_t> picks(logits.rows());
-    for (std::size_t r = 0; r < logits.rows(); ++r) {
-        const Real *row = logits.row(r);
-        Real best = -std::numeric_limits<Real>::infinity();
-        std::size_t best_c = 0;
-        for (std::size_t c = 0; c < logits.cols(); ++c) {
-            double u = std::max(rng.uniform(),
-                                std::numeric_limits<double>::min());
-            Real g = static_cast<Real>(-std::log(-std::log(u)));
-            Real v = row[c] + g;
-            if (v > best) {
-                best = v;
-                best_c = c;
-            }
-        }
-        picks[r] = best_c;
-    }
+    for (std::size_t r = 0; r < logits.rows(); ++r)
+        picks[r] = gumbelArgmaxRow(logits, r, rng);
     return picks;
+}
+
+std::size_t
+gumbelArgmaxRow(const Matrix &logits, std::size_t row, Rng &rng)
+{
+    const Real *vals = logits.row(row);
+    Real best = -std::numeric_limits<Real>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+        double u = std::max(rng.uniform(),
+                            std::numeric_limits<double>::min());
+        Real g = static_cast<Real>(-std::log(-std::log(u)));
+        Real v = vals[c] + g;
+        if (v > best) {
+            best = v;
+            best_c = c;
+        }
+    }
+    return best_c;
 }
 
 std::vector<std::size_t>
@@ -185,6 +197,14 @@ oneHot(const std::vector<std::size_t> &indices, std::size_t classes)
 Matrix
 hconcat(const std::vector<const Matrix *> &parts)
 {
+    Matrix out;
+    hconcatInto(parts, out);
+    return out;
+}
+
+void
+hconcatInto(const std::vector<const Matrix *> &parts, Matrix &out)
+{
     MARLIN_ASSERT(!parts.empty(), "hconcat of zero matrices");
     const std::size_t rows = parts.front()->rows();
     std::size_t cols = 0;
@@ -192,7 +212,7 @@ hconcat(const std::vector<const Matrix *> &parts)
         MARLIN_ASSERT(p->rows() == rows, "hconcat row mismatch");
         cols += p->cols();
     }
-    Matrix out(rows, cols);
+    out.reshape(rows, cols); // Fully overwritten below.
     for (std::size_t r = 0; r < rows; ++r) {
         Real *dst = out.row(r);
         for (const Matrix *p : parts) {
@@ -201,7 +221,6 @@ hconcat(const std::vector<const Matrix *> &parts)
             dst += p->cols();
         }
     }
-    return out;
 }
 
 void

@@ -31,6 +31,12 @@ void addRowBias(Matrix &m, const Matrix &bias);
 /** Sum of rows -> 1 x cols matrix (bias gradient reduction). */
 Matrix sumRows(const Matrix &m);
 
+/**
+ * sumRows into caller-owned storage (capacity-retaining; identical
+ * reduction order, so results match sumRows bit-for-bit).
+ */
+void sumRowsInto(const Matrix &m, Matrix &out);
+
 /** Mean of all elements. */
 Real mean(const Matrix &m);
 
@@ -63,6 +69,14 @@ void softmaxBackwardRows(const Matrix &softmax_out,
  */
 std::vector<std::size_t> gumbelArgmaxRows(const Matrix &logits, Rng &rng);
 
+/**
+ * Single-row Gumbel argmax: identical RNG draw order and arithmetic
+ * as gumbelArgmaxRows restricted to @p row, without allocating the
+ * result vector (hot per-step action selection).
+ */
+std::size_t gumbelArgmaxRow(const Matrix &logits, std::size_t row,
+                            Rng &rng);
+
 /** Per-row argmax indices. */
 std::vector<std::size_t> argmaxRows(const Matrix &m);
 
@@ -76,6 +90,13 @@ Matrix oneHot(const std::vector<std::size_t> &indices,
  * for the centralized critic.
  */
 Matrix hconcat(const std::vector<const Matrix *> &parts);
+
+/**
+ * hconcat into caller-owned storage (capacity-retaining; the output
+ * is fully overwritten, so no zero-fill happens).
+ */
+void hconcatInto(const std::vector<const Matrix *> &parts,
+                 Matrix &out);
 
 /** Fill @p m with uniform values in [lo, hi). */
 void fillUniform(Matrix &m, Rng &rng, Real lo, Real hi);

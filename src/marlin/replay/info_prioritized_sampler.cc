@@ -32,9 +32,10 @@ InfoPrioritizedLocalitySampler::InfoPrioritizedLocalitySampler(
                   "neighbor counts must be >= 1");
 }
 
-IndexPlan
-InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
-                                     std::size_t batch, Rng &rng)
+void
+InfoPrioritizedLocalitySampler::planInto(BufferIndex buffer_size,
+                                         std::size_t batch, Rng &rng,
+                                         IndexPlan &out)
 {
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     MARLIN_ASSERT(_tree.total() > 0.0,
@@ -49,7 +50,7 @@ InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
         obs::Registry::instance().counter(
             "replay.ipls.run_indices_total");
     plans.add();
-    IndexPlan out;
+    out.clear();
     out.indices.reserve(batch);
     out.weights.reserve(batch);
     out.priorityIds.reserve(batch);
@@ -61,7 +62,8 @@ InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
     const double segment = total / static_cast<double>(batch);
 
     double max_w = 0.0;
-    std::vector<double> raw;
+    std::vector<double> &raw = rawWeights;
+    raw.clear();
     raw.reserve(batch);
     std::size_t stratum = 0;
     while (out.indices.size() < batch) {
@@ -108,7 +110,6 @@ InfoPrioritizedLocalitySampler::plan(BufferIndex buffer_size,
 
     if (_config.betaAnneal > Real(0))
         beta = std::min(Real(1), beta + _config.betaAnneal);
-    return out;
 }
 
 } // namespace marlin::replay

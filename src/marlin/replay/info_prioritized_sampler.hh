@@ -48,8 +48,8 @@ class InfoPrioritizedLocalitySampler : public PrioritizedSampler
 
     std::string name() const override { return "info_prioritized"; }
 
-    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
-                   Rng &rng) override;
+    void planInto(BufferIndex buffer_size, std::size_t batch,
+                  Rng &rng, IndexPlan &out) override;
 
     const NeighborPredictorConfig &predictor() const { return _predictor; }
 

@@ -23,9 +23,10 @@ LocalityAwareSampler::name() const
                     _config.referencePoints);
 }
 
-IndexPlan
-LocalityAwareSampler::plan(BufferIndex buffer_size, std::size_t batch,
-                           Rng &rng)
+void
+LocalityAwareSampler::planInto(BufferIndex buffer_size,
+                               std::size_t batch, Rng &rng,
+                               IndexPlan &out)
 {
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     const std::size_t run = std::min<std::size_t>(
@@ -50,7 +51,7 @@ LocalityAwareSampler::plan(BufferIndex buffer_size, std::size_t batch,
             "replay.locality.run_indices_total");
     plans.add();
 
-    IndexPlan out;
+    out.clear();
     out.indices.reserve(batch);
     while (out.indices.size() < batch) {
         // Clamp the anchor so the whole run is valid and contiguous:
@@ -66,7 +67,6 @@ LocalityAwareSampler::plan(BufferIndex buffer_size, std::size_t batch,
         }
         run_indices.add(out.indices.size() - before);
     }
-    return out;
 }
 
 } // namespace marlin::replay

@@ -43,8 +43,8 @@ class LocalityAwareSampler : public Sampler
 
     std::string name() const override;
 
-    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
-                   Rng &rng) override;
+    void planInto(BufferIndex buffer_size, std::size_t batch,
+                  Rng &rng, IndexPlan &out) override;
 
     const LocalityConfig &config() const { return _config; }
 

@@ -23,9 +23,10 @@ PrioritizedSampler::onAdd(BufferIndex idx)
     _tree.set(idx % _config.capacity, _tree.maxPriority());
 }
 
-IndexPlan
-PrioritizedSampler::plan(BufferIndex buffer_size, std::size_t batch,
-                         Rng &rng)
+void
+PrioritizedSampler::planInto(BufferIndex buffer_size,
+                             std::size_t batch, Rng &rng,
+                             IndexPlan &out)
 {
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     MARLIN_ASSERT(_tree.total() > 0.0,
@@ -33,7 +34,6 @@ PrioritizedSampler::plan(BufferIndex buffer_size, std::size_t batch,
     static obs::Counter &plans =
         obs::Registry::instance().counter("replay.per.plans");
     plans.add();
-    IndexPlan out;
     out.indices.resize(batch);
     out.weights.resize(batch);
     out.priorityIds.resize(batch);
@@ -43,7 +43,8 @@ PrioritizedSampler::plan(BufferIndex buffer_size, std::size_t batch,
     const double n = static_cast<double>(buffer_size);
 
     double max_w = 0.0;
-    std::vector<double> raw(batch);
+    std::vector<double> &raw = rawWeights;
+    raw.resize(batch);
     for (std::size_t b = 0; b < batch; ++b) {
         // Stratified draw within segment b.
         const double prefix =
@@ -66,7 +67,6 @@ PrioritizedSampler::plan(BufferIndex buffer_size, std::size_t batch,
 
     if (_config.betaAnneal > Real(0))
         beta = std::min(Real(1), beta + _config.betaAnneal);
-    return out;
 }
 
 void

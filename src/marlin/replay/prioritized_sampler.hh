@@ -41,8 +41,8 @@ class PrioritizedSampler : public Sampler
 
     std::string name() const override { return "per"; }
 
-    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
-                   Rng &rng) override;
+    void planInto(BufferIndex buffer_size, std::size_t batch,
+                  Rng &rng, IndexPlan &out) override;
 
     void onAdd(BufferIndex idx) override;
 
@@ -60,6 +60,8 @@ class PrioritizedSampler : public Sampler
     PerConfig _config;
     SumTree _tree;
     Real beta;
+    /** Un-normalized Lemma-1 weights for the current plan. */
+    std::vector<double> rawWeights;
 };
 
 } // namespace marlin::replay

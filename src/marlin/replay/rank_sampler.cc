@@ -17,6 +17,11 @@ RankBasedSampler::RankBasedSampler(PerConfig config)
     tdError.assign(_config.capacity, Real(0));
     order.resize(_config.capacity);
     std::iota(order.begin(), order.end(), BufferIndex{0});
+    // The cumulative table tracks the filled prefix of the buffer,
+    // which grows during training; reserving the full capacity up
+    // front keeps its doubling reallocations out of steady-state
+    // plans.
+    cumulative.reserve(_config.capacity);
 }
 
 void
@@ -69,9 +74,9 @@ RankBasedSampler::resort()
     plansSinceSort = 0;
 }
 
-IndexPlan
-RankBasedSampler::plan(BufferIndex buffer_size, std::size_t batch,
-                       Rng &rng)
+void
+RankBasedSampler::planInto(BufferIndex buffer_size, std::size_t batch,
+                           Rng &rng, IndexPlan &out)
 {
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     const BufferIndex n = std::min<BufferIndex>(
@@ -97,11 +102,11 @@ RankBasedSampler::plan(BufferIndex buffer_size, std::size_t batch,
     }
     const double z = cumulative.back();
 
-    IndexPlan out;
     out.indices.resize(batch);
     out.weights.resize(batch);
     out.priorityIds.resize(batch);
-    std::vector<double> raw(batch);
+    std::vector<double> &raw = rawWeights;
+    raw.resize(batch);
     double max_w = 0;
     const double segment = z / static_cast<double>(batch);
     for (std::size_t b = 0; b < batch; ++b) {
@@ -130,7 +135,6 @@ RankBasedSampler::plan(BufferIndex buffer_size, std::size_t batch,
 
     if (_config.betaAnneal > Real(0))
         beta = std::min(Real(1), beta + _config.betaAnneal);
-    return out;
 }
 
 void
@@ -159,6 +163,9 @@ RankBasedSampler::loadState(std::istream &is)
     known = readPod<std::uint64_t>(is);
     maxTd = readPod<Real>(is);
     cumulative = readVector<double>(is);
+    // Restore the full-capacity reservation the constructor made, so
+    // a resumed run is as allocation-free as an uninterrupted one.
+    cumulative.reserve(_config.capacity);
 }
 
 } // namespace marlin::replay

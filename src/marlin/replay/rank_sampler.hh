@@ -30,8 +30,8 @@ class RankBasedSampler : public Sampler
 
     std::string name() const override { return "per_rank"; }
 
-    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
-                   Rng &rng) override;
+    void planInto(BufferIndex buffer_size, std::size_t batch,
+                  Rng &rng, IndexPlan &out) override;
 
     void onAdd(BufferIndex idx) override;
 
@@ -58,6 +58,7 @@ class RankBasedSampler : public Sampler
     BufferIndex known = 0; ///< Slots that have ever been written.
     Real maxTd = Real(1);  ///< Running max |TD| for fresh inserts.
     std::vector<double> cumulative; ///< Cached 1/rank^alpha prefix.
+    std::vector<double> rawWeights; ///< Per-plan scratch.
 
     void resort();
 };

@@ -43,6 +43,15 @@ struct IndexPlan
     std::vector<BufferIndex> priorityIds;
 
     std::size_t batchSize() const { return indices.size(); }
+
+    /** Empty all three arrays, retaining their capacity. */
+    void
+    clear()
+    {
+        indices.clear();
+        weights.clear();
+        priorityIds.clear();
+    }
 };
 
 /** Strategy interface for mini-batch index selection. */
@@ -55,14 +64,35 @@ class Sampler
     virtual std::string name() const = 0;
 
     /**
-     * Build the index plan for one update.
+     * Build the index plan for one update into caller-owned storage.
+     * @p out's arrays are overwritten (capacity-retaining), so a
+     * trainer reusing the same IndexPlan every update performs no
+     * heap allocations once warm.
      *
      * @param buffer_size Current valid transition count.
      * @param batch Rows to produce (the paper uses 1024).
      * @param rng Random stream.
+     * @param out Receives the plan.
      */
-    virtual IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
-                           Rng &rng) = 0;
+    virtual void planInto(BufferIndex buffer_size, std::size_t batch,
+                          Rng &rng, IndexPlan &out) = 0;
+
+    /** Convenience wrapper returning the plan by value. */
+    IndexPlan
+    plan(BufferIndex buffer_size, std::size_t batch, Rng &rng)
+    {
+        IndexPlan out;
+        planInto(buffer_size, batch, rng, out);
+        return out;
+    }
+
+    /**
+     * Hint the eventual buffer capacity so internal per-transition
+     * state (rank tables, cumulative arrays...) can preallocate and
+     * stop growing — and therefore stop reallocating — while the
+     * replay buffer fills during steady-state training.
+     */
+    virtual void reserve(BufferIndex capacity) { (void)capacity; }
 
     /**
      * Notification that a transition was appended at @p idx

@@ -6,17 +6,16 @@
 namespace marlin::replay
 {
 
-IndexPlan
-UniformSampler::plan(BufferIndex buffer_size, std::size_t batch,
-                     Rng &rng)
+void
+UniformSampler::planInto(BufferIndex buffer_size, std::size_t batch,
+                         Rng &rng, IndexPlan &out)
 {
     MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
     static obs::Counter &plans =
         obs::Registry::instance().counter("replay.uniform.plans");
     plans.add();
-    IndexPlan out;
-    out.indices = rng.sampleIndices(buffer_size, batch);
-    return out;
+    out.clear();
+    rng.sampleIndicesInto(buffer_size, batch, out.indices);
 }
 
 } // namespace marlin::replay

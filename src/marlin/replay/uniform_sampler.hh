@@ -18,8 +18,8 @@ class UniformSampler : public Sampler
   public:
     std::string name() const override { return "uniform"; }
 
-    IndexPlan plan(BufferIndex buffer_size, std::size_t batch,
-                   Rng &rng) override;
+    void planInto(BufferIndex buffer_size, std::size_t batch,
+                  Rng &rng, IndexPlan &out) override;
 };
 
 } // namespace marlin::replay

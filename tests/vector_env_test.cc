@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "marlin/base/alloc_guard.hh"
 #include "marlin/base/thread_pool.hh"
 #include "marlin/env/vector_env.hh"
 
@@ -116,6 +117,66 @@ TEST(VectorEnv, ParallelSteppingBitIdenticalToSerial)
         EXPECT_EQ(serial[l].rewards, parallel[l].rewards);
         EXPECT_EQ(serial[l].dones, parallel[l].dones);
     }
+}
+
+TEST(VectorEnv, FlatBatchMatchesNestedApi)
+{
+    // Two vec-envs built from the same factory draw identical RNG
+    // streams, so the flat batch must hold exactly the numbers the
+    // nested API returns, at the computed offsets.
+    VectorEnvironment nested(cnFactory(3), 3);
+    VectorEnvironment flat(cnFactory(3), 3);
+
+    auto obs = nested.reset();
+    ObsBatch batch;
+    flat.resetInto(batch);
+    ASSERT_EQ(batch.numLanes(), 3u);
+    ASSERT_EQ(batch.agentOffsets.size(), 4u);
+    EXPECT_EQ(batch.laneStride, 3 * 18u);
+    for (std::size_t l = 0; l < 3; ++l) {
+        for (std::size_t a = 0; a < 3; ++a) {
+            ASSERT_EQ(batch.agentDim(a), obs[l][a].size());
+            const Real *p = batch.agentObs(l, a);
+            for (std::size_t d = 0; d < obs[l][a].size(); ++d)
+                EXPECT_EQ(p[d], obs[l][a][d]) << l << " " << a;
+        }
+    }
+
+    std::vector<std::vector<int>> actions(3,
+                                          std::vector<int>{1, 2, 3});
+    auto results = nested.step(actions);
+    StepBatch step;
+    flat.stepInto(actions, step);
+    for (std::size_t l = 0; l < 3; ++l) {
+        for (std::size_t a = 0; a < 3; ++a) {
+            EXPECT_EQ(step.reward(l, a, 3), results[l].rewards[a]);
+            EXPECT_EQ(step.dones[l * 3 + a] != 0,
+                      results[l].dones[a]);
+            const Real *p = step.observations.agentObs(l, a);
+            for (std::size_t d = 0;
+                 d < results[l].observations[a].size(); ++d)
+                EXPECT_EQ(p[d], results[l].observations[a][d]);
+        }
+    }
+}
+
+TEST(VectorEnv, WarmFlatBatchStepIsAllocationFree)
+{
+    VectorEnvironment vec(cnFactory(3), 3);
+    ObsBatch obs;
+    StepBatch step;
+    std::vector<std::vector<int>> actions(3,
+                                          std::vector<int>{1, 2, 3});
+    // Warm-up: first calls size every scratch buffer.
+    vec.resetInto(obs);
+    vec.stepInto(actions, step);
+
+    base::AllocGuard guard;
+    vec.stepInto(actions, step);
+    vec.resetInto(obs);
+    EXPECT_EQ(guard.allocations(), 0u)
+        << guard.allocations() << " allocations ("
+        << guard.bytes() << " bytes) in warm flat-batch calls";
 }
 
 } // namespace
