@@ -281,6 +281,54 @@ initIsa(int &argc, char **argv)
 }
 
 /**
+ * Actor count recorded in every bench JSON header. 1 (the lockstep
+ * loop) unless initActors() saw --actors or MARLIN_ACTORS.
+ */
+inline std::size_t &
+bannerActors()
+{
+    static std::size_t actors = 1;
+    return actors;
+}
+
+/**
+ * Resolve the rollout actor count for a bench binary: honors an
+ * --actors N / --actors=N argument, falling back to the
+ * MARLIN_ACTORS env var and then 1 (the synchronous lockstep loop).
+ * Consumes the argument from argv the same way initThreads()
+ * consumes --threads. Call before banner() so the JSON header
+ * records the right value.
+ */
+inline std::size_t
+initActors(int &argc, char **argv)
+{
+    long requested = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--actors") == 0 && i + 1 < argc) {
+            requested = std::strtol(argv[++i], nullptr, 10);
+        } else if (std::strncmp(arg, "--actors=", 9) == 0) {
+            requested = std::strtol(arg + 9, nullptr, 10);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = out;
+    if (requested <= 0) {
+        const char *env = std::getenv("MARLIN_ACTORS");
+        if (env != nullptr)
+            requested = std::strtol(env, nullptr, 10);
+    }
+    bannerActors() =
+        requested > 0 ? static_cast<std::size_t>(requested) : 1;
+    std::printf("actors: %zu\n", bannerActors());
+    return bannerActors();
+}
+
+/**
  * Configure log verbosity for a bench binary: honors a
  * --log-level NAME / --log-level=NAME argument (silent, fatal,
  * warn, inform or debug) and consumes it from argv the same way
@@ -312,18 +360,20 @@ initLogLevel(int &argc, char **argv)
 
 /**
  * Print a separator + bench header, plus a machine-readable JSON
- * header line recording the bench name, the thread count and the
- * kernel ISA the run used — every bench emits this so downstream
- * tooling can never misattribute numbers across parallelism or
- * ISA settings.
+ * header line recording the bench name, the thread count, the
+ * rollout actor count and the kernel ISA the run used — every bench
+ * emits this so downstream tooling can never misattribute numbers
+ * across parallelism, actor-count or ISA settings.
  */
 inline void
 banner(const char *title)
 {
     std::printf("\n=== %s ===\n", title);
     std::printf("{\"bench\": \"%s\", \"threads\": %zu, "
-                "\"isa\": \"%s\", \"commit\": \"%s\"}\n",
+                "\"actors\": %zu, \"isa\": \"%s\", "
+                "\"commit\": \"%s\"}\n",
                 title, base::ThreadPool::globalThreads(),
+                bannerActors(),
                 numeric::kernels::isaName(
                     numeric::kernels::activeIsa()),
                 marlin::gitCommit);

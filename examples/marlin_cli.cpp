@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "marlin/base/args.hh"
 #include "marlin/core/checkpoint.hh"
@@ -117,6 +118,15 @@ main(int argc, char **argv)
                    "(0 = MARLIN_THREADS env var or hardware "
                    "concurrency; results are identical for any "
                    "value)");
+    args.addOption("actors", "0",
+                   "rollout threads: 1 = the deterministic lockstep "
+                   "loop, >1 = the async actor-learner runtime "
+                   "(0 = MARLIN_ACTORS env var or 1)");
+    args.addOption("lanes", "1",
+                   "environment lanes per actor (async mode)");
+    args.addOption("ring-capacity", "4096",
+                   "transition-ring records per actor (async mode; "
+                   "rounded up to a power of two)");
     args.addOption("isa", "auto",
                    "kernel instruction set: auto, scalar or avx2 "
                    "(auto = MARLIN_ISA env var or best supported; "
@@ -168,6 +178,21 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getInt("threads")));
     std::printf("threads: %zu (deterministic for any count)\n",
                 base::ThreadPool::globalThreads());
+
+    // Flag beats env var beats the lockstep default.
+    std::size_t actors =
+        static_cast<std::size_t>(args.getInt("actors"));
+    if (actors == 0) {
+        const char *env = std::getenv("MARLIN_ACTORS");
+        if (env != nullptr)
+            actors = static_cast<std::size_t>(
+                std::strtoul(env, nullptr, 10));
+        if (actors == 0)
+            actors = 1;
+    }
+    std::printf("actors: %zu (%s)\n", actors,
+                actors > 1 ? "async actor-learner runtime"
+                           : "deterministic lockstep loop");
 
     if (args.get("isa") != "auto") {
         const auto isa =
@@ -269,6 +294,7 @@ main(int argc, char **argv)
                 {"episodes", args.get("episodes")},
                 {"sampler", args.get("sampler")},
                 {"seed", args.get("seed")},
+                {"actors", std::to_string(actors)},
                 {"threads",
                  std::to_string(base::ThreadPool::globalThreads())},
                 {"isa",
@@ -283,20 +309,6 @@ main(int argc, char **argv)
                   telemetry_path.c_str());
     }
 
-    core::TrainLoop loop(*environment, *trainer, config);
-    if (telemetry) {
-        loop.setTelemetry(telemetry.get(),
-                          static_cast<std::size_t>(
-                              args.getInt("telemetry-every")));
-    }
-    if (!args.get("checkpoint-dir").empty()) {
-        core::CheckpointOptions ckpt;
-        ckpt.dir = args.get("checkpoint-dir");
-        ckpt.everyEpisodes = static_cast<std::size_t>(
-            args.getInt("checkpoint-every"));
-        ckpt.resume = true;
-        loop.setCheckpointing(ckpt);
-    }
     std::printf("%s on %s: %zu agents, %zu episodes, sampler=%s%s\n",
                 algo.c_str(),
                 environment->scenario().name().c_str(),
@@ -305,35 +317,126 @@ main(int argc, char **argv)
                 args.getFlag("interleaved") ? ", interleaved layout"
                                             : "");
 
-    const std::size_t report =
-        std::max<std::size_t>(1, episodes / 10);
-    double window = 0;
-    auto result =
-        loop.run(episodes, [&](const core::EpisodeInfo &e) {
-            window += e.meanReward;
-            if ((e.episode + 1) % report == 0) {
-                std::printf("  episode %6zu  mean reward %9.2f\n",
-                            e.episode + 1, window / report);
-                window = 0;
-            }
-        });
+    if (actors > 1) {
+        // Async runtime: checkpointing (and therefore Rollback) is a
+        // lockstep-loop feature; the loop itself rejects Rollback and
+        // the interleaved backend with a pointer back to --actors 1.
+        if (!args.get("checkpoint-dir").empty()) {
+            fatal("--checkpoint-dir requires the deterministic "
+                  "lockstep loop; rerun with --actors 1");
+        }
+        const std::string task = args.get("task");
+        async::AsyncConfig acfg;
+        acfg.actors = actors;
+        acfg.lanesPerActor =
+            static_cast<std::size_t>(args.getInt("lanes"));
+        acfg.ringCapacity =
+            static_cast<std::size_t>(args.getInt("ring-capacity"));
+        async::AsyncTrainLoop loop(
+            *trainer,
+            [&task, agents](std::uint64_t seed) {
+                return buildEnvironment(task, agents, seed);
+            },
+            [&](std::uint64_t seed) {
+                core::TrainConfig actor_config = config;
+                actor_config.seed = seed;
+                std::unique_ptr<core::CtdeTrainerBase> policy;
+                if (algo == "maddpg") {
+                    policy = std::make_unique<core::MaddpgTrainer>(
+                        dims, act_dim, actor_config, factory);
+                } else {
+                    policy = std::make_unique<core::Matd3Trainer>(
+                        dims, act_dim, actor_config, factory);
+                }
+                return policy;
+            },
+            config, acfg);
+        if (telemetry) {
+            loop.setTelemetry(telemetry.get(),
+                              static_cast<std::size_t>(
+                                  args.getInt("telemetry-every")));
+        }
+        auto result = loop.run(episodes);
 
-    if (result.nonFiniteUpdates > 0) {
-        warn("%zu update(s) saw non-finite losses/gradients "
-             "(policy: %s)",
-             result.nonFiniteUpdates, health.c_str());
+        if (result.nonFiniteUpdates > 0) {
+            warn("%zu update(s) saw non-finite losses/gradients "
+                 "(policy: %s)",
+                 result.nonFiniteUpdates, health.c_str());
+        }
+        if (result.halted)
+            warn("run halted by the numeric health guard");
+        if (result.ringDropped > 0) {
+            inform("rings dropped %llu transition(s) (seq gaps: "
+                   "%llu); raise --ring-capacity to keep more",
+                   static_cast<unsigned long long>(
+                       result.ringDropped),
+                   static_cast<unsigned long long>(
+                       result.ringSeqGaps));
+        }
+        std::printf("\nenv steps %llu (drained %llu), updates %llu, "
+                    "weight refreshes %llu\n",
+                    static_cast<unsigned long long>(result.envSteps),
+                    static_cast<unsigned long long>(
+                        result.drainedSteps),
+                    static_cast<unsigned long long>(
+                        result.updateCalls),
+                    static_cast<unsigned long long>(
+                        result.weightRefreshes));
+        std::printf("final score %.2f | %s\n", result.finalScore,
+                    profile::formatTopLevel(
+                        profile::topLevelBreakdown(result.timer))
+                        .c_str());
+        std::printf("%s\n",
+                    profile::formatUpdate(
+                        profile::updateBreakdown(result.timer))
+                        .c_str());
+    } else {
+        core::TrainLoop loop(*environment, *trainer, config);
+        if (telemetry) {
+            loop.setTelemetry(telemetry.get(),
+                              static_cast<std::size_t>(
+                                  args.getInt("telemetry-every")));
+        }
+        if (!args.get("checkpoint-dir").empty()) {
+            core::CheckpointOptions ckpt;
+            ckpt.dir = args.get("checkpoint-dir");
+            ckpt.everyEpisodes = static_cast<std::size_t>(
+                args.getInt("checkpoint-every"));
+            ckpt.resume = true;
+            loop.setCheckpointing(ckpt);
+        }
+
+        const std::size_t report =
+            std::max<std::size_t>(1, episodes / 10);
+        double window = 0;
+        auto result =
+            loop.run(episodes, [&](const core::EpisodeInfo &e) {
+                window += e.meanReward;
+                if ((e.episode + 1) % report == 0) {
+                    std::printf(
+                        "  episode %6zu  mean reward %9.2f\n",
+                        e.episode + 1, window / report);
+                    window = 0;
+                }
+            });
+
+        if (result.nonFiniteUpdates > 0) {
+            warn("%zu update(s) saw non-finite losses/gradients "
+                 "(policy: %s)",
+                 result.nonFiniteUpdates, health.c_str());
+        }
+        if (result.halted)
+            warn("run halted by the numeric health guard");
+
+        std::printf("\nfinal score %.2f | %s\n", result.finalScore,
+                    profile::formatTopLevel(
+                        profile::topLevelBreakdown(result.timer))
+                        .c_str());
+        std::printf("%s\n",
+                    profile::formatUpdate(
+                        profile::updateBreakdown(result.timer))
+                        .c_str());
     }
-    if (result.halted)
-        warn("run halted by the numeric health guard");
-
-    std::printf("\nfinal score %.2f | %s\n", result.finalScore,
-                profile::formatTopLevel(
-                    profile::topLevelBreakdown(result.timer))
-                    .c_str());
-    std::printf("%s\n",
-                profile::formatUpdate(
-                    profile::updateBreakdown(result.timer))
-                    .c_str());
 
     if (!args.get("save-checkpoint").empty()) {
         core::saveTrainerFile(args.get("save-checkpoint"), *trainer);

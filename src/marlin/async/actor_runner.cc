@@ -1,0 +1,171 @@
+#include "marlin/async/actor_runner.hh"
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::async
+{
+
+using profile::Phase;
+using profile::ScopedPhase;
+
+ActorRunner::ActorRunner(
+    ActorConfig config_in,
+    std::vector<std::unique_ptr<env::Environment>> envs_in,
+    std::unique_ptr<core::CtdeTrainerBase> policy_in,
+    replay::TransitionRing &ring_in,
+    const replay::JointTransitionLayout &layout_in,
+    PolicySnapshot &snapshot_in, RunControl &control_in)
+    : config(config_in), envs(std::move(envs_in)),
+      policy(std::move(policy_in)), ring(ring_in), layout(layout_in),
+      snapshot(snapshot_in), control(control_in)
+{
+    MARLIN_ASSERT(!envs.empty(), "actor needs at least one lane");
+    lanes.resize(envs.size());
+    for (std::size_t i = 0; i < envs.size(); ++i)
+        lanes[i].env = envs[i].get();
+}
+
+bool
+ActorRunner::claimEpisode(Lane &lane)
+{
+    const std::uint64_t e = control.episodesClaimed.fetch_add(
+        1, std::memory_order_relaxed);
+    if (e >= control.episodeTarget)
+    {
+        // Over-claiming past the target is harmless: each actor
+        // stops claiming after its first miss, and completed-episode
+        // accounting goes by recorded rewards, not this counter.
+        lane.active = false;
+        return false;
+    }
+    // Episode boundary: the natural point to pick up new weights —
+    // mid-episode swaps would mix two policies in one trajectory.
+    if (snapshot.refresh(*policy, seenVersion))
+        ++refreshes;
+    lane.episode = e;
+    lane.t = 0;
+    lane.reward = 0;
+    lane.env->resetInto(lane.obs);
+    lane.active = true;
+    return true;
+}
+
+void
+ActorRunner::stepLane(Lane &lane)
+{
+    const std::size_t n = lane.env->numAgents();
+    const bool continuous =
+        config.actionMode == core::ActionMode::Continuous;
+    const auto episode = static_cast<std::size_t>(lane.episode);
+
+    {
+        ScopedPhase sp(_timer, Phase::ActionSelection);
+        if (continuous)
+        {
+            policy->selectContinuousActionsInto(lane.obs, episode,
+                                                forceScratch);
+        }
+        else
+        {
+            policy->selectActionsInto(lane.obs, episode,
+                                      actionScratch);
+        }
+    }
+
+    env::StepResult &step = stepScratch;
+    {
+        ScopedPhase sp(_timer, Phase::EnvStep);
+        if (continuous)
+        {
+            vecForceScratch.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                vecForceScratch[i] = {forceScratch[i][0],
+                                      forceScratch[i][1]};
+            lane.env->stepContinuousInto(vecForceScratch, step);
+        }
+        else
+        {
+            lane.env->stepInto(actionScratch, step);
+        }
+    }
+    ++steps;
+
+    onehotScratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (continuous)
+        {
+            onehotScratch[i].assign(
+                {forceScratch[i][0], forceScratch[i][1]});
+        }
+        else
+        {
+            onehotScratch[i].assign(lane.env->actionDim(), Real(0));
+            onehotScratch[i][static_cast<std::size_t>(
+                actionScratch[i])] = Real(1);
+        }
+    }
+
+    {
+        ScopedPhase sp(_timer, Phase::BufferAdd);
+        // Every generated transition consumes a sequence number;
+        // a full ring drops the record but not the number, which is
+        // exactly what the consumer's gap accounting measures.
+        Real *rec = ring.tryBeginPush(nextSeq++);
+        if (rec != nullptr)
+        {
+            replay::packRecord(rec, layout, lane.obs, onehotScratch,
+                               step.rewards, step.observations,
+                               step.dones);
+            ring.commitPush();
+        }
+        if (++sincePublish >= config.publishBatch)
+        {
+            ring.publish();
+            sincePublish = 0;
+        }
+    }
+
+    for (const Real r : step.rewards)
+        lane.reward += r / static_cast<Real>(n);
+    std::swap(lane.obs, step.observations);
+
+    if (++lane.t >= config.maxEpisodeLength)
+    {
+        // Flush so the learner sees the full episode before its
+        // reward is reported.
+        ring.publish();
+        sincePublish = 0;
+        control.recordEpisode(lane.episode, lane.reward);
+        lane.active = false;
+    }
+}
+
+void
+ActorRunner::run()
+{
+    bool exhausted = false;
+    while (!control.stop.load(std::memory_order_acquire))
+    {
+        bool anyActive = false;
+        for (Lane &lane : lanes)
+        {
+            if (!lane.active && !exhausted)
+                exhausted = !claimEpisode(lane);
+            if (lane.active)
+            {
+                stepLane(lane);
+                anyActive = true;
+            }
+        }
+        if (!anyActive)
+            break;
+    }
+    // Whatever is staged must reach the learner before this actor
+    // reports itself retired (the learner's exit check relies on
+    // "activeActors == 0 implies everything is published").
+    ring.publish();
+    control.activeActors.fetch_sub(1, std::memory_order_release);
+}
+
+} // namespace marlin::async

@@ -1,0 +1,193 @@
+#include "marlin/async/async_train_loop.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "marlin/async/actor_runner.hh"
+#include "marlin/async/learner_runner.hh"
+#include "marlin/base/logging.hh"
+#include "marlin/base/worker_thread.hh"
+#include "marlin/obs/metrics.hh"
+
+namespace marlin::async
+{
+
+AsyncTrainLoop::AsyncTrainLoop(core::CtdeTrainerBase &trainer_in,
+                               EnvFactory env_factory,
+                               PolicyFactory policy_factory,
+                               core::TrainConfig config_in,
+                               AsyncConfig async_in)
+    : trainer(trainer_in), envFactory(std::move(env_factory)),
+      policyFactory(std::move(policy_factory)),
+      config(std::move(config_in)), async(async_in),
+      buffers(trainer_in.transitionShapes(), config.bufferCapacity),
+      layout(replay::JointTransitionLayout::fromShapes(
+          trainer_in.transitionShapes()))
+{
+    MARLIN_ASSERT(async.actors >= 1, "async loop needs >= 1 actor");
+    MARLIN_ASSERT(async.lanesPerActor >= 1,
+                  "async loop needs >= 1 lane per actor");
+    if (config.backend != core::SamplingBackend::PerAgent)
+    {
+        fatal("the async runtime supports only the per-agent "
+              "sampling backend (the interleaved store's reorg "
+              "bookkeeping assumes the lockstep loop)");
+    }
+    if (config.healthPolicy == core::HealthGuardPolicy::Rollback)
+    {
+        fatal("HealthGuardPolicy::Rollback requires checkpointing, "
+              "which only the lockstep TrainLoop supports; use the "
+              "sync loop (--actors 1) or another policy");
+    }
+}
+
+void
+AsyncTrainLoop::setTelemetry(obs::TelemetryWriter *writer,
+                             std::size_t every_steps)
+{
+    telemetry = writer;
+    telemetryEvery = every_steps > 0 ? every_steps : 1;
+}
+
+AsyncTrainResult
+AsyncTrainLoop::run(std::size_t episodes)
+{
+    AsyncTrainResult result;
+
+    PolicySnapshot snapshot;
+    RunControl control;
+    control.episodeTarget = episodes;
+    control.activeActors.store(async.actors,
+                               std::memory_order_relaxed);
+    obs::Registry::instance().gauge("async.actors").set(
+        static_cast<double>(async.actors));
+
+    // Actors must start from the learner's exact current weights,
+    // not their clones' random init: publish before any thread runs.
+    snapshot.publish(trainer);
+
+    std::vector<std::unique_ptr<replay::TransitionRing>> rings;
+    std::vector<std::unique_ptr<ActorRunner>> actors;
+    rings.reserve(async.actors);
+    actors.reserve(async.actors);
+    for (std::size_t a = 0; a < async.actors; ++a)
+    {
+        rings.push_back(std::make_unique<replay::TransitionRing>(
+            layout.stride, async.ringCapacity));
+
+        std::vector<std::unique_ptr<env::Environment>> lanes;
+        lanes.reserve(async.lanesPerActor);
+        for (std::size_t l = 0; l < async.lanesPerActor; ++l)
+        {
+            // Distinct decorrelated seeds per lane; the sync loop's
+            // stream (plain config.seed) is deliberately not among
+            // them — async runs are a different experiment.
+            lanes.push_back(envFactory(config.seed + 1 +
+                                       a * async.lanesPerActor + l));
+        }
+
+        ActorConfig acfg;
+        acfg.actorId = a;
+        acfg.maxEpisodeLength = config.maxEpisodeLength;
+        acfg.publishBatch = async.publishBatch;
+        acfg.actionMode = config.actionMode;
+        actors.push_back(std::make_unique<ActorRunner>(
+            acfg, std::move(lanes),
+            policyFactory(config.seed + 7919 * (a + 1)), *rings[a],
+            layout, snapshot, control));
+    }
+
+    std::vector<replay::TransitionRing *> ringPtrs;
+    ringPtrs.reserve(rings.size());
+    for (auto &r : rings)
+        ringPtrs.push_back(r.get());
+
+    LearnerConfig lcfg;
+    lcfg.snapshotEvery =
+        async.snapshotEvery > 0 ? async.snapshotEvery : 1;
+    LearnerRunner learner(trainer, buffers, ringPtrs, layout,
+                          snapshot, control, config, lcfg);
+    learner.setTelemetry(telemetry, telemetryEvery);
+
+    {
+        std::vector<base::WorkerThread> threads;
+        threads.reserve(async.actors + 1);
+        threads.emplace_back("marlin-learner",
+                             [&learner] { learner.run(); });
+        for (std::size_t a = 0; a < async.actors; ++a)
+        {
+            ActorRunner *runner = actors[a].get();
+            threads.emplace_back("marlin-actor" + std::to_string(a),
+                                 [runner] { runner->run(); });
+        }
+        // WorkerThread joins on destruction; leaving the scope is
+        // the barrier.
+    }
+
+    for (const auto &actor : actors)
+    {
+        result.envSteps += actor->envSteps();
+        result.weightRefreshes += actor->weightRefreshes();
+        result.timer.merge(actor->timer());
+    }
+    result.timer.merge(learner.timer());
+    result.drainedSteps = learner.drainedSteps();
+    result.updateCalls = learner.updateCalls();
+    result.nonFiniteUpdates = learner.nonFiniteUpdates();
+    result.halted = learner.halted();
+    for (const auto &ring : rings)
+    {
+        result.ringPushed += ring->pushedCount();
+        result.ringDropped += ring->droppedCount();
+        result.ringSeqGaps += ring->seqGapCount();
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(control.rewardMutex);
+        std::sort(control.episodeRewards.begin(),
+                  control.episodeRewards.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.first < y.first;
+                  });
+        result.episodeRewards.reserve(control.episodeRewards.size());
+        for (const auto &[index, reward] : control.episodeRewards)
+            result.episodeRewards.push_back(reward);
+    }
+    if (!result.episodeRewards.empty())
+    {
+        const std::size_t done = result.episodeRewards.size();
+        const std::size_t tail = std::max<std::size_t>(1, done / 10);
+        Real total = 0;
+        for (std::size_t e = done - tail; e < done; ++e)
+            total += result.episodeRewards[e];
+        result.finalScore = total / static_cast<Real>(tail);
+    }
+
+    if (telemetry != nullptr)
+    {
+        telemetry->writeSummary({
+            {"episodes",
+             static_cast<double>(result.episodeRewards.size())},
+            {"env_steps", static_cast<double>(result.envSteps)},
+            {"drained_steps",
+             static_cast<double>(result.drainedSteps)},
+            {"update_calls",
+             static_cast<double>(result.updateCalls)},
+            {"final_score", static_cast<double>(result.finalScore)},
+            {"nonfinite_updates",
+             static_cast<double>(result.nonFiniteUpdates)},
+            {"ring_pushed",
+             static_cast<double>(result.ringPushed)},
+            {"ring_dropped",
+             static_cast<double>(result.ringDropped)},
+            {"ring_seq_gaps",
+             static_cast<double>(result.ringSeqGaps)},
+            {"actors", static_cast<double>(async.actors)},
+            {"halted", result.halted ? 1.0 : 0.0},
+        });
+    }
+
+    return result;
+}
+
+} // namespace marlin::async

@@ -1,0 +1,218 @@
+#include "marlin/async/learner_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::async
+{
+
+using profile::Phase;
+using profile::ScopedPhase;
+
+LearnerRunner::LearnerRunner(
+    core::CtdeTrainerBase &trainer_in,
+    replay::MultiAgentBuffer &buffers_in,
+    std::vector<replay::TransitionRing *> rings_in,
+    const replay::JointTransitionLayout &layout_in,
+    PolicySnapshot &snapshot_in, RunControl &control_in,
+    const core::TrainConfig &config_in,
+    LearnerConfig learner_config_in)
+    : trainer(trainer_in), buffers(buffers_in),
+      rings(std::move(rings_in)), layout(layout_in),
+      snapshot(snapshot_in), control(control_in), config(config_in),
+      learnerConfig(learner_config_in),
+      pushedCounter(
+          obs::Registry::instance().counter("async.ring.pushed")),
+      droppedCounter(
+          obs::Registry::instance().counter("async.ring.dropped")),
+      gapCounter(
+          obs::Registry::instance().counter("async.ring.seq_gaps")),
+      depthGauge(obs::Registry::instance().gauge("async.ring.depth"))
+{
+    MARLIN_ASSERT(!rings.empty(), "learner needs at least one ring");
+}
+
+void
+LearnerRunner::setTelemetry(obs::TelemetryWriter *writer,
+                            std::size_t every_steps)
+{
+    telemetry = writer;
+    telemetryEvery = every_steps > 0 ? every_steps : 1;
+    telemetryNextAt = telemetryEvery;
+    telemetryLastNs.fill(0);
+}
+
+std::size_t
+LearnerRunner::drainRings()
+{
+    std::size_t count = 0;
+    for (replay::TransitionRing *ring : rings)
+    {
+        std::size_t fromRing = 0;
+        const Real *rec = nullptr;
+        while (fromRing < learnerConfig.drainChunk &&
+               (rec = ring->front()) != nullptr)
+        {
+            {
+                ScopedPhase sp(_timer, Phase::BufferAdd);
+                // Same contract as the lockstep loop's insertion:
+                // the slot index is the ring cursor before the add,
+                // and the trainer hears about it (interleaved-store
+                // bookkeeping, sampler hints) right after.
+                const BufferIndex slot = buffers.agent(0).position();
+                replay::drainRecordInto(buffers, layout, rec);
+                trainer.onTransitionAdded(slot);
+                ring->pop();
+            }
+            ++fromRing;
+            ++drained;
+            // Honour --telemetry-every at drained-transition
+            // granularity even though the learner pulls in chunks.
+            if (telemetry != nullptr && drained >= telemetryNextAt)
+            {
+                refreshMetrics();
+                maybeEmitTelemetry();
+            }
+        }
+        count += fromRing;
+    }
+    return count;
+}
+
+void
+LearnerRunner::refreshMetrics()
+{
+    std::uint64_t pushedTotal = 0;
+    std::uint64_t droppedTotal = 0;
+    std::uint64_t gapTotal = 0;
+    std::size_t depthTotal = 0;
+    for (const replay::TransitionRing *ring : rings)
+    {
+        pushedTotal += ring->pushedCount();
+        droppedTotal += ring->droppedCount();
+        gapTotal += ring->seqGapCount();
+        depthTotal += ring->depth();
+    }
+    if (pushedTotal > lastPushed)
+        pushedCounter.add(pushedTotal - lastPushed);
+    if (droppedTotal > lastDropped)
+        droppedCounter.add(droppedTotal - lastDropped);
+    if (gapTotal > lastGaps)
+        gapCounter.add(gapTotal - lastGaps);
+    lastPushed = pushedTotal;
+    lastDropped = droppedTotal;
+    lastGaps = gapTotal;
+    depthGauge.set(static_cast<double>(depthTotal));
+}
+
+void
+LearnerRunner::maybeEmitTelemetry()
+{
+    if (telemetry == nullptr || drained < telemetryNextAt)
+        return;
+    telemetryNextAt = drained + telemetryEvery;
+
+    obs::StepRecord rec;
+    const std::uint64_t claimed =
+        control.episodesClaimed.load(std::memory_order_relaxed);
+    rec.episode = std::min(claimed, control.episodeTarget);
+    rec.envStep = drained;
+    rec.updateCalls = updates;
+    rec.phaseNs.reserve(profile::numPhases);
+    for (std::size_t p = 0; p < profile::numPhases; ++p)
+    {
+        const auto phase = static_cast<Phase>(p);
+        const std::uint64_t total = _timer.nanoseconds(phase);
+        rec.phaseNs.emplace_back(profile::phaseName(phase),
+                                 total - telemetryLastNs[p]);
+        telemetryLastNs[p] = total;
+    }
+    if (_haveStats)
+    {
+        rec.haveLosses = true;
+        rec.criticLoss = static_cast<double>(stats.criticLoss);
+        rec.actorLoss = static_cast<double>(stats.actorLoss);
+        rec.meanAbsTd = static_cast<double>(stats.meanAbsTd);
+        rec.criticGradNorm =
+            static_cast<double>(stats.criticGradNorm);
+        rec.actorGradNorm = static_cast<double>(stats.actorGradNorm);
+    }
+    rec.haveRing = true;
+    rec.ringDropped = lastDropped;
+    rec.ringSeqGaps = lastGaps;
+    std::size_t depthTotal = 0;
+    for (const replay::TransitionRing *ring : rings)
+        depthTotal += ring->depth();
+    rec.ringDepth = depthTotal;
+    telemetry->writeStep(rec);
+}
+
+void
+LearnerRunner::run()
+{
+    while (!control.stop.load(std::memory_order_acquire))
+    {
+        // Order matters: read the retirement flag BEFORE draining.
+        // Actors publish their final batch before decrementing
+        // activeActors, so "idle before the drain + nothing drained"
+        // proves the rings are empty for good.
+        const bool actorsIdle =
+            control.activeActors.load(std::memory_order_acquire) ==
+            0;
+        const std::size_t drainedNow = drainRings();
+        insertionsSinceUpdate += drainedNow;
+
+        bool updated = false;
+        const bool warm =
+            buffers.size() >= config.warmupTransitions &&
+            buffers.size() >=
+                static_cast<BufferIndex>(config.batchSize);
+        if (warm && insertionsSinceUpdate >=
+                        static_cast<StepCount>(config.updateEvery))
+        {
+            insertionsSinceUpdate = 0;
+            stats = trainer.update(buffers, nullptr, _timer);
+            _haveStats = true;
+            ++updates;
+            updated = true;
+            if (updates % learnerConfig.snapshotEvery == 0)
+                snapshot.publish(trainer);
+            if (stats.nonFiniteCount > 0)
+            {
+                nonFinite += stats.nonFiniteCount;
+                if (config.healthPolicy == core::HealthGuardPolicy::Halt)
+                {
+                    warn("async learner: non-finite loss/gradient "
+                         "in update %llu: halting",
+                         static_cast<unsigned long long>(updates));
+                    _halted = true;
+                    control.stop.store(true,
+                                       std::memory_order_release);
+                    break;
+                }
+            }
+        }
+
+        if (drainedNow > 0 || updated)
+        {
+            refreshMetrics();
+        }
+        else if (actorsIdle)
+        {
+            break;
+        }
+        else
+        {
+            // Rings empty but actors alive: back off briefly rather
+            // than spin on their cache lines.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+    refreshMetrics();
+}
+
+} // namespace marlin::async

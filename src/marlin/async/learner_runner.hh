@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Learner thread of the async runtime: drains every actor's
+ * transition ring into the replay buffer, runs trainer updates, and
+ * publishes fresh actor weights back to the rollout threads.
+ */
+
+#ifndef MARLIN_ASYNC_LEARNER_RUNNER_HH
+#define MARLIN_ASYNC_LEARNER_RUNNER_HH
+
+#include <vector>
+
+#include "marlin/async/policy_snapshot.hh"
+#include "marlin/async/run_control.hh"
+#include "marlin/core/maddpg.hh"
+#include "marlin/obs/metrics.hh"
+#include "marlin/obs/telemetry.hh"
+#include "marlin/profile/timer.hh"
+#include "marlin/replay/transition_ring.hh"
+
+namespace marlin::async
+{
+
+/** Learner-side knobs, fixed for the run. */
+struct LearnerConfig
+{
+    /** Updates between weight-snapshot publications. */
+    std::size_t snapshotEvery = 1;
+    /** Max records drained per ring per cycle, so a fast producer
+     *  cannot starve the update cadence. */
+    std::size_t drainChunk = 256;
+};
+
+/**
+ * One learner thread over N actor rings. Per cycle: drain a bounded
+ * chunk from each ring into the replay buffer (the PR-5 raw-pointer
+ * path — allocation-free on warm buffers), run a trainer update when
+ * enough insertions accumulated, publish weights, refresh ring
+ * counters in the obs registry and the telemetry stream.
+ *
+ * Thread contract: run() is the thread body; result accessors are
+ * read after it joins.
+ */
+class LearnerRunner
+{
+  public:
+    LearnerRunner(core::CtdeTrainerBase &trainer,
+                  replay::MultiAgentBuffer &buffers,
+                  std::vector<replay::TransitionRing *> rings,
+                  const replay::JointTransitionLayout &layout,
+                  PolicySnapshot &snapshot, RunControl &control,
+                  const core::TrainConfig &config,
+                  LearnerConfig learner_config);
+
+    /**
+     * Stream one telemetry record per @p every_steps drained
+     * transitions. Learner-thread only (the writer is single-
+     * threaded); call before the thread starts.
+     */
+    void setTelemetry(obs::TelemetryWriter *writer,
+                      std::size_t every_steps);
+
+    /** Thread body: drain and update until all actors retire. */
+    void run();
+
+    // Read after join.
+    StepCount drainedSteps() const { return drained; }
+    StepCount updateCalls() const { return updates; }
+    std::size_t nonFiniteUpdates() const { return nonFinite; }
+    bool halted() const { return _halted; }
+    const profile::PhaseTimer &timer() const { return _timer; }
+    const core::UpdateStats &lastStats() const { return stats; }
+    bool haveStats() const { return _haveStats; }
+
+  private:
+    /** Drain up to drainChunk records from each ring. @return count. */
+    std::size_t drainRings();
+
+    /** Push ring totals into the obs registry (delta counters). */
+    void refreshMetrics();
+
+    void maybeEmitTelemetry();
+
+    core::CtdeTrainerBase &trainer;
+    replay::MultiAgentBuffer &buffers;
+    std::vector<replay::TransitionRing *> rings;
+    const replay::JointTransitionLayout &layout;
+    PolicySnapshot &snapshot;
+    RunControl &control;
+    core::TrainConfig config;
+    LearnerConfig learnerConfig;
+
+    obs::TelemetryWriter *telemetry = nullptr;
+    std::size_t telemetryEvery = 1;
+    StepCount telemetryNextAt = 0;
+    std::array<std::uint64_t, profile::numPhases> telemetryLastNs{};
+
+    StepCount drained = 0;
+    StepCount insertionsSinceUpdate = 0;
+    StepCount updates = 0;
+    std::size_t nonFinite = 0;
+    bool _halted = false;
+    core::UpdateStats stats;
+    bool _haveStats = false;
+    profile::PhaseTimer _timer;
+
+    // Obs registry handles, resolved once (registration locks).
+    obs::Counter &pushedCounter;
+    obs::Counter &droppedCounter;
+    obs::Counter &gapCounter;
+    obs::Gauge &depthGauge;
+    // Last published totals, so counters receive deltas.
+    std::uint64_t lastPushed = 0;
+    std::uint64_t lastDropped = 0;
+    std::uint64_t lastGaps = 0;
+};
+
+} // namespace marlin::async
+
+#endif // MARLIN_ASYNC_LEARNER_RUNNER_HH

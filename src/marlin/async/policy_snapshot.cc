@@ -1,0 +1,61 @@
+#include "marlin/async/policy_snapshot.hh"
+
+#include <cstring>
+
+#include "marlin/base/logging.hh"
+#include "marlin/core/maddpg.hh"
+
+namespace marlin::async
+{
+
+void
+PolicySnapshot::publish(core::CtdeTrainerBase &source)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    const std::size_t n = source.numAgents();
+    flat.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        const auto params = source.networks(i).actor.params();
+        std::size_t total = 0;
+        for (const nn::Param *p : params)
+            total += p->value.size();
+        flat[i].resize(total);
+        std::size_t off = 0;
+        for (const nn::Param *p : params)
+        {
+            std::memcpy(flat[i].data() + off, p->value.data(),
+                        p->value.size() * sizeof(Real));
+            off += p->value.size();
+        }
+    }
+    ver.fetch_add(1, std::memory_order_release);
+}
+
+bool
+PolicySnapshot::refresh(core::CtdeTrainerBase &policy,
+                        std::uint64_t &seen_version)
+{
+    if (ver.load(std::memory_order_acquire) == seen_version)
+        return false;
+    const std::lock_guard<std::mutex> lock(mutex);
+    MARLIN_ASSERT(flat.size() == policy.numAgents(),
+                  "policy snapshot: agent count mismatch");
+    for (std::size_t i = 0; i < flat.size(); ++i)
+    {
+        auto params = policy.networks(i).actor.params();
+        std::size_t off = 0;
+        for (nn::Param *p : params)
+        {
+            MARLIN_ASSERT(off + p->value.size() <= flat[i].size(),
+                          "policy snapshot: shape mismatch");
+            std::memcpy(p->value.data(), flat[i].data() + off,
+                        p->value.size() * sizeof(Real));
+            off += p->value.size();
+        }
+    }
+    seen_version = ver.load(std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace marlin::async

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Versioned actor-weight snapshots: how learner updates reach the
+ * rollout threads.
+ *
+ * The learner publishes the current actor parameters of every agent
+ * into a flat buffer under a mutex and bumps an atomic version;
+ * actors poll the version (one relaxed-ish atomic load, no lock) at
+ * episode boundaries and only take the mutex when there is something
+ * new to copy. Actors therefore run on a slightly stale policy
+ * between refreshes — the standard async actor-learner trade the
+ * README's determinism caveats spell out.
+ */
+
+#ifndef MARLIN_ASYNC_POLICY_SNAPSHOT_HH
+#define MARLIN_ASYNC_POLICY_SNAPSHOT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "marlin/base/types.hh"
+
+namespace marlin::core
+{
+class CtdeTrainerBase;
+}
+
+namespace marlin::async
+{
+
+/** Mutex-guarded flat copy of every agent's actor parameters. */
+class PolicySnapshot
+{
+  public:
+    /**
+     * Learner: overwrite the snapshot with @p source's current actor
+     * weights (every agent) and advance the version.
+     */
+    void publish(core::CtdeTrainerBase &source);
+
+    /**
+     * Actor: if the snapshot is newer than @p seen_version, copy it
+     * into @p policy's actors and advance @p seen_version. Returns
+     * true when weights were refreshed. @p policy must have the same
+     * architecture as the publishing trainer.
+     */
+    bool refresh(core::CtdeTrainerBase &policy,
+                 std::uint64_t &seen_version);
+
+    /** Publications so far (0 = nothing published yet). */
+    std::uint64_t
+    version() const noexcept
+    {
+        return ver.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::mutex mutex;
+    std::atomic<std::uint64_t> ver{0};
+    /** Per agent: actor params flattened in layer order. */
+    std::vector<std::vector<Real>> flat;
+};
+
+} // namespace marlin::async
+
+#endif // MARLIN_ASYNC_POLICY_SNAPSHOT_HH

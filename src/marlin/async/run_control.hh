@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared run coordination for the async actor-learner runtime.
+ */
+
+#ifndef MARLIN_ASYNC_RUN_CONTROL_HH
+#define MARLIN_ASYNC_RUN_CONTROL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "marlin/base/types.hh"
+
+namespace marlin::async
+{
+
+/**
+ * The one piece of state every async thread shares. Actors claim
+ * global episode indices with a fetch_add on episodesClaimed (the
+ * claimed index drives the epsilon decay schedule, so exploration
+ * anneals over global progress exactly like the lockstep loop);
+ * when the counter passes episodeTarget an actor retires and
+ * decrements activeActors. The learner exits once every actor has
+ * retired and the rings are drained. stop is the cooperative
+ * emergency brake (health-guard halt).
+ */
+struct RunControl
+{
+    std::atomic<std::uint64_t> episodesClaimed{0};
+    std::uint64_t episodeTarget = 0;
+    std::atomic<std::size_t> activeActors{0};
+    std::atomic<bool> stop{false};
+
+    /** Completed episodes as (global episode index, mean reward). */
+    std::mutex rewardMutex;
+    std::vector<std::pair<std::uint64_t, Real>> episodeRewards;
+
+    /** Actor side: record a finished episode's mean reward. */
+    void
+    recordEpisode(std::uint64_t index, Real mean_reward)
+    {
+        const std::lock_guard<std::mutex> lock(rewardMutex);
+        episodeRewards.emplace_back(index, mean_reward);
+    }
+};
+
+} // namespace marlin::async
+
+#endif // MARLIN_ASYNC_RUN_CONTROL_HH

@@ -1,0 +1,51 @@
+#include "marlin/base/worker_thread.hh"
+
+#include <utility>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+namespace marlin::base
+{
+
+WorkerThread::WorkerThread(std::string name, std::function<void()> fn)
+    : _name(std::move(name)),
+      thread([label = _name, body = std::move(fn)] {
+          setCurrentThreadName(label);
+          body();
+      })
+{
+}
+
+WorkerThread::~WorkerThread()
+{
+    join();
+}
+
+void
+WorkerThread::join()
+{
+    if (thread.joinable())
+        thread.join();
+}
+
+void
+WorkerThread::setCurrentThreadName(const std::string &name)
+{
+#if defined(__linux__)
+    // The kernel limit is 16 bytes including the terminator.
+    char buf[16];
+    const std::size_t n =
+        name.size() < sizeof(buf) - 1 ? name.size() : sizeof(buf) - 1;
+    name.copy(buf, n);
+    buf[n] = '\0';
+    pthread_setname_np(pthread_self(), buf);
+#elif defined(__APPLE__)
+    pthread_setname_np(name.c_str());
+#else
+    (void)name;
+#endif
+}
+
+} // namespace marlin::base

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dedicated named threads for long-lived runtime roles.
+ *
+ * base::ThreadPool is built for short blocking parallelFor dispatches
+ * from one coordinating thread; borrowing its workers for roles that
+ * live for a whole training run (async actors, the learner) would
+ * starve the pool mid-step, confuse the task hook's chunk accounting
+ * and make TSan reports unreadable. Long-lived roles get their own
+ * WorkerThread instead: a plain std::thread with an OS-visible name
+ * (so traces, TSan reports and /proc/<pid>/task attribute work to
+ * "marlin-actor3" rather than an anonymous thread) and join-on-
+ * destruction lifetime.
+ */
+
+#ifndef MARLIN_BASE_WORKER_THREAD_HH
+#define MARLIN_BASE_WORKER_THREAD_HH
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace marlin::base
+{
+
+/** A named long-lived thread; joins in the destructor. */
+class WorkerThread
+{
+  public:
+    /**
+     * Start @p fn on a new thread named @p name (truncated to the
+     * platform limit, 15 chars on Linux).
+     */
+    WorkerThread(std::string name, std::function<void()> fn);
+
+    WorkerThread(const WorkerThread &) = delete;
+    WorkerThread &operator=(const WorkerThread &) = delete;
+    WorkerThread(WorkerThread &&) = default;
+    WorkerThread &operator=(WorkerThread &&) = delete;
+
+    ~WorkerThread();
+
+    const std::string &name() const { return _name; }
+
+    /** Block until the thread function returns (idempotent). */
+    void join();
+
+    /**
+     * Name the calling thread at the OS level. No-op on platforms
+     * without pthread_setname_np.
+     */
+    static void setCurrentThreadName(const std::string &name);
+
+  private:
+    std::string _name;
+    std::thread thread;
+};
+
+} // namespace marlin::base
+
+#endif // MARLIN_BASE_WORKER_THREAD_HH

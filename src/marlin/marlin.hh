@@ -7,6 +7,7 @@
 #ifndef MARLIN_MARLIN_HH
 #define MARLIN_MARLIN_HH
 
+#include "marlin/async/async_train_loop.hh"
 #include "marlin/base/alloc_guard.hh"
 #include "marlin/base/args.hh"
 #include "marlin/base/cpu.hh"
@@ -15,8 +16,10 @@
 #include "marlin/base/instant.hh"
 #include "marlin/base/logging.hh"
 #include "marlin/base/random.hh"
+#include "marlin/base/spsc_ring.hh"
 #include "marlin/base/string_utils.hh"
 #include "marlin/base/thread_pool.hh"
+#include "marlin/base/worker_thread.hh"
 #include "marlin/base/workspace.hh"
 #include "marlin/core/checkpoint.hh"
 #include "marlin/core/config.hh"
@@ -41,6 +44,7 @@
 #include "marlin/replay/locality_sampler.hh"
 #include "marlin/replay/prioritized_sampler.hh"
 #include "marlin/replay/rank_sampler.hh"
+#include "marlin/replay/transition_ring.hh"
 #include "marlin/replay/uniform_sampler.hh"
 
 #endif // MARLIN_MARLIN_HH

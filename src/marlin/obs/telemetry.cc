@@ -176,6 +176,13 @@ TelemetryWriter::writeStep(const StepRecord &rec)
                 ",\"actor_grad_norm\":" +
                 jsonNumber(rec.actorGradNorm);
     }
+    if (rec.haveRing) {
+        line += ",\"ring_depth\":" + std::to_string(rec.ringDepth) +
+                ",\"ring_dropped\":" +
+                std::to_string(rec.ringDropped) +
+                ",\"ring_seq_gaps\":" +
+                std::to_string(rec.ringSeqGaps);
+    }
     line += ",\"metrics\":" + metricsJson() + "}";
     writeLine(line);
 }

@@ -30,8 +30,12 @@
 namespace marlin::obs
 {
 
-/** Version of the JSONL layout; bump on incompatible change. */
-inline constexpr int telemetrySchemaVersion = 1;
+/**
+ * Version of the JSONL layout; bump on incompatible change.
+ * v2: step records may carry async transition-ring accounting
+ * (ring_depth / ring_dropped / ring_seq_gaps).
+ */
+inline constexpr int telemetrySchemaVersion = 2;
 
 /** Everything one step record carries; fill what you have. */
 struct StepRecord
@@ -48,6 +52,11 @@ struct StepRecord
     double meanAbsTd = 0.0;
     double criticGradNorm = 0.0;
     double actorGradNorm = 0.0;
+    /** Async runtime only: transition-ring accounting (schema v2). */
+    bool haveRing = false;
+    std::uint64_t ringDepth = 0;    ///< Records currently in flight.
+    std::uint64_t ringDropped = 0;  ///< Total dropped (rings full).
+    std::uint64_t ringSeqGaps = 0;  ///< Total sequence-gap count.
 };
 
 /**

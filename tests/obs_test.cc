@@ -171,6 +171,10 @@ TEST(Telemetry, JsonlSchemaRoundTrip)
         rec.haveLosses = true;
         rec.criticLoss = 0.25;
         rec.actorLoss = -0.5;
+        rec.haveRing = true;
+        rec.ringDepth = 17;
+        rec.ringDropped = 2;
+        rec.ringSeqGaps = 2;
         writer.writeStep(rec);
 
         obs::StepRecord no_losses;
@@ -191,7 +195,9 @@ TEST(Telemetry, JsonlSchemaRoundTrip)
     // Header: schema version, commit, meta round-trip.
     EXPECT_NE(lines[0].find("\"record\":\"header\""),
               std::string::npos);
-    EXPECT_NE(lines[0].find("\"schema\":1"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"schema\":" + std::to_string(
+                                obs::telemetrySchemaVersion)),
+              std::string::npos);
     EXPECT_NE(lines[0].find("\"commit\":"), std::string::npos);
     EXPECT_NE(lines[0].find("\"algo\":\"maddpg\""),
               std::string::npos);
@@ -203,6 +209,13 @@ TEST(Telemetry, JsonlSchemaRoundTrip)
         << "phase_ns map should carry the env_step phase delta";
     EXPECT_NE(lines[1].find("\"critic_loss\":"), std::string::npos);
     EXPECT_EQ(lines[2].find("\"critic_loss\":"), std::string::npos);
+    // Ring accounting (schema v2) travels only when set.
+    EXPECT_NE(lines[1].find("\"ring_depth\":17"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"ring_dropped\":2"),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"ring_seq_gaps\":2"),
+              std::string::npos);
+    EXPECT_EQ(lines[2].find("\"ring_depth\":"), std::string::npos);
     // Summary: results and a final metrics snapshot.
     EXPECT_NE(lines[3].find("\"record\":\"summary\""),
               std::string::npos);

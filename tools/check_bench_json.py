@@ -5,10 +5,10 @@ Two artifacts are checked:
 
   1. The bench's stdout, which must contain the machine-readable
      banner line every MARLin bench emits:
-         {"bench": "...", "threads": N, "isa": "..."}
-     Downstream tooling keys throughput numbers on those three
-     fields, so a bench that stops emitting them (or emits invalid
-     JSON) must fail CI, not silently produce unattributable data.
+         {"bench": "...", "threads": N, "actors": N, "isa": "..."}
+     Downstream tooling keys throughput numbers on those fields, so
+     a bench that stops emitting them (or emits invalid JSON) must
+     fail CI, not silently produce unattributable data.
 
   2. The google-benchmark --benchmark_out JSON file, which must
      parse and contain a non-empty "benchmarks" array with real_time
@@ -40,11 +40,13 @@ def check_banner(stdout_path: str) -> None:
     if not banners:
         fail(f"no JSON banner line found in {stdout_path}")
     for banner in banners:
-        for key in ("bench", "threads", "isa", "commit"):
+        for key in ("bench", "threads", "actors", "isa", "commit"):
             if key not in banner:
                 fail(f"banner {banner!r} is missing key {key!r}")
         if not isinstance(banner["threads"], int) or banner["threads"] < 1:
             fail(f"banner {banner!r} has a bad thread count")
+        if not isinstance(banner["actors"], int) or banner["actors"] < 1:
+            fail(f"banner {banner!r} has a bad actor count")
         if banner["isa"] not in ("scalar", "avx2"):
             fail(f"banner {banner!r} has unknown isa {banner['isa']!r}")
         if not isinstance(banner["commit"], str) or not banner["commit"]:

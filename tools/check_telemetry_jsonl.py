@@ -11,6 +11,10 @@ Checks the schema contract that downstream analysis relies on:
     deltas, and a metrics snapshot whose entries are well-formed
     (counters carry counts, gauges values, histograms bucket arrays
     with ascending bounds ending in "+Inf");
+  * step records from the async runtime (schema v2) carry ring
+    accounting: ring_depth plus monotonically non-decreasing
+    ring_dropped / ring_seq_gaps totals, all non-negative integers
+    (the three fields travel together or not at all);
   * the last record is a summary with a numeric results map.
 
 Usage: check_telemetry_jsonl.py FILE [--min-steps N]
@@ -23,7 +27,9 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+RING_KEYS = ("ring_depth", "ring_dropped", "ring_seq_gaps")
 
 
 def fail(msg: str) -> None:
@@ -57,7 +63,26 @@ def check_metrics(metrics, where: str) -> None:
             fail(f"{where}: metric {name!r} has unknown kind {kind!r}")
 
 
-def check_step(rec, lineno: int, prev) -> tuple:
+def check_ring(rec, where: str, prev_ring) -> tuple:
+    """Validate the optional (all-or-nothing) ring accounting."""
+    present = [k for k in RING_KEYS if k in rec]
+    if not present:
+        return prev_ring
+    if len(present) != len(RING_KEYS):
+        missing = set(RING_KEYS) - set(present)
+        fail(f"{where}: partial ring accounting (missing "
+             f"{sorted(missing)})")
+    for key in RING_KEYS:
+        if not isinstance(rec[key], int) or rec[key] < 0:
+            fail(f"{where}: {key!r} is not a non-negative integer")
+    ring = (rec["ring_dropped"], rec["ring_seq_gaps"])
+    if prev_ring is not None and ring < prev_ring:
+        fail(f"{where}: ring totals went backwards: "
+             f"{ring} after {prev_ring}")
+    return ring
+
+
+def check_step(rec, lineno: int, prev, prev_ring) -> tuple:
     where = f"line {lineno}"
     for key in ("t", "episode", "env_step", "update_calls",
                 "phase_ns", "metrics"):
@@ -76,8 +101,9 @@ def check_step(rec, lineno: int, prev) -> tuple:
         if not isinstance(ns, int) or ns < 0:
             fail(f"{where}: phase {phase!r} delta {ns!r} is not a "
                  "non-negative integer")
+    ring = check_ring(rec, where, prev_ring)
     check_metrics(rec["metrics"], where)
-    return (episode, step)
+    return (episode, step), ring
 
 
 def main() -> None:
@@ -120,10 +146,11 @@ def main() -> None:
 
     steps = 0
     prev = None
+    prev_ring = None
     for i, rec in enumerate(records[1:], 2):
         kind = rec["record"]
         if kind == "step":
-            prev = check_step(rec, i, prev)
+            prev, prev_ring = check_step(rec, i, prev, prev_ring)
             steps += 1
         elif kind == "summary":
             if i != len(records):
