@@ -20,6 +20,7 @@
 #include <cstdlib>
 
 #include "marlin/base/args.hh"
+#include "marlin/base/fault_injector.hh"
 #include "marlin/core/checkpoint.hh"
 #include "marlin/env/physical_deception.hh"
 #include "marlin/marlin.hh"
@@ -127,6 +128,20 @@ main(int argc, char **argv)
     args.addOption("ring-capacity", "4096",
                    "transition-ring records per actor (async mode; "
                    "rounded up to a power of two)");
+    args.addOption("watchdog-ms", "250",
+                   "async supervisor: actor-stall watchdog deadline "
+                   "in ms (0 disables stall detection; crashed "
+                   "actors are always detected)");
+    args.addOption("max-restarts", "2",
+                   "async supervisor: crash restarts per actor "
+                   "before it is degraded");
+    args.addOption("async-checkpoint-every", "50",
+                   "learner updates between rotating snapshots for "
+                   "--checkpoint-dir in async mode");
+    args.addOption("chaos", "",
+                   "async-only fault schedule, e.g. "
+                   "'kill:1@120,stall:2@200:50,corrupt:0@300,"
+                   "kill-learner@400,delay-snap@3:20'");
     args.addOption("isa", "auto",
                    "kernel instruction set: auto, scalar or avx2 "
                    "(auto = MARLIN_ISA env var or best supported; "
@@ -318,13 +333,6 @@ main(int argc, char **argv)
                                             : "");
 
     if (actors > 1) {
-        // Async runtime: checkpointing (and therefore Rollback) is a
-        // lockstep-loop feature; the loop itself rejects Rollback and
-        // the interleaved backend with a pointer back to --actors 1.
-        if (!args.get("checkpoint-dir").empty()) {
-            fatal("--checkpoint-dir requires the deterministic "
-                  "lockstep loop; rerun with --actors 1");
-        }
         const std::string task = args.get("task");
         async::AsyncConfig acfg;
         acfg.actors = actors;
@@ -332,6 +340,18 @@ main(int argc, char **argv)
             static_cast<std::size_t>(args.getInt("lanes"));
         acfg.ringCapacity =
             static_cast<std::size_t>(args.getInt("ring-capacity"));
+        acfg.watchdogDeadlineMs = static_cast<std::uint64_t>(
+            args.getInt("watchdog-ms"));
+        acfg.maxActorRestarts =
+            static_cast<std::size_t>(args.getInt("max-restarts"));
+        // Async checkpointing: learner-side rotating snapshots of
+        // the contiguous completed-episode prefix. Resume is
+        // throughput-equivalent, not bit-identical; --actors 1 keeps
+        // the bit-identical contract.
+        acfg.checkpointDir = args.get("checkpoint-dir");
+        acfg.checkpointEveryUpdates = static_cast<std::size_t>(
+            args.getInt("async-checkpoint-every"));
+        acfg.resume = !acfg.checkpointDir.empty();
         async::AsyncTrainLoop loop(
             *trainer,
             [&task, agents](std::uint64_t seed) {
@@ -356,6 +376,18 @@ main(int argc, char **argv)
                               static_cast<std::size_t>(
                                   args.getInt("telemetry-every")));
         }
+        base::FaultInjector injector(
+            static_cast<std::uint64_t>(args.getInt("seed")));
+        if (!args.get("chaos").empty()) {
+            std::string chaos_error;
+            if (!injector.parseChaosSpec(args.get("chaos"),
+                                         &chaos_error)) {
+                fatal("--chaos: %s", chaos_error.c_str());
+            }
+            loop.setFaultInjector(&injector);
+            inform("chaos armed: %zu scheduled fault(s)",
+                   injector.scheduledFaults().size());
+        }
         auto result = loop.run(episodes);
 
         if (result.nonFiniteUpdates > 0) {
@@ -372,6 +404,37 @@ main(int argc, char **argv)
                        result.ringDropped),
                    static_cast<unsigned long long>(
                        result.ringSeqGaps));
+        }
+        if (result.restarts > 0 || result.degradations > 0 ||
+            result.watchdogTrips > 0 || result.quarantined > 0) {
+            inform("supervisor: %llu restart(s), %llu "
+                   "degradation(s), %llu watchdog trip(s), %llu "
+                   "quarantined transition(s)",
+                   static_cast<unsigned long long>(result.restarts),
+                   static_cast<unsigned long long>(
+                       result.degradations),
+                   static_cast<unsigned long long>(
+                       result.watchdogTrips),
+                   static_cast<unsigned long long>(
+                       result.quarantined));
+        }
+        if (result.resumedFromEpisode > 0) {
+            inform("resumed from episode %llu",
+                   static_cast<unsigned long long>(
+                       result.resumedFromEpisode));
+        }
+        if (result.checkpointsSaved > 0) {
+            inform("saved %llu rotating checkpoint(s) to '%s'",
+                   static_cast<unsigned long long>(
+                       result.checkpointsSaved),
+                   acfg.checkpointDir.c_str());
+        }
+        if (result.learnerFailed) {
+            // Nonzero exit so CI drills (and real orchestration) see
+            // a learner crash as a failed run; the last periodic
+            // checkpoint is the recovery path.
+            warn("learner failed: %s", result.learnerError.c_str());
+            return 1;
         }
         std::printf("\nenv steps %llu (drained %llu), updates %llu, "
                     "weight refreshes %llu\n",
@@ -391,6 +454,10 @@ main(int argc, char **argv)
                         profile::updateBreakdown(result.timer))
                         .c_str());
     } else {
+        if (!args.get("chaos").empty()) {
+            fatal("--chaos drives the async supervisor; rerun with "
+                  "--actors 2 or more");
+        }
         core::TrainLoop loop(*environment, *trainer, config);
         if (telemetry) {
             loop.setTelemetry(telemetry.get(),

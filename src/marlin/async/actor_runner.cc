@@ -1,6 +1,11 @@
 #include "marlin/async/actor_runner.hh"
 
+#include <chrono>
+#include <limits>
+#include <thread>
+
 #include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
 
 namespace marlin::async
 {
@@ -28,13 +33,9 @@ ActorRunner::ActorRunner(
 bool
 ActorRunner::claimEpisode(Lane &lane)
 {
-    const std::uint64_t e = control.episodesClaimed.fetch_add(
-        1, std::memory_order_relaxed);
-    if (e >= control.episodeTarget)
+    std::uint64_t e = 0;
+    if (!control.claim(e))
     {
-        // Over-claiming past the target is harmless: each actor
-        // stops claiming after its first miss, and completed-episode
-        // accounting goes by recorded rewards, not this counter.
         lane.active = false;
         return false;
     }
@@ -53,6 +54,22 @@ ActorRunner::claimEpisode(Lane &lane)
 void
 ActorRunner::stepLane(Lane &lane)
 {
+    bool poisonRecord = false;
+    if (injector != nullptr)
+    {
+        const base::ActorFaultAction fault =
+            injector->onActorStep(config.actorId, steps + 1);
+        if (fault.stallMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fault.stallMs));
+        poisonRecord = fault.corrupt;
+        if (fault.kill)
+            throw base::InjectedFault(csprintf(
+                "chaos: kill actor %zu at local step %llu",
+                config.actorId,
+                static_cast<unsigned long long>(steps + 1)));
+    }
+
     const std::size_t n = lane.env->numAgents();
     const bool continuous =
         config.actionMode == core::ActionMode::Continuous;
@@ -117,6 +134,13 @@ ActorRunner::stepLane(Lane &lane)
             replay::packRecord(rec, layout, lane.obs, onehotScratch,
                                step.rewards, step.observations,
                                step.dones);
+            if (poisonRecord)
+            {
+                // Chaos: a corrupted sensor/reward pipeline. The
+                // learner's quarantine must catch this at drain.
+                rec[layout.agents[0].reward] =
+                    std::numeric_limits<Real>::quiet_NaN();
+            }
             ring.commitPush();
         }
         if (++sincePublish >= config.publishBatch)
@@ -144,14 +168,16 @@ ActorRunner::stepLane(Lane &lane)
 void
 ActorRunner::run()
 {
-    bool exhausted = false;
-    while (!control.stop.load(std::memory_order_acquire))
+    while (!control.stop.load(std::memory_order_acquire) &&
+           !abortFlag.load(std::memory_order_acquire))
     {
+        if (heartbeat != nullptr)
+            heartbeat->beat();
         bool anyActive = false;
         for (Lane &lane : lanes)
         {
-            if (!lane.active && !exhausted)
-                exhausted = !claimEpisode(lane);
+            if (!lane.active)
+                claimEpisode(lane);
             if (lane.active)
             {
                 stepLane(lane);
@@ -159,13 +185,34 @@ ActorRunner::run()
             }
         }
         if (!anyActive)
-            break;
+        {
+            if (control.done())
+                break;
+            // Every index is claimed but the run is not done: a
+            // faulted peer may return episodes to the reclaim pool,
+            // so stay available instead of retiring early.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+        }
     }
+    abandonActiveEpisodes();
     // Whatever is staged must reach the learner before this actor
     // reports itself retired (the learner's exit check relies on
     // "activeActors == 0 implies everything is published").
     ring.publish();
-    control.activeActors.fetch_sub(1, std::memory_order_release);
+    retireOnce();
+}
+
+void
+ActorRunner::abandonActiveEpisodes()
+{
+    for (Lane &lane : lanes)
+    {
+        if (!lane.active)
+            continue;
+        control.reclaim(lane.episode);
+        lane.active = false;
+    }
 }
 
 } // namespace marlin::async

@@ -9,11 +9,14 @@
 #define MARLIN_ASYNC_ACTOR_RUNNER_HH
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "marlin/async/policy_snapshot.hh"
 #include "marlin/async/run_control.hh"
+#include "marlin/base/fault_injector.hh"
+#include "marlin/base/worker_thread.hh"
 #include "marlin/core/maddpg.hh"
 #include "marlin/env/environment.hh"
 #include "marlin/profile/timer.hh"
@@ -45,6 +48,12 @@ struct ActorConfig
  *
  * Thread contract: run() is the thread body; everything else is
  * constructed before the thread starts and read after it joins.
+ * Supervision additions: run() may be called again after the thread
+ * it ran on died (restart with preserved lane/RNG/sequence state);
+ * requestAbort() and forceRetire() are watchdog-side and safe while
+ * the thread runs; abandonActiveEpisodes() returns in-flight
+ * episode claims to the pool and is called either by run() itself
+ * on clean exit or by the supervisor after joining a dead thread.
  */
 class ActorRunner
 {
@@ -63,8 +72,43 @@ class ActorRunner
                 const replay::JointTransitionLayout &layout,
                 PolicySnapshot &snapshot, RunControl &control);
 
+    /** Supervisor wiring; call before the thread starts. */
+    void setHeartbeat(base::Heartbeat *hb) { heartbeat = hb; }
+    void setFaultInjector(base::FaultInjector *fi) { injector = fi; }
+
     /** Thread body: roll out until the episode target or stop. */
     void run();
+
+    /**
+     * Watchdog: ask the runner to exit at the next sweep without
+     * completing its episodes (degradation of a stalled actor).
+     */
+    void
+    requestAbort()
+    {
+        abortFlag.store(true, std::memory_order_release);
+    }
+
+    /**
+     * Return every active lane's claimed episode index to the
+     * reclaim pool so a healthy actor can re-run it. Single-caller
+     * at a time: either run() on its way out, or the supervisor
+     * after joining this runner's dead thread.
+     */
+    void abandonActiveEpisodes();
+
+    /**
+     * Decrement activeActors exactly once over the runner's life,
+     * no matter how many exit paths fire (clean retire, abort,
+     * supervisor giving up on restarts).
+     */
+    void
+    retireOnce()
+    {
+        if (!retiredFlag.exchange(true, std::memory_order_acq_rel))
+            control.activeActors.fetch_sub(
+                1, std::memory_order_release);
+    }
 
     // Read after join.
     StepCount envSteps() const { return steps; }
@@ -95,6 +139,11 @@ class ActorRunner
     const replay::JointTransitionLayout &layout;
     PolicySnapshot &snapshot;
     RunControl &control;
+
+    base::Heartbeat *heartbeat = nullptr;
+    base::FaultInjector *injector = nullptr;
+    std::atomic<bool> abortFlag{false};
+    std::atomic<bool> retiredFlag{false};
 
     std::vector<Lane> lanes;
     std::uint64_t seenVersion = 0;

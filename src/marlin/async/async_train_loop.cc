@@ -5,8 +5,9 @@
 
 #include "marlin/async/actor_runner.hh"
 #include "marlin/async/learner_runner.hh"
+#include "marlin/async/supervisor.hh"
 #include "marlin/base/logging.hh"
-#include "marlin/base/worker_thread.hh"
+#include "marlin/core/checkpoint.hh"
 #include "marlin/obs/metrics.hh"
 
 namespace marlin::async
@@ -19,7 +20,7 @@ AsyncTrainLoop::AsyncTrainLoop(core::CtdeTrainerBase &trainer_in,
                                AsyncConfig async_in)
     : trainer(trainer_in), envFactory(std::move(env_factory)),
       policyFactory(std::move(policy_factory)),
-      config(std::move(config_in)), async(async_in),
+      config(std::move(config_in)), async(std::move(async_in)),
       buffers(trainer_in.transitionShapes(), config.bufferCapacity),
       layout(replay::JointTransitionLayout::fromShapes(
           trainer_in.transitionShapes()))
@@ -35,9 +36,9 @@ AsyncTrainLoop::AsyncTrainLoop(core::CtdeTrainerBase &trainer_in,
     }
     if (config.healthPolicy == core::HealthGuardPolicy::Rollback)
     {
-        fatal("HealthGuardPolicy::Rollback requires checkpointing, "
-              "which only the lockstep TrainLoop supports; use the "
-              "sync loop (--actors 1) or another policy");
+        fatal("HealthGuardPolicy::Rollback requires the synchronous "
+              "checkpoint/restore cycle of the lockstep TrainLoop; "
+              "use the sync loop (--actors 1) or another policy");
     }
 }
 
@@ -61,6 +62,53 @@ AsyncTrainLoop::run(std::size_t episodes)
                                std::memory_order_relaxed);
     obs::Registry::instance().gauge("async.actors").set(
         static_cast<double>(async.actors));
+
+    // Resume before anything is cloned or published: the restored
+    // trainer weights must be what the first snapshot carries.
+    if (async.resume && !async.checkpointDir.empty())
+    {
+        core::LoopProgress progress;
+        core::RunState state;
+        state.trainer = &trainer;
+        state.buffers = &buffers;
+        state.progress = &progress;
+        const core::CkptResult loaded =
+            core::resumeLatest(async.checkpointDir, state);
+        if (loaded)
+        {
+            // The snapshot's episode progress is the contiguous
+            // completed prefix: re-enter the run as if episodes
+            // [0, P) just finished, and let the fleet re-claim
+            // everything after.
+            const std::uint64_t prefix = progress.episodeIndex;
+            control.episodesClaimed.store(
+                prefix, std::memory_order_relaxed);
+            control.completedCount.store(
+                prefix, std::memory_order_relaxed);
+            for (std::uint64_t e = 0; e < prefix; ++e)
+                control.episodeRewards.emplace_back(
+                    e, progress.episodeRewards[e]);
+            result.resumedFromEpisode = prefix;
+            inform("async resume: restored %llu episodes, %zu "
+                   "replay transitions from %s",
+                   static_cast<unsigned long long>(prefix),
+                   static_cast<std::size_t>(buffers.size()),
+                   async.checkpointDir.c_str());
+        }
+        else if (loaded.error == core::CkptError::NotFound)
+        {
+            inform("async resume: no checkpoint in %s yet, starting "
+                   "fresh",
+                   async.checkpointDir.c_str());
+        }
+        else
+        {
+            fatal("async resume from %s failed (%s): %s",
+                  async.checkpointDir.c_str(),
+                  core::ckptErrorName(loaded.error),
+                  loaded.detail.c_str());
+        }
+    }
 
     // Actors must start from the learner's exact current weights,
     // not their clones' random init: publish before any thread runs.
@@ -105,24 +153,27 @@ AsyncTrainLoop::run(std::size_t episodes)
     LearnerConfig lcfg;
     lcfg.snapshotEvery =
         async.snapshotEvery > 0 ? async.snapshotEvery : 1;
+    lcfg.checkpointDir = async.checkpointDir;
+    lcfg.checkpointEveryUpdates = async.checkpointEveryUpdates;
     LearnerRunner learner(trainer, buffers, ringPtrs, layout,
                           snapshot, control, config, lcfg);
     learner.setTelemetry(telemetry, telemetryEvery);
 
-    {
-        std::vector<base::WorkerThread> threads;
-        threads.reserve(async.actors + 1);
-        threads.emplace_back("marlin-learner",
-                             [&learner] { learner.run(); });
-        for (std::size_t a = 0; a < async.actors; ++a)
-        {
-            ActorRunner *runner = actors[a].get();
-            threads.emplace_back("marlin-actor" + std::to_string(a),
-                                 [runner] { runner->run(); });
-        }
-        // WorkerThread joins on destruction; leaving the scope is
-        // the barrier.
-    }
+    SupervisorConfig scfg;
+    scfg.watchdogDeadlineMs = async.watchdogDeadlineMs;
+    scfg.degradeAfterMs = async.degradeAfterMs;
+    scfg.maxRestarts = async.maxActorRestarts;
+    scfg.restartBackoffMs = async.restartBackoffMs;
+    Supervisor supervisor(scfg, control, injector);
+    supervisor.setLearner("marlin-learner", &learner);
+    for (std::size_t a = 0; a < async.actors; ++a)
+        supervisor.addActor("marlin-actor" + std::to_string(a),
+                            actors[a].get(), rings[a].get());
+
+    supervisor.start();
+    // The orchestrating thread is the watchdog; this returns with
+    // every worker joined.
+    supervisor.superviseUntilDone();
 
     for (const auto &actor : actors)
     {
@@ -135,12 +186,25 @@ AsyncTrainLoop::run(std::size_t episodes)
     result.updateCalls = learner.updateCalls();
     result.nonFiniteUpdates = learner.nonFiniteUpdates();
     result.halted = learner.halted();
+    result.quarantined = learner.quarantinedCount();
+    result.checkpointsSaved = learner.checkpointsSaved();
     for (const auto &ring : rings)
     {
         result.ringPushed += ring->pushedCount();
         result.ringDropped += ring->droppedCount();
         result.ringSeqGaps += ring->seqGapCount();
+        result.ringResidual += ring->depth();
     }
+
+    const SupervisorStats &stats = supervisor.stats();
+    result.restarts =
+        stats.restarts.load(std::memory_order_relaxed);
+    result.degradations =
+        stats.degradations.load(std::memory_order_relaxed);
+    result.watchdogTrips =
+        stats.watchdogTrips.load(std::memory_order_relaxed);
+    result.learnerFailed = supervisor.learnerFailed();
+    result.learnerError = supervisor.learnerError();
 
     {
         const std::lock_guard<std::mutex> lock(control.rewardMutex);
@@ -182,8 +246,22 @@ AsyncTrainLoop::run(std::size_t episodes)
              static_cast<double>(result.ringDropped)},
             {"ring_seq_gaps",
              static_cast<double>(result.ringSeqGaps)},
+            {"ring_residual",
+             static_cast<double>(result.ringResidual)},
             {"actors", static_cast<double>(async.actors)},
             {"halted", result.halted ? 1.0 : 0.0},
+            {"restarts", static_cast<double>(result.restarts)},
+            {"degradations",
+             static_cast<double>(result.degradations)},
+            {"watchdog_trips",
+             static_cast<double>(result.watchdogTrips)},
+            {"quarantined",
+             static_cast<double>(result.quarantined)},
+            {"learner_failed", result.learnerFailed ? 1.0 : 0.0},
+            {"checkpoints_saved",
+             static_cast<double>(result.checkpointsSaved)},
+            {"resumed_from_episode",
+             static_cast<double>(result.resumedFromEpisode)},
         });
     }
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
+#include "marlin/async/supervisor.hh"
 #include "marlin/base/logging.hh"
+#include "marlin/base/string_utils.hh"
+#include "marlin/core/checkpoint.hh"
 
 namespace marlin::async
 {
@@ -23,13 +27,15 @@ LearnerRunner::LearnerRunner(
     : trainer(trainer_in), buffers(buffers_in),
       rings(std::move(rings_in)), layout(layout_in),
       snapshot(snapshot_in), control(control_in), config(config_in),
-      learnerConfig(learner_config_in),
+      learnerConfig(std::move(learner_config_in)),
       pushedCounter(
           obs::Registry::instance().counter("async.ring.pushed")),
       droppedCounter(
           obs::Registry::instance().counter("async.ring.dropped")),
       gapCounter(
           obs::Registry::instance().counter("async.ring.seq_gaps")),
+      quarantinedCounter(
+          obs::Registry::instance().counter("async.quarantined")),
       depthGauge(obs::Registry::instance().gauge("async.ring.depth"))
 {
     MARLIN_ASSERT(!rings.empty(), "learner needs at least one ring");
@@ -45,6 +51,15 @@ LearnerRunner::setTelemetry(obs::TelemetryWriter *writer,
     telemetryLastNs.fill(0);
 }
 
+bool
+LearnerRunner::recordPoisoned(const Real *rec) const
+{
+    for (std::size_t i = 0; i < layout.stride; ++i)
+        if (!std::isfinite(rec[i]))
+            return true;
+    return false;
+}
+
 std::size_t
 LearnerRunner::drainRings()
 {
@@ -56,6 +71,21 @@ LearnerRunner::drainRings()
         while (fromRing < learnerConfig.drainChunk &&
                (rec = ring->front()) != nullptr)
         {
+            // Quarantine at the funnel: a NaN/Inf record is popped
+            // (so the ring advances and popped == drained +
+            // quarantined holds) but never inserted — one poisoned
+            // transition must not contaminate every future batch.
+            if (recordPoisoned(rec))
+            {
+                ring->pop();
+                ++quarantined;
+                quarantinedCounter.add(1);
+                if (supStats != nullptr)
+                    supStats->quarantined.fetch_add(
+                        1, std::memory_order_relaxed);
+                ++fromRing;
+                continue;
+            }
             {
                 ScopedPhase sp(_timer, Phase::BufferAdd);
                 // Same contract as the lockstep loop's insertion:
@@ -147,7 +177,69 @@ LearnerRunner::maybeEmitTelemetry()
     for (const replay::TransitionRing *ring : rings)
         depthTotal += ring->depth();
     rec.ringDepth = depthTotal;
+    if (supStats != nullptr)
+    {
+        rec.haveSupervisor = true;
+        rec.supRestarts =
+            supStats->restarts.load(std::memory_order_relaxed);
+        rec.supDegradations =
+            supStats->degradations.load(std::memory_order_relaxed);
+        rec.supWatchdogTrips =
+            supStats->watchdogTrips.load(std::memory_order_relaxed);
+        rec.supQuarantined =
+            supStats->quarantined.load(std::memory_order_relaxed);
+    }
     telemetry->writeStep(rec);
+}
+
+void
+LearnerRunner::maybeCheckpoint(bool force)
+{
+    if (learnerConfig.checkpointDir.empty())
+        return;
+    if (!force && (learnerConfig.checkpointEveryUpdates == 0 ||
+                   updates % learnerConfig.checkpointEveryUpdates !=
+                       0))
+        return;
+
+    // Async episodes complete out of order, so the resumable state
+    // is the contiguous completed prefix: every episode below
+    // progress.episodeIndex has a recorded reward. Episodes past a
+    // gap are re-run on resume — throughput-equivalent, not
+    // bit-identical (the lockstep loop keeps that contract).
+    core::LoopProgress progress;
+    {
+        const std::lock_guard<std::mutex> lock(control.rewardMutex);
+        std::vector<std::pair<std::uint64_t, Real>> pairs =
+            control.episodeRewards;
+        std::sort(pairs.begin(), pairs.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.first < y.first;
+                  });
+        for (std::size_t i = 0; i < pairs.size(); ++i)
+        {
+            if (pairs[i].first != i)
+                break;
+            progress.episodeRewards.push_back(pairs[i].second);
+        }
+    }
+    progress.episodeIndex = progress.episodeRewards.size();
+    progress.envSteps = drained;
+    progress.updateCalls = updates;
+    progress.insertionsSinceUpdate = insertionsSinceUpdate;
+
+    core::RunState state;
+    state.trainer = &trainer;
+    state.buffers = &buffers;
+    state.progress = &progress;
+    const core::CkptResult saved = core::saveRotating(
+        learnerConfig.checkpointDir, state, nullptr);
+    if (saved)
+        ++checkpoints;
+    else
+        warn("async learner: checkpoint save failed (%s): %s",
+             core::ckptErrorName(saved.error),
+             saved.detail.c_str());
 }
 
 void
@@ -155,6 +247,8 @@ LearnerRunner::run()
 {
     while (!control.stop.load(std::memory_order_acquire))
     {
+        if (heartbeat != nullptr)
+            heartbeat->beat();
         // Order matters: read the retirement flag BEFORE draining.
         // Actors publish their final batch before decrementing
         // activeActors, so "idle before the drain + nothing drained"
@@ -179,7 +273,19 @@ LearnerRunner::run()
             ++updates;
             updated = true;
             if (updates % learnerConfig.snapshotEvery == 0)
+            {
+                ++snapshotOrdinal;
+                if (injector != nullptr)
+                {
+                    const std::uint64_t delayMs =
+                        injector->onSnapshotPublish(snapshotOrdinal);
+                    if (delayMs > 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(delayMs));
+                }
                 snapshot.publish(trainer);
+            }
+            maybeCheckpoint(false);
             if (stats.nonFiniteCount > 0)
             {
                 nonFinite += stats.nonFiniteCount;
@@ -195,6 +301,18 @@ LearnerRunner::run()
                 }
             }
         }
+
+        // The chaos kill fires at the END of the cycle that crosses
+        // the drained threshold, after that cycle's update and
+        // periodic checkpoint. A "kill after D drained" schedule is
+        // therefore guaranteed to leave behind whatever checkpoints
+        // the first D records earned — on a single-CPU box one drain
+        // cycle can swallow hundreds of records, and firing before
+        // the update would make "crash then resume" untestable.
+        if (injector != nullptr && injector->onLearnerDrain(drained))
+            throw base::InjectedFault(csprintf(
+                "chaos: kill learner after %llu drained records",
+                static_cast<unsigned long long>(drained)));
 
         if (drainedNow > 0 || updated)
         {
@@ -213,6 +331,12 @@ LearnerRunner::run()
         }
     }
     refreshMetrics();
+    // Final snapshot on the clean paths only. A halted run has
+    // poisoned numerics, and a crashed learner never reaches here —
+    // in both cases the last periodic checkpoint is the one that
+    // should survive.
+    if (!_halted)
+        maybeCheckpoint(true);
 }
 
 } // namespace marlin::async

@@ -8,10 +8,13 @@
 #ifndef MARLIN_ASYNC_LEARNER_RUNNER_HH
 #define MARLIN_ASYNC_LEARNER_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "marlin/async/policy_snapshot.hh"
 #include "marlin/async/run_control.hh"
+#include "marlin/base/fault_injector.hh"
+#include "marlin/base/worker_thread.hh"
 #include "marlin/core/maddpg.hh"
 #include "marlin/obs/metrics.hh"
 #include "marlin/obs/telemetry.hh"
@@ -21,6 +24,8 @@
 namespace marlin::async
 {
 
+struct SupervisorStats;
+
 /** Learner-side knobs, fixed for the run. */
 struct LearnerConfig
 {
@@ -29,6 +34,12 @@ struct LearnerConfig
     /** Max records drained per ring per cycle, so a fast producer
      *  cannot starve the update cadence. */
     std::size_t drainChunk = 256;
+    /** Rotating checkpoint directory; empty disables. */
+    std::string checkpointDir;
+    /** Updates between checkpoints (0 disables periodic saves; a
+     *  final snapshot is still written on clean exit when the
+     *  directory is set). */
+    std::size_t checkpointEveryUpdates = 0;
 };
 
 /**
@@ -38,8 +49,24 @@ struct LearnerConfig
  * enough insertions accumulated, publish weights, refresh ring
  * counters in the obs registry and the telemetry stream.
  *
+ * Data hardening: every record is screened for NaN/Inf at the drain
+ * point — the single funnel between N untrusted producers and the
+ * replay buffer — and quarantined (popped, counted, never inserted)
+ * rather than allowed to poison every future sampled batch. This
+ * extends the PR-2 health-guard taxonomy one layer earlier: guards
+ * screen the optimizer's inputs, quarantine screens the buffer's.
+ *
+ * Checkpointing: with a directory configured, the learner writes
+ * rotating full-state snapshots (networks, optimizer, RNG streams,
+ * replay buffers, episode progress) between updates — the only
+ * point where trainer state is quiescent — plus a final one on
+ * clean exit. Async resume is throughput-equivalent, not
+ * bit-identical: the snapshot's episode progress is the contiguous
+ * completed prefix, so episodes finished out of order past a gap
+ * are re-run (see async_train_loop.hh).
+ *
  * Thread contract: run() is the thread body; result accessors are
- * read after it joins.
+ * read after it joins; setters are called before it starts.
  */
 class LearnerRunner
 {
@@ -60,6 +87,16 @@ class LearnerRunner
     void setTelemetry(obs::TelemetryWriter *writer,
                       std::size_t every_steps);
 
+    // Supervisor wiring; call before the thread starts.
+    void setHeartbeat(base::Heartbeat *hb) { heartbeat = hb; }
+    void setFaultInjector(base::FaultInjector *fi) { injector = fi; }
+    /** Lets telemetry carry supervisor counters (schema v3) and
+     *  quarantine feed the shared stats. */
+    void setSupervisorStats(SupervisorStats *stats_in)
+    {
+        supStats = stats_in;
+    }
+
     /** Thread body: drain and update until all actors retire. */
     void run();
 
@@ -68,18 +105,28 @@ class LearnerRunner
     StepCount updateCalls() const { return updates; }
     std::size_t nonFiniteUpdates() const { return nonFinite; }
     bool halted() const { return _halted; }
+    /** Records popped at drain but never inserted (NaN/Inf). */
+    std::uint64_t quarantinedCount() const { return quarantined; }
+    std::uint64_t checkpointsSaved() const { return checkpoints; }
     const profile::PhaseTimer &timer() const { return _timer; }
     const core::UpdateStats &lastStats() const { return stats; }
     bool haveStats() const { return _haveStats; }
 
   private:
-    /** Drain up to drainChunk records from each ring. @return count. */
+    /** Drain up to drainChunk records from each ring. @return count
+     *  of records consumed (inserted + quarantined). */
     std::size_t drainRings();
+
+    /** True when any of the record's stride Reals is NaN/Inf. */
+    bool recordPoisoned(const Real *rec) const;
 
     /** Push ring totals into the obs registry (delta counters). */
     void refreshMetrics();
 
     void maybeEmitTelemetry();
+
+    /** Rotating full-state snapshot; no-op without a directory. */
+    void maybeCheckpoint(bool force);
 
     core::CtdeTrainerBase &trainer;
     replay::MultiAgentBuffer &buffers;
@@ -95,10 +142,17 @@ class LearnerRunner
     StepCount telemetryNextAt = 0;
     std::array<std::uint64_t, profile::numPhases> telemetryLastNs{};
 
+    base::Heartbeat *heartbeat = nullptr;
+    base::FaultInjector *injector = nullptr;
+    SupervisorStats *supStats = nullptr;
+
     StepCount drained = 0;
     StepCount insertionsSinceUpdate = 0;
     StepCount updates = 0;
     std::size_t nonFinite = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t snapshotOrdinal = 0;
+    std::uint64_t checkpoints = 0;
     bool _halted = false;
     core::UpdateStats stats;
     bool _haveStats = false;
@@ -108,6 +162,7 @@ class LearnerRunner
     obs::Counter &pushedCounter;
     obs::Counter &droppedCounter;
     obs::Counter &gapCounter;
+    obs::Counter &quarantinedCounter;
     obs::Gauge &depthGauge;
     // Last published totals, so counters receive deltas.
     std::uint64_t lastPushed = 0;

@@ -1,5 +1,6 @@
 #include "marlin/base/worker_thread.hh"
 
+#include <exception>
 #include <utility>
 
 #if defined(__linux__) || defined(__APPLE__)
@@ -11,9 +12,23 @@ namespace marlin::base
 
 WorkerThread::WorkerThread(std::string name, std::function<void()> fn)
     : _name(std::move(name)),
-      thread([label = _name, body = std::move(fn)] {
-          setCurrentThreadName(label);
-          body();
+      thread([this, body = std::move(fn)] {
+          setCurrentThreadName(_name);
+          try
+          {
+              body();
+          }
+          catch (const std::exception &e)
+          {
+              error = e.what();
+              _failed.store(true, std::memory_order_release);
+          }
+          catch (...)
+          {
+              error = "<unknown exception>";
+              _failed.store(true, std::memory_order_release);
+          }
+          _finished.store(true, std::memory_order_release);
       })
 {
 }

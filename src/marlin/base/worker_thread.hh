@@ -11,19 +11,79 @@
  * (so traces, TSan reports and /proc/<pid>/task attribute work to
  * "marlin-actor3" rather than an anonymous thread) and join-on-
  * destruction lifetime.
+ *
+ * Supervision support: every WorkerThread body runs inside an
+ * exception trampoline — an escaped exception marks the thread
+ * failed() and stores its message instead of calling std::terminate —
+ * and the thread can stamp a Heartbeat so a watchdog on another
+ * thread can tell "still making progress" from "wedged".
  */
 
 #ifndef MARLIN_BASE_WORKER_THREAD_HH
 #define MARLIN_BASE_WORKER_THREAD_HH
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <thread>
 
+#include "marlin/base/instant.hh"
+
 namespace marlin::base
 {
 
-/** A named long-lived thread; joins in the destructor. */
+/**
+ * A monotonic progress stamp shared between one worker and any number
+ * of watchers. The worker calls beat() at every natural progress
+ * point (one env step, one drain cycle); watchers read lastBeatNs()
+ * and compare against the current clock. A heartbeat outlives the
+ * thread that stamps it — it is owned by the supervisor, not the
+ * WorkerThread — so a watcher can still read the final stamp of a
+ * thread that died.
+ */
+class Heartbeat
+{
+  public:
+    /** Worker: stamp the current monotonic time. */
+    void
+    beat() noexcept
+    {
+        last.store(nowNsSinceStart(), std::memory_order_release);
+    }
+
+    /** Watcher: monotonic ns of the most recent beat (0 = never). */
+    std::uint64_t
+    lastBeatNs() const noexcept
+    {
+        return last.load(std::memory_order_acquire);
+    }
+
+    /** Watcher: ns elapsed since the last beat. */
+    std::uint64_t
+    nsSinceBeat() const noexcept
+    {
+        const std::uint64_t then = lastBeatNs();
+        const std::uint64_t now = nowNsSinceStart();
+        return now > then ? now - then : 0;
+    }
+
+  private:
+    std::atomic<std::uint64_t> last{0};
+};
+
+/**
+ * A named long-lived thread; joins in the destructor.
+ *
+ * The thread body runs inside an exception trampoline: a thrown
+ * std::exception (or anything else) is caught, its message stored,
+ * and failed() flips to true — the worker dies quietly and the
+ * supervisor decides what to do, instead of std::terminate taking
+ * the whole process. finished() flips to true on every exit path,
+ * so a watchdog can distinguish "crashed" (finished && failed) from
+ * "done" (finished && !failed) from "stalled" (alive but not
+ * beating). Non-movable: watchers hold pointers to the flags.
+ */
 class WorkerThread
 {
   public:
@@ -35,7 +95,7 @@ class WorkerThread
 
     WorkerThread(const WorkerThread &) = delete;
     WorkerThread &operator=(const WorkerThread &) = delete;
-    WorkerThread(WorkerThread &&) = default;
+    WorkerThread(WorkerThread &&) = delete;
     WorkerThread &operator=(WorkerThread &&) = delete;
 
     ~WorkerThread();
@@ -45,6 +105,27 @@ class WorkerThread
     /** Block until the thread function returns (idempotent). */
     void join();
 
+    /** True once the thread body returned or threw. */
+    bool
+    finished() const noexcept
+    {
+        return _finished.load(std::memory_order_acquire);
+    }
+
+    /** True when the thread body escaped with an exception. */
+    bool
+    failed() const noexcept
+    {
+        return _failed.load(std::memory_order_acquire);
+    }
+
+    /**
+     * The escaped exception's what() ("<unknown exception>" for
+     * non-std throws). Read only after failed() returns true (the
+     * release store on _failed orders the string write before it).
+     */
+    const std::string &errorMessage() const { return error; }
+
     /**
      * Name the calling thread at the OS level. No-op on platforms
      * without pthread_setname_np.
@@ -53,6 +134,9 @@ class WorkerThread
 
   private:
     std::string _name;
+    std::string error;
+    std::atomic<bool> _finished{false};
+    std::atomic<bool> _failed{false};
     std::thread thread;
 };
 

@@ -183,6 +183,16 @@ TelemetryWriter::writeStep(const StepRecord &rec)
                 ",\"ring_seq_gaps\":" +
                 std::to_string(rec.ringSeqGaps);
     }
+    if (rec.haveSupervisor) {
+        line += ",\"sup_restarts\":" +
+                std::to_string(rec.supRestarts) +
+                ",\"sup_degradations\":" +
+                std::to_string(rec.supDegradations) +
+                ",\"sup_watchdog_trips\":" +
+                std::to_string(rec.supWatchdogTrips) +
+                ",\"sup_quarantined\":" +
+                std::to_string(rec.supQuarantined);
+    }
     line += ",\"metrics\":" + metricsJson() + "}";
     writeLine(line);
 }

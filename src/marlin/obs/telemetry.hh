@@ -34,8 +34,10 @@ namespace marlin::obs
  * Version of the JSONL layout; bump on incompatible change.
  * v2: step records may carry async transition-ring accounting
  * (ring_depth / ring_dropped / ring_seq_gaps).
+ * v3: step records may carry supervisor accounting (sup_restarts /
+ * sup_degradations / sup_watchdog_trips / sup_quarantined).
  */
-inline constexpr int telemetrySchemaVersion = 2;
+inline constexpr int telemetrySchemaVersion = 3;
 
 /** Everything one step record carries; fill what you have. */
 struct StepRecord
@@ -57,6 +59,12 @@ struct StepRecord
     std::uint64_t ringDepth = 0;    ///< Records currently in flight.
     std::uint64_t ringDropped = 0;  ///< Total dropped (rings full).
     std::uint64_t ringSeqGaps = 0;  ///< Total sequence-gap count.
+    /** Supervised async runtime only (schema v3). */
+    bool haveSupervisor = false;
+    std::uint64_t supRestarts = 0;      ///< Actor restarts so far.
+    std::uint64_t supDegradations = 0;  ///< Actors given up on.
+    std::uint64_t supWatchdogTrips = 0; ///< Stall trips latched.
+    std::uint64_t supQuarantined = 0;   ///< NaN/Inf records dropped.
 };
 
 /**

@@ -84,6 +84,19 @@ void drainRecordInto(MultiAgentBuffer &buffers,
 /**
  * The SPSC transition ring. Exactly one producer thread and one
  * consumer thread; counters are readable from any thread (relaxed).
+ *
+ * Successor-producer takeover: "one producer thread" means one at a
+ * time, not one forever. When a producer thread dies mid-batch, the
+ * supervisor — after joining the dead thread, which is the
+ * happens-before edge covering all its plain writes (staged count,
+ * record payloads, seqs) — may call publish() to flush what the
+ * dead producer committed but never published, and a restarted
+ * producer thread (whose spawn is ordered after the join) continues
+ * pushing where the old one stopped. Records the dead producer
+ * began (tryBeginPush) but never committed are simply overwritten
+ * by the successor's next push: commitPush is what stages a record,
+ * so an uncommitted claim leaks nothing and loses only its sequence
+ * number — which the gap accounting reports, never silently.
  */
 class TransitionRing
 {

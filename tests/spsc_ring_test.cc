@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -145,6 +147,61 @@ TEST(WorkerThread, RunsTheTaskAndJoinIsIdempotent)
     EXPECT_EQ(ran.load(), 1);
 }
 
+TEST(WorkerThread, TrampolineCapturesEscapedExceptions)
+{
+    base::WorkerThread w("marlin-crash", [] {
+        throw std::runtime_error("injected boom");
+    });
+    w.join();
+    EXPECT_TRUE(w.finished());
+    EXPECT_TRUE(w.failed());
+    EXPECT_EQ(w.errorMessage(), "injected boom");
+
+    base::WorkerThread clean("marlin-clean", [] {});
+    clean.join();
+    EXPECT_TRUE(clean.finished());
+    EXPECT_FALSE(clean.failed());
+}
+
+TEST(WorkerThread, TrampolineCapturesNonStdThrows)
+{
+    base::WorkerThread w("marlin-odd", [] { throw 42; });
+    w.join();
+    EXPECT_TRUE(w.failed());
+    EXPECT_EQ(w.errorMessage(), "<unknown exception>");
+}
+
+TEST(WorkerThread, HeartbeatDistinguishesProgressFromSilence)
+{
+    base::Heartbeat hb;
+    EXPECT_EQ(hb.lastBeatNs(), 0u) << "0 means never beaten";
+    hb.beat();
+    const std::uint64_t first = hb.lastBeatNs();
+    EXPECT_GT(first, 0u);
+    // A beating worker keeps nsSinceBeat small; silence grows it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(hb.nsSinceBeat(), 1000000u);
+    hb.beat();
+    EXPECT_GE(hb.lastBeatNs(), first) << "stamps are monotonic";
+    EXPECT_LT(hb.nsSinceBeat(), 1000000000u);
+}
+
+TEST(WorkerThread, HeartbeatOutlivesTheThreadThatStampsIt)
+{
+    // The supervisor reads the final stamp of a dead thread; the
+    // Heartbeat is owned by the watcher, not the worker.
+    base::Heartbeat hb;
+    {
+        base::WorkerThread w("marlin-beat", [&hb] {
+            hb.beat();
+            throw std::runtime_error("died after beating");
+        });
+        w.join();
+        EXPECT_TRUE(w.failed());
+    }
+    EXPECT_GT(hb.lastBeatNs(), 0u);
+}
+
 replay::JointTransitionLayout
 tinyLayout()
 {
@@ -272,6 +329,95 @@ TEST(TransitionRing, OverrunDropsAreCountedAsSequenceGaps)
     EXPECT_EQ(seen, (std::vector<std::uint64_t>{2, 3, 6, 7}));
     EXPECT_EQ(ring.seqGapCount(), 2u) << "seqs 4 and 5 went missing";
     EXPECT_EQ(ring.pushedCount() + ring.droppedCount(), seq);
+}
+
+TEST(TransitionRing, CapacityTwoRingKeepsExactAccounting)
+{
+    // The smallest legal ring (capacity hint 0 rounds up to 2):
+    // full/empty transitions every push/pop pair, and overrun
+    // accounting must stay exact at this degenerate size.
+    replay::TransitionRing ring(2, 0);
+    ASSERT_EQ(ring.capacity(), 2u);
+    std::uint64_t seq = 0;
+    std::uint64_t generated = 0;
+    for (int round = 0; round < 100; ++round) {
+        // Push until full, then one overrun.
+        while (true) {
+            Real *rec = ring.tryBeginPush(seq);
+            ++seq;
+            ++generated;
+            if (rec == nullptr)
+                break;
+            rec[0] = static_cast<Real>(seq - 1);
+            ring.commitPush();
+        }
+        ring.publish();
+        // Drain everything.
+        std::uint64_t s = 0;
+        while (ring.front(&s) != nullptr) {
+            EXPECT_LT(s, seq);
+            ring.pop();
+        }
+    }
+    EXPECT_EQ(ring.pushedCount() + ring.droppedCount(), generated);
+    EXPECT_EQ(ring.poppedCount(), ring.pushedCount());
+    EXPECT_LE(ring.seqGapCount(), ring.droppedCount());
+    EXPECT_EQ(ring.depth(), 0u);
+}
+
+TEST(TransitionRing, SuccessorFlushesADeadProducersStagedRecords)
+{
+    // Satellite drill: the producer dies mid-batched-publish — some
+    // records committed but never published, one claimed but never
+    // committed. After joining the dead thread (the happens-before
+    // edge), the supervisor publishes on its behalf and a successor
+    // producer continues with the next sequence number; only the
+    // uncommitted claim's seq may go missing, and the gap accounting
+    // must say exactly that.
+    replay::TransitionRing ring(2, 8);
+    base::WorkerThread producer("marlin-dying", [&ring] {
+        for (std::uint64_t s = 0; s < 3; ++s) {
+            Real *rec = ring.tryBeginPush(s);
+            ASSERT_NE(rec, nullptr);
+            rec[0] = static_cast<Real>(s);
+            rec[1] = Real(7);
+            ring.commitPush();
+        }
+        // Claim seq 3 but die before commitPush: the slot must be
+        // overwritten by the successor, not leak to the consumer.
+        Real *rec = ring.tryBeginPush(3);
+        ASSERT_NE(rec, nullptr);
+        rec[0] = Real(-999);
+        throw std::runtime_error("power cut mid-batch");
+    });
+    producer.join();
+    ASSERT_TRUE(producer.failed());
+
+    // Nothing is visible before the supervisor's flush.
+    EXPECT_EQ(ring.front(), nullptr);
+    ring.publish();
+
+    // Successor takes over where the dead producer stopped. Seq 3
+    // was consumed by the uncommitted claim, so it resumes at 4.
+    for (std::uint64_t s = 4; s < 6; ++s) {
+        Real *rec = ring.tryBeginPush(s);
+        ASSERT_NE(rec, nullptr);
+        rec[0] = static_cast<Real>(s);
+        rec[1] = Real(7);
+        ring.commitPush();
+    }
+    ring.publish();
+
+    std::vector<std::uint64_t> seen;
+    std::uint64_t s = 0;
+    while (ring.front(&s) != nullptr) {
+        seen.push_back(s);
+        ring.pop();
+    }
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 4, 5}));
+    EXPECT_EQ(ring.seqGapCount(), 1u) << "only the uncommitted seq 3";
+    EXPECT_EQ(ring.pushedCount(), 5u);
+    EXPECT_EQ(ring.poppedCount(), 5u);
 }
 
 TEST(TransitionRing, TwoThreadDrainAccountsEveryRecord)

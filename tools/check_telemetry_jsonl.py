@@ -15,6 +15,11 @@ Checks the schema contract that downstream analysis relies on:
     accounting: ring_depth plus monotonically non-decreasing
     ring_dropped / ring_seq_gaps totals, all non-negative integers
     (the three fields travel together or not at all);
+  * supervised async runs (schema v3) additionally carry supervision
+    accounting: sup_restarts / sup_degradations / sup_watchdog_trips
+    / sup_quarantined, all non-negative integers travelling together
+    or not at all, with sup_restarts and sup_quarantined
+    monotonically non-decreasing;
   * the last record is a summary with a numeric results map.
 
 Usage: check_telemetry_jsonl.py FILE [--min-steps N]
@@ -27,9 +32,12 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 RING_KEYS = ("ring_depth", "ring_dropped", "ring_seq_gaps")
+
+SUP_KEYS = ("sup_restarts", "sup_degradations", "sup_watchdog_trips",
+            "sup_quarantined")
 
 
 def fail(msg: str) -> None:
@@ -82,7 +90,26 @@ def check_ring(rec, where: str, prev_ring) -> tuple:
     return ring
 
 
-def check_step(rec, lineno: int, prev, prev_ring) -> tuple:
+def check_supervisor(rec, where: str, prev_sup) -> tuple:
+    """Validate the optional (all-or-nothing) supervision block."""
+    present = [k for k in SUP_KEYS if k in rec]
+    if not present:
+        return prev_sup
+    if len(present) != len(SUP_KEYS):
+        missing = set(SUP_KEYS) - set(present)
+        fail(f"{where}: partial supervision accounting (missing "
+             f"{sorted(missing)})")
+    for key in SUP_KEYS:
+        if not isinstance(rec[key], int) or rec[key] < 0:
+            fail(f"{where}: {key!r} is not a non-negative integer")
+    sup = (rec["sup_restarts"], rec["sup_quarantined"])
+    if prev_sup is not None and sup < prev_sup:
+        fail(f"{where}: supervision totals went backwards: "
+             f"{sup} after {prev_sup}")
+    return sup
+
+
+def check_step(rec, lineno: int, prev, prev_ring, prev_sup) -> tuple:
     where = f"line {lineno}"
     for key in ("t", "episode", "env_step", "update_calls",
                 "phase_ns", "metrics"):
@@ -102,8 +129,9 @@ def check_step(rec, lineno: int, prev, prev_ring) -> tuple:
             fail(f"{where}: phase {phase!r} delta {ns!r} is not a "
                  "non-negative integer")
     ring = check_ring(rec, where, prev_ring)
+    sup = check_supervisor(rec, where, prev_sup)
     check_metrics(rec["metrics"], where)
-    return (episode, step), ring
+    return (episode, step), ring, sup
 
 
 def main() -> None:
@@ -147,10 +175,12 @@ def main() -> None:
     steps = 0
     prev = None
     prev_ring = None
+    prev_sup = None
     for i, rec in enumerate(records[1:], 2):
         kind = rec["record"]
         if kind == "step":
-            prev, prev_ring = check_step(rec, i, prev, prev_ring)
+            prev, prev_ring, prev_sup = check_step(
+                rec, i, prev, prev_ring, prev_sup)
             steps += 1
         elif kind == "summary":
             if i != len(records):
