@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Closed-loop load generator for the serving front end: N
+ * concurrent connections each issue back-to-back requests and the
+ * tool reports the latency distribution (p50/p99 plus a full
+ * cumulative histogram) and sustained QPS per connection count.
+ *
+ *   ./marlin_loadgen --port 7777 --task cn --agents 3 \
+ *       --connections 1,4 --requests 2000 --json loadgen.json
+ *
+ * The JSON report is the serve-smoke CI contract, validated by
+ * tools/check_latency_json.py: every run records its connection
+ * count, request/response/error totals, dropped connections (a
+ * request cycle that died mid-connection — the hot-reload drill
+ * asserts this stays zero), duration, QPS, exact p50/p99 and the
+ * cumulative "le" histogram.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "marlin/base/args.hh"
+#include "marlin/base/instant.hh"
+#include "marlin/base/random.hh"
+#include "marlin/env/physical_deception.hh"
+#include "marlin/marlin.hh"
+#include "marlin/version.hh"
+
+using namespace marlin;
+
+namespace
+{
+
+/** Shared with the serve.request.latency_us histogram bounds. */
+const std::vector<double> kLatencyBucketsUs = {
+    50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+    100000};
+
+std::unique_ptr<env::Environment>
+buildEnvironment(const std::string &task, std::size_t agents,
+                 std::uint64_t seed)
+{
+    if (task == "pp")
+        return env::makePredatorPreyEnv(agents, seed);
+    if (task == "cn")
+        return env::makeCooperativeNavigationEnv(agents, seed);
+    if (task == "pd") {
+        env::PhysicalDeceptionConfig cfg;
+        cfg.numGoodAgents = agents > 1 ? agents - 1 : 1;
+        return std::make_unique<env::Environment>(
+            std::make_unique<env::PhysicalDeceptionScenario>(cfg),
+            seed);
+    }
+    fatal("unknown task '%s' (expected pp, cn or pd)", task.c_str());
+}
+
+/** Outcome of one connection's closed request loop. */
+struct WorkerResult
+{
+    std::vector<std::uint64_t> latenciesUs;
+    std::uint64_t responses = 0;
+    std::uint64_t errors = 0;
+    /** 1 when the connection died before finishing its quota. */
+    std::uint64_t dropped = 0;
+};
+
+/** Aggregated numbers for one connection count. */
+struct RunResult
+{
+    std::size_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t dropped = 0;
+    double durationS = 0;
+    double qps = 0;
+    std::uint64_t p50Us = 0;
+    std::uint64_t p99Us = 0;
+    /** Cumulative counts per kLatencyBucketsUs bound, then +Inf. */
+    std::vector<std::uint64_t> hist;
+};
+
+void
+runWorker(const std::string &host, std::uint16_t port,
+          int retry_ms, const std::vector<std::size_t> &dims,
+          std::uint64_t requests, std::uint64_t seed,
+          WorkerResult &out)
+{
+    serve::BlockingClient client;
+    if (!client.connect(host, port, retry_ms)) {
+        out.dropped = 1;
+        return;
+    }
+    Rng rng(seed);
+    std::vector<Real> obs;
+    std::vector<Real> actions;
+    out.latenciesUs.reserve(requests);
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        const auto agent =
+            static_cast<std::uint16_t>(i % dims.size());
+        obs.resize(dims[agent]);
+        for (auto &v : obs)
+            v = rng.uniformf();
+        serve::Status status = serve::Status::Ok;
+        const std::uint64_t begin = base::nowNsSinceStart();
+        if (!client.request(agent, obs.data(), obs.size(), actions,
+                            status)) {
+            out.dropped = 1;
+            return;
+        }
+        const std::uint64_t end = base::nowNsSinceStart();
+        ++out.responses;
+        if (status != serve::Status::Ok)
+            ++out.errors;
+        out.latenciesUs.push_back((end - begin) / 1000);
+    }
+}
+
+std::uint64_t
+percentile(const std::vector<std::uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+RunResult
+runOnce(const std::string &host, std::uint16_t port, int retry_ms,
+        const std::vector<std::size_t> &dims,
+        std::size_t connections, std::uint64_t requests,
+        std::uint64_t seed)
+{
+    std::vector<WorkerResult> results(connections);
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    const std::uint64_t begin = base::nowNsSinceStart();
+    for (std::size_t c = 0; c < connections; ++c) {
+        workers.emplace_back([&, c] {
+            runWorker(host, port, retry_ms, dims, requests,
+                      seed + c, results[c]);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const std::uint64_t end = base::nowNsSinceStart();
+
+    RunResult run;
+    run.connections = connections;
+    run.requests = requests * connections;
+    std::vector<std::uint64_t> all;
+    for (const auto &r : results) {
+        run.responses += r.responses;
+        run.errors += r.errors;
+        run.dropped += r.dropped;
+        all.insert(all.end(), r.latenciesUs.begin(),
+                   r.latenciesUs.end());
+    }
+    std::sort(all.begin(), all.end());
+    run.durationS =
+        static_cast<double>(end - begin) / 1e9;
+    run.qps = run.durationS > 0
+                  ? static_cast<double>(run.responses) /
+                        run.durationS
+                  : 0;
+    run.p50Us = percentile(all, 0.50);
+    run.p99Us = percentile(all, 0.99);
+    run.hist.assign(kLatencyBucketsUs.size() + 1, 0);
+    for (const std::uint64_t us : all) {
+        for (std::size_t b = 0; b < kLatencyBucketsUs.size(); ++b) {
+            if (static_cast<double>(us) <= kLatencyBucketsUs[b])
+                ++run.hist[b];
+        }
+        ++run.hist.back();
+    }
+    return run;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<RunResult> &runs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write --json path '%s'", path.c_str());
+    std::fprintf(f,
+                 "{\n  \"bench\": \"marlin_loadgen\",\n"
+                 "  \"commit\": \"%s\",\n  \"runs\": [\n",
+                 marlin::gitCommit);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        std::fprintf(
+            f,
+            "    {\"connections\": %zu, \"requests\": %llu, "
+            "\"responses\": %llu, \"errors\": %llu, "
+            "\"dropped_connections\": %llu, "
+            "\"duration_s\": %.6f, \"qps\": %.1f, "
+            "\"p50_us\": %llu, \"p99_us\": %llu,\n"
+            "     \"latency_hist\": [",
+            r.connections,
+            static_cast<unsigned long long>(r.requests),
+            static_cast<unsigned long long>(r.responses),
+            static_cast<unsigned long long>(r.errors),
+            static_cast<unsigned long long>(r.dropped),
+            r.durationS, r.qps,
+            static_cast<unsigned long long>(r.p50Us),
+            static_cast<unsigned long long>(r.p99Us));
+        for (std::size_t b = 0; b < r.hist.size(); ++b) {
+            if (b + 1 < r.hist.size()) {
+                std::fprintf(
+                    f, "{\"le_us\": %.0f, \"count\": %llu}, ",
+                    kLatencyBucketsUs[b],
+                    static_cast<unsigned long long>(r.hist[b]));
+            } else {
+                std::fprintf(
+                    f, "{\"le_us\": \"+Inf\", \"count\": %llu}",
+                    static_cast<unsigned long long>(r.hist[b]));
+            }
+        }
+        std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("marlin_loadgen");
+    args.addOption("host", "127.0.0.1", "server address");
+    args.addOption("port", "0", "server port (or --port-file)");
+    args.addOption("port-file", "",
+                   "read the port from this file (written by "
+                   "marlin_serve --port-file)");
+    args.addOption("task", "cn",
+                   "task the server is configured for: pp, cn or "
+                   "pd (fixes the observation dims)");
+    args.addOption("agents", "3", "number of served agents");
+    args.addOption("connections", "1,4",
+                   "comma-separated connection counts; each count "
+                   "is one measured run");
+    args.addOption("requests", "2000",
+                   "requests per connection per run");
+    args.addOption("connect-retry-ms", "5000",
+                   "keep retrying the initial connect for up to "
+                   "this long (covers the server-start race)");
+    args.addOption("json", "",
+                   "write the bench-style latency report here");
+    args.addOption("seed", "7", "observation RNG seed");
+    args.addOption("log-level", "inform",
+                   "silent, fatal, warn, inform or debug");
+    args.parse(argc, argv);
+
+    setLogLevel(parseLogLevel(args.get("log-level")));
+
+    std::uint16_t port =
+        static_cast<std::uint16_t>(args.getInt("port"));
+    if (!args.get("port-file").empty()) {
+        std::FILE *f =
+            std::fopen(args.get("port-file").c_str(), "r");
+        if (f == nullptr)
+            fatal("cannot read --port-file '%s'",
+                  args.get("port-file").c_str());
+        unsigned parsed = 0;
+        if (std::fscanf(f, "%u", &parsed) != 1)
+            fatal("--port-file '%s' does not hold a port",
+                  args.get("port-file").c_str());
+        std::fclose(f);
+        port = static_cast<std::uint16_t>(parsed);
+    }
+    if (port == 0)
+        fatal("need --port or --port-file");
+
+    const auto agents =
+        static_cast<std::size_t>(args.getInt("agents"));
+    auto environment = buildEnvironment(
+        args.get("task"), agents,
+        static_cast<std::uint64_t>(args.getInt("seed")));
+    std::vector<std::size_t> dims;
+    for (std::size_t i = 0; i < environment->numAgents(); ++i)
+        dims.push_back(environment->obsDim(i));
+
+    std::vector<std::size_t> counts;
+    for (const std::string &tok :
+         tokenize(args.get("connections"), ',')) {
+        const long n = std::strtol(tok.c_str(), nullptr, 10);
+        if (n <= 0)
+            fatal("--connections entry '%s' is not a positive "
+                  "count",
+                  tok.c_str());
+        counts.push_back(static_cast<std::size_t>(n));
+    }
+    if (counts.empty())
+        fatal("--connections is empty");
+
+    const auto requests =
+        static_cast<std::uint64_t>(args.getInt("requests"));
+    const int retry_ms = args.getInt("connect-retry-ms");
+
+    std::printf("loadgen -> %s:%u, %zu run(s), %llu requests per "
+                "connection\n",
+                args.get("host").c_str(),
+                static_cast<unsigned>(port), counts.size(),
+                static_cast<unsigned long long>(requests));
+
+    std::vector<RunResult> runs;
+    bool failed = false;
+    for (const std::size_t connections : counts) {
+        RunResult run = runOnce(
+            args.get("host"), port, retry_ms, dims, connections,
+            requests,
+            static_cast<std::uint64_t>(args.getInt("seed")));
+        std::printf("  conns %3zu: qps %9.1f  p50 %6llu us  "
+                    "p99 %6llu us  errors %llu  dropped %llu\n",
+                    run.connections, run.qps,
+                    static_cast<unsigned long long>(run.p50Us),
+                    static_cast<unsigned long long>(run.p99Us),
+                    static_cast<unsigned long long>(run.errors),
+                    static_cast<unsigned long long>(run.dropped));
+        if (run.dropped > 0 || run.errors > 0)
+            failed = true;
+        runs.push_back(std::move(run));
+    }
+
+    if (!args.get("json").empty())
+        writeJson(args.get("json"), runs);
+
+    if (failed) {
+        warn("run saw errors or dropped connections");
+        return 1;
+    }
+    return 0;
+}

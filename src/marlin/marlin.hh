@@ -46,5 +46,8 @@
 #include "marlin/replay/rank_sampler.hh"
 #include "marlin/replay/transition_ring.hh"
 #include "marlin/replay/uniform_sampler.hh"
+#include "marlin/serve/client.hh"
+#include "marlin/serve/reload.hh"
+#include "marlin/serve/server.hh"
 
 #endif // MARLIN_MARLIN_HH

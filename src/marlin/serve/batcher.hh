@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dynamic micro-batcher: pending requests coalesce until either
+ * batchMax requests are queued or the oldest request has waited
+ * batchDeadlineUs, then one flush runs a single batched actor
+ * forward per agent and hands the action rows back in arrival
+ * order.
+ *
+ * Everything on the flush path is retained scratch — the flat
+ * observation store, per-agent row plans and the input/output
+ * matrices — so a warm flush performs no heap allocation and the
+ * inference cost is one workspace-owned Mlp forward per agent with
+ * a row count equal to that agent's share of the batch.
+ */
+
+#ifndef MARLIN_SERVE_BATCHER_HH
+#define MARLIN_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "marlin/serve/policy.hh"
+
+namespace marlin::serve
+{
+
+/** One queued inference request. */
+struct PendingRequest
+{
+    std::uint64_t connId = 0;   ///< Owning connection.
+    std::uint16_t agentId = 0;  ///< Policy to query.
+    std::size_t obsOffset = 0;  ///< Into the flat obs store.
+    std::uint64_t enqueueNs = 0; ///< For the latency histogram.
+};
+
+/**
+ * Collects requests and flushes them through a ServePolicy.
+ * Single-threaded, like the server loop that owns it.
+ */
+class MicroBatcher
+{
+  public:
+    /**
+     * @param batch_max Flush as soon as this many are queued.
+     * @param deadline_us Flush when the oldest request has waited
+     *        this long (0 = flush on every service turn).
+     */
+    MicroBatcher(std::size_t batch_max, std::uint64_t deadline_us);
+
+    /**
+     * Queue one request. @p obs must hold the agent's obsDim floats
+     * (validated by the caller against the policy); it may be
+     * unaligned — bytes straight out of the wire buffer — and is
+     * copied here.
+     */
+    void add(std::uint64_t conn_id, std::uint16_t agent_id,
+             const void *obs, std::size_t count,
+             std::uint64_t now_ns);
+
+    std::size_t size() const { return pending.size(); }
+    bool empty() const { return pending.empty(); }
+
+    /** True when size() reached the batch-max watermark. */
+    bool full() const { return pending.size() >= batchMax; }
+
+    /** True when the oldest queued request has expired. */
+    bool deadlineExpired(std::uint64_t now_ns) const;
+
+    /**
+     * Nanoseconds until the oldest request expires (0 when already
+     * expired or the queue is empty).
+     */
+    std::uint64_t nsUntilDeadline(std::uint64_t now_ns) const;
+
+    /**
+     * Response sink: called once per queued request, in arrival
+     * order, with that request's action row.
+     */
+    using Sink = std::function<void(
+        std::uint64_t conn_id, const Real *actions,
+        std::size_t count, std::uint64_t enqueue_ns)>;
+
+    /**
+     * Run one batched forward per agent present in the queue and
+     * emit every response through @p sink, then clear the queue.
+     * Publishes serve.batch_size and the batch-inference histogram.
+     */
+    void flush(ServePolicy &policy, const Sink &sink,
+               std::uint64_t now_ns);
+
+  private:
+    std::size_t batchMax;
+    std::uint64_t deadlineNs;
+
+    std::vector<PendingRequest> pending;
+    std::vector<Real> obsFlat; ///< Concatenated observations.
+
+    // Flush scratch, retained across flushes (indexed by agent).
+    std::vector<std::vector<std::size_t>> agentRows;
+    std::vector<Matrix> inputs;
+    std::vector<Matrix> outputs;
+    /** Row of each pending request inside its agent's batch. */
+    std::vector<std::size_t> rowInBatch;
+};
+
+} // namespace marlin::serve
+
+#endif // MARLIN_SERVE_BATCHER_HH

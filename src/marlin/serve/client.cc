@@ -1,0 +1,130 @@
+#include "marlin/serve/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace marlin::serve
+{
+
+BlockingClient::~BlockingClient()
+{
+    close();
+}
+
+bool
+BlockingClient::connect(const std::string &host,
+                        std::uint16_t port, int retry_ms)
+{
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return false;
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(retry_ms);
+    for (;;) {
+        _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (_fd < 0)
+            return false;
+        if (::connect(_fd,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            const int one = 1;
+            ::setsockopt(_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            decoder.reset();
+            return true;
+        }
+        ::close(_fd);
+        _fd = -1;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+}
+
+void
+BlockingClient::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+bool
+BlockingClient::sendRaw(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const char *>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w =
+            ::send(_fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+BlockingClient::recvResponse(std::vector<Real> &actions,
+                             Status &status)
+{
+    ResponseView view;
+    for (;;) {
+        const FrameDecoder::Result r = decoder.next(view);
+        if (r == FrameDecoder::Result::Frame) {
+            status = view.status;
+            actions.resize(view.actionCount());
+            view.copyActions(actions.data());
+            return true;
+        }
+        if (FrameDecoder::isError(r)) {
+            close();
+            return false;
+        }
+        char buf[16384];
+        const ssize_t n = ::recv(_fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            decoder.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        close();
+        return false;
+    }
+}
+
+bool
+BlockingClient::request(std::uint16_t agent, const Real *obs,
+                        std::size_t count,
+                        std::vector<Real> &actions, Status &status)
+{
+    if (_fd < 0)
+        return false;
+    sendBuf.clear();
+    encodeRequest(sendBuf, agent, obs, count);
+    if (!sendRaw(sendBuf.data(), sendBuf.size()))
+        return false;
+    return recvResponse(actions, status);
+}
+
+} // namespace marlin::serve

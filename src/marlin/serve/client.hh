@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal blocking client for the serving protocol, shared by the
+ * load generator, the latency bench and the tests. One request on
+ * the wire at a time (closed loop); buffers are retained so a warm
+ * request/response cycle performs no heap allocation.
+ */
+
+#ifndef MARLIN_SERVE_CLIENT_HH
+#define MARLIN_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "marlin/serve/protocol.hh"
+
+namespace marlin::serve
+{
+
+/** Blocking request/response client over one TCP connection. */
+class BlockingClient
+{
+  public:
+    BlockingClient() = default;
+    ~BlockingClient();
+
+    BlockingClient(const BlockingClient &) = delete;
+    BlockingClient &operator=(const BlockingClient &) = delete;
+
+    BlockingClient(BlockingClient &&other) noexcept
+        : _fd(other._fd), sendBuf(std::move(other.sendBuf)),
+          decoder(std::move(other.decoder))
+    {
+        other._fd = -1;
+    }
+
+    BlockingClient &
+    operator=(BlockingClient &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            _fd = other._fd;
+            other._fd = -1;
+            sendBuf = std::move(other.sendBuf);
+            decoder = std::move(other.decoder);
+        }
+        return *this;
+    }
+
+    /**
+     * Connect to @p host:@p port, retrying for up to @p retry_ms
+     * (covers the race against a server still binding). Returns
+     * false when every attempt failed.
+     */
+    bool connect(const std::string &host, std::uint16_t port,
+                 int retry_ms = 0);
+
+    void close();
+
+    bool connected() const { return _fd >= 0; }
+
+    int fd() const { return _fd; }
+
+    /**
+     * Send one request and block for its response. @p actions is
+     * resized to the response payload; @p status receives the
+     * response status byte. Returns false on connect/socket/EOF
+     * failure (the connection is closed then).
+     */
+    bool request(std::uint16_t agent, const Real *obs,
+                 std::size_t count, std::vector<Real> &actions,
+                 Status &status);
+
+    /**
+     * Send raw bytes as-is (malformed-frame tests). Returns false
+     * on socket failure.
+     */
+    bool sendRaw(const void *data, std::size_t n);
+
+    /**
+     * Block for one response frame. Returns false on socket
+     * failure, EOF before a full frame, or a framing violation in
+     * the server's response stream.
+     */
+    bool recvResponse(std::vector<Real> &actions, Status &status);
+
+  private:
+    int _fd = -1;
+    std::vector<std::byte> sendBuf;
+    FrameDecoder decoder{responseMagic, 1 << 20};
+};
+
+} // namespace marlin::serve
+
+#endif // MARLIN_SERVE_CLIENT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-connection state of the serving event loop: the frame
+ * reassembly decoder and the pending-output buffer that absorbs
+ * short writes. Both buffers retain capacity, so a long-lived
+ * connection settles into zero per-request allocation.
+ */
+
+#ifndef MARLIN_SERVE_CONNECTION_HH
+#define MARLIN_SERVE_CONNECTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "marlin/serve/protocol.hh"
+
+namespace marlin::serve
+{
+
+/** One accepted client connection. */
+struct Connection
+{
+    Connection(std::uint64_t id_in, int fd_in,
+               std::size_t max_payload_bytes)
+        : id(id_in), fd(fd_in),
+          decoder(requestMagic, max_payload_bytes)
+    {
+    }
+
+    /** Stable id (fds are recycled by the kernel, ids are not). */
+    std::uint64_t id = 0;
+    int fd = -1;
+
+    /** Request reassembly across fragmented reads. */
+    FrameDecoder decoder;
+
+    /**
+     * Encoded responses not yet accepted by the kernel. outOff
+     * tracks the sent prefix after a short write.
+     */
+    std::vector<std::byte> outBuf;
+    std::size_t outOff = 0;
+
+    /**
+     * Set on a framing violation: the error response is flushed,
+     * then the connection closes (a poisoned length-prefixed
+     * stream cannot be resynchronized).
+     */
+    bool closeAfterFlush = false;
+
+    /** Requests answered on this connection (stats/tests). */
+    std::uint64_t responses = 0;
+
+    bool
+    hasPendingOutput() const
+    {
+        return outOff < outBuf.size();
+    }
+
+    /** Drop the sent prefix once everything was written. */
+    void
+    compactOutput()
+    {
+        if (!hasPendingOutput()) {
+            outBuf.clear();
+            outOff = 0;
+        }
+    }
+};
+
+} // namespace marlin::serve
+
+#endif // MARLIN_SERVE_CONNECTION_HH

@@ -1,0 +1,34 @@
+#include "marlin/serve/policy.hh"
+
+#include "marlin/base/logging.hh"
+#include "marlin/core/maddpg.hh"
+
+namespace marlin::serve
+{
+
+void
+ServePolicy::adoptFrom(core::CtdeTrainerBase &trainer)
+{
+    const std::size_t n = trainer.numAgents();
+    // Assign element-wise so an adopt over an existing snapshot of
+    // the same architecture reuses the Mlps' storage.
+    actors.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        actors[i] = trainer.networks(i).actor;
+    obsDims = trainer.observationDims();
+    _actDim = trainer.actionDim();
+    ++ver;
+}
+
+void
+ServePolicy::forward(std::size_t agent, const Matrix &obs,
+                     Matrix &out)
+{
+    MARLIN_ASSERT(agent < actors.size(),
+                  "serve forward on unknown agent");
+    MARLIN_ASSERT(obs.cols() == obsDims[agent],
+                  "serve forward obs dim mismatch");
+    actors[agent].forward(obs, out);
+}
+
+} // namespace marlin::serve

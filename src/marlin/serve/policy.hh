@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The weights the serving tier answers queries with: one actor Mlp
+ * per agent, deep-copied out of a trainer so the server owns its
+ * parameters outright and a training process (or a checkpoint
+ * reload) can never mutate them mid-batch.
+ *
+ * The server event loop is single-threaded, so a swap — adoptFrom()
+ * between two batch flushes — needs no locking and drops no
+ * connections: in-flight requests decoded before the swap are
+ * answered by the new weights on the next flush, which is exactly
+ * the semantics a hot checkpoint reload wants.
+ */
+
+#ifndef MARLIN_SERVE_POLICY_HH
+#define MARLIN_SERVE_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "marlin/nn/mlp.hh"
+
+namespace marlin::core
+{
+class CtdeTrainerBase;
+}
+
+namespace marlin::serve
+{
+
+using numeric::Matrix;
+
+/** Per-agent actor networks snapshotted for serving. */
+class ServePolicy
+{
+  public:
+    ServePolicy() = default;
+
+    /**
+     * Replace the served weights with deep copies of @p trainer's
+     * current actors and advance the version. Cold path: copying
+     * allocates; call it at startup and on reload, never per batch.
+     */
+    void adoptFrom(core::CtdeTrainerBase &trainer);
+
+    std::size_t numAgents() const { return actors.size(); }
+
+    std::size_t
+    obsDim(std::size_t agent) const
+    {
+        return obsDims[agent];
+    }
+
+    /** Actor output width (logits or continuous action dims). */
+    std::size_t actDim() const { return _actDim; }
+
+    /** Swap count; 1 after the first adoptFrom. */
+    std::uint64_t version() const { return ver; }
+
+    /**
+     * Batched actor forward for @p agent: @p obs is (rows, obsDim),
+     * @p out is resized to (rows, actDim()). Runs on the Mlp's
+     * retained scratch, so a warm call performs no heap allocation
+     * — the PR-5 zero-alloc contract extended to serving.
+     */
+    void forward(std::size_t agent, const Matrix &obs, Matrix &out);
+
+  private:
+    std::vector<nn::Mlp> actors;
+    std::vector<std::size_t> obsDims;
+    std::size_t _actDim = 0;
+    std::uint64_t ver = 0;
+};
+
+} // namespace marlin::serve
+
+#endif // MARLIN_SERVE_POLICY_HH

@@ -1,0 +1,169 @@
+#include "marlin/serve/poller.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::serve
+{
+
+bool
+pollerKindFromString(const std::string &name, PollerKind &out)
+{
+    if (name == "auto") {
+        out = PollerKind::Auto;
+        return true;
+    }
+    if (name == "epoll") {
+        out = PollerKind::Epoll;
+        return true;
+    }
+    if (name == "poll") {
+        out = PollerKind::Poll;
+        return true;
+    }
+    return false;
+}
+
+Poller::Poller(PollerKind kind)
+{
+#ifdef __linux__
+    useEpoll = kind != PollerKind::Poll;
+    if (useEpoll) {
+        epollFd = ::epoll_create1(0);
+        if (epollFd < 0) {
+            warn("epoll_create1 failed (%s); falling back to poll",
+                 std::strerror(errno));
+            useEpoll = false;
+        }
+    }
+#else
+    if (kind == PollerKind::Epoll)
+        fatal("epoll poller requested on a non-Linux platform");
+    useEpoll = false;
+#endif
+    (void)kind;
+}
+
+Poller::~Poller()
+{
+    if (epollFd >= 0)
+        ::close(epollFd);
+}
+
+const char *
+Poller::backendName() const
+{
+    return useEpoll ? "epoll" : "poll";
+}
+
+void
+Poller::add(int fd)
+{
+    interest[fd] = false;
+#ifdef __linux__
+    if (useEpoll) {
+        struct epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            warn("epoll_ctl add fd %d: %s", fd,
+                 std::strerror(errno));
+    }
+#endif
+}
+
+void
+Poller::setWriteInterest(int fd, bool on)
+{
+    auto it = interest.find(fd);
+    if (it == interest.end() || it->second == on)
+        return;
+    it->second = on;
+#ifdef __linux__
+    if (useEpoll) {
+        struct epoll_event ev{};
+        ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev) != 0)
+            warn("epoll_ctl mod fd %d: %s", fd,
+                 std::strerror(errno));
+    }
+#endif
+}
+
+void
+Poller::remove(int fd)
+{
+    interest.erase(fd);
+#ifdef __linux__
+    if (useEpoll) {
+        // Ignore failures: the fd may already be gone.
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+    }
+#endif
+}
+
+std::size_t
+Poller::wait(std::vector<PollEvent> &out, int timeout_ms)
+{
+    out.clear();
+#ifdef __linux__
+    if (useEpoll) {
+        struct epoll_event events[64];
+        const int n =
+            ::epoll_wait(epollFd, events, 64, timeout_ms);
+        if (n < 0) {
+            if (errno != EINTR)
+                warn("epoll_wait: %s", std::strerror(errno));
+            return 0;
+        }
+        for (int i = 0; i < n; ++i) {
+            PollEvent ev;
+            ev.fd = events[i].data.fd;
+            ev.readable = (events[i].events & EPOLLIN) != 0;
+            ev.writable = (events[i].events & EPOLLOUT) != 0;
+            ev.closed =
+                (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+            out.push_back(ev);
+        }
+        return out.size();
+    }
+#endif
+    pollScratch.clear();
+    for (const auto &[fd, want_write] : interest) {
+        struct pollfd p{};
+        p.fd = fd;
+        p.events =
+            static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+        pollScratch.push_back(p);
+    }
+    const int n =
+        ::poll(pollScratch.data(),
+               static_cast<nfds_t>(pollScratch.size()), timeout_ms);
+    if (n < 0) {
+        if (errno != EINTR)
+            warn("poll: %s", std::strerror(errno));
+        return 0;
+    }
+    for (const struct pollfd &p : pollScratch) {
+        if (p.revents == 0)
+            continue;
+        PollEvent ev;
+        ev.fd = p.fd;
+        ev.readable = (p.revents & POLLIN) != 0;
+        ev.writable = (p.revents & POLLOUT) != 0;
+        ev.closed = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+        out.push_back(ev);
+    }
+    return out.size();
+}
+
+} // namespace marlin::serve

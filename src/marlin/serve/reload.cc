@@ -1,0 +1,70 @@
+#include "marlin/serve/reload.hh"
+
+#include <sys/stat.h>
+
+#include "marlin/base/logging.hh"
+
+namespace marlin::serve
+{
+
+CheckpointReloader::CheckpointReloader(
+    std::string dir_in, core::CtdeTrainerBase &trainer_in,
+    ServePolicy &policy_in)
+    : dir(std::move(dir_in)), trainer(trainer_in),
+      policy(policy_in)
+{
+}
+
+bool
+CheckpointReloader::statLatest(FileIdentity &out) const
+{
+    struct stat st{};
+    if (::stat(core::latestCheckpointPath(dir).c_str(), &st) != 0)
+        return false;
+    out.mtimeSec = st.st_mtim.tv_sec;
+    out.mtimeNsec = st.st_mtim.tv_nsec;
+    out.size = static_cast<std::uint64_t>(st.st_size);
+    out.inode = static_cast<std::uint64_t>(st.st_ino);
+    return true;
+}
+
+core::CkptResult
+CheckpointReloader::loadNow()
+{
+    core::RunState state;
+    state.trainer = &trainer;
+    const core::CkptResult result = core::resumeLatest(dir, state);
+    if (result) {
+        statLatest(loadedIdentity);
+        policy.adoptFrom(trainer);
+    }
+    return result;
+}
+
+bool
+CheckpointReloader::maybeReload(bool forced)
+{
+    if (!forced) {
+        FileIdentity current;
+        if (!statLatest(current) || current == loadedIdentity)
+            return false;
+    }
+    core::RunState state;
+    state.trainer = &trainer;
+    const core::CkptResult result = core::resumeLatest(dir, state);
+    if (!result) {
+        // Keep serving the weights we have: a torn rotation or a
+        // checkpoint mid-write will succeed on a later attempt.
+        warn("serve: reload from '%s' failed (%s: %s); keeping "
+             "current weights",
+             dir.c_str(), core::ckptErrorName(result.error),
+             result.detail.c_str());
+        return false;
+    }
+    statLatest(loadedIdentity);
+    policy.adoptFrom(trainer);
+    ++count;
+    return true;
+}
+
+} // namespace marlin::serve

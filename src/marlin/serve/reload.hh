@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hot checkpoint reload for the serving tier: watches the PR-2
+ * latest/previous rotation of a training run and swaps freshly
+ * trained actor weights into a live ServePolicy.
+ *
+ * The reloader runs entirely on the server thread (it is the
+ * Server's reload hook), so the swap happens between two batch
+ * flushes and never races an in-flight forward. A failed load —
+ * torn rotation, CRC mismatch, shape change — is an ordinary
+ * recoverable outcome: the server keeps answering with the weights
+ * it already has and the failure is logged and counted.
+ */
+
+#ifndef MARLIN_SERVE_RELOAD_HH
+#define MARLIN_SERVE_RELOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "marlin/core/checkpoint.hh"
+#include "marlin/serve/policy.hh"
+
+namespace marlin::serve
+{
+
+/** Reload hook bridging checkpoint dir -> trainer -> ServePolicy. */
+class CheckpointReloader
+{
+  public:
+    /**
+     * @param dir Checkpoint directory with the latest/previous
+     *        rotation.
+     * @param trainer Architecture-matched trainer the checkpoint
+     *        restores into (its actors are then copied out).
+     * @param policy Live serving snapshot to swap.
+     */
+    CheckpointReloader(std::string dir,
+                       core::CtdeTrainerBase &trainer,
+                       ServePolicy &policy);
+
+    /**
+     * Initial load: resume latest (falling back to previous) and
+     * adopt the actors. Returns the load outcome so the binary can
+     * decide whether a missing checkpoint is fatal.
+     */
+    core::CkptResult loadNow();
+
+    /**
+     * Server reload hook. @p forced (SIGHUP) reloads
+     * unconditionally; a poll tick reloads only when latest.ckpt
+     * changed identity (mtime/size/inode) since the last load.
+     * Returns true when new weights were swapped in.
+     */
+    bool maybeReload(bool forced);
+
+    /** Completed reloads (not counting the initial load). */
+    std::uint64_t reloads() const { return count; }
+
+  private:
+    struct FileIdentity
+    {
+        std::int64_t mtimeSec = 0;
+        std::int64_t mtimeNsec = 0;
+        std::uint64_t size = 0;
+        std::uint64_t inode = 0;
+        bool operator==(const FileIdentity &) const = default;
+    };
+
+    bool statLatest(FileIdentity &out) const;
+
+    std::string dir;
+    core::CtdeTrainerBase &trainer;
+    ServePolicy &policy;
+    FileIdentity loadedIdentity;
+    std::uint64_t count = 0;
+};
+
+} // namespace marlin::serve
+
+#endif // MARLIN_SERVE_RELOAD_HH

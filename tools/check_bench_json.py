@@ -5,25 +5,50 @@ Two artifacts are checked:
 
   1. The bench's stdout, which must contain the machine-readable
      banner line every MARLin bench emits:
-         {"bench": "...", "threads": N, "actors": N, "isa": "..."}
+         {"bench": "...", "threads": N, "isa": "...", "commit": "..."}
      Downstream tooling keys throughput numbers on those fields, so
      a bench that stops emitting them (or emits invalid JSON) must
      fail CI, not silently produce unattributable data.
+
+     "actors" is validated when present: benches that sweep rollout
+     actor counts declare it, single-loop benches need not.
 
   2. The google-benchmark --benchmark_out JSON file, which must
      parse and contain a non-empty "benchmarks" array with real_time
      readings.
 
+NaN and Infinity are syntactically valid to Python's json module but
+poison downstream dashboards silently, so any NaN/Inf token anywhere
+in either artifact fails the check.
+
 Usage: check_bench_json.py STDOUT_FILE BENCHMARK_JSON_FILE
 """
 
 import json
+import math
 import sys
 
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def reject_non_finite(token: str) -> None:
+    """parse_constant hook: NaN/Infinity tokens fail the check."""
+    fail(f"non-finite JSON value {token!r}")
+
+
+def check_finite_numbers(node, path: str) -> None:
+    """Recursively reject float('nan')/inf that snuck past parsing."""
+    if isinstance(node, float) and not math.isfinite(node):
+        fail(f"non-finite metric value at {path}")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            check_finite_numbers(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            check_finite_numbers(value, f"{path}[{i}]")
 
 
 def check_banner(stdout_path: str) -> None:
@@ -34,18 +59,23 @@ def check_banner(stdout_path: str) -> None:
             if not (line.startswith("{") and line.endswith("}")):
                 continue
             try:
-                banners.append(json.loads(line))
+                banners.append(
+                    json.loads(line, parse_constant=reject_non_finite)
+                )
             except json.JSONDecodeError as e:
                 fail(f"malformed banner line {line!r}: {e}")
     if not banners:
         fail(f"no JSON banner line found in {stdout_path}")
     for banner in banners:
-        for key in ("bench", "threads", "actors", "isa", "commit"):
+        check_finite_numbers(banner, "banner")
+        for key in ("bench", "threads", "isa", "commit"):
             if key not in banner:
                 fail(f"banner {banner!r} is missing key {key!r}")
         if not isinstance(banner["threads"], int) or banner["threads"] < 1:
             fail(f"banner {banner!r} has a bad thread count")
-        if not isinstance(banner["actors"], int) or banner["actors"] < 1:
+        if "actors" in banner and (
+            not isinstance(banner["actors"], int) or banner["actors"] < 1
+        ):
             fail(f"banner {banner!r} has a bad actor count")
         if banner["isa"] not in ("scalar", "avx2"):
             fail(f"banner {banner!r} has unknown isa {banner['isa']!r}")
@@ -57,7 +87,7 @@ def check_banner(stdout_path: str) -> None:
 def check_benchmark_out(json_path: str) -> None:
     try:
         with open(json_path, encoding="utf-8") as f:
-            doc = json.load(f)
+            doc = json.load(f, parse_constant=reject_non_finite)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {json_path}: {e}")
     runs = doc.get("benchmarks")
@@ -73,6 +103,7 @@ def check_benchmark_out(json_path: str) -> None:
             continue
         if "real_time" not in run:
             fail(f"benchmark {run.get('name')!r} has no real_time")
+        check_finite_numbers(run, f"benchmarks[{run.get('name')}]")
     print(f"ok: {len(runs)} benchmark run(s) in {json_path}")
 
 
