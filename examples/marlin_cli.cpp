@@ -14,6 +14,11 @@
  * a killed run picks up where the last snapshot left off:
  *
  *   ./marlin_cli --task cn --episodes 2000 --checkpoint-dir ckpts
+ *
+ * Live introspection: --stats-port N serves GET /metrics (Prometheus
+ * text of the whole obs registry) and /healthz while training runs.
+ * In async mode scrapes are serviced by the supervisor's watchdog
+ * tick — the actor and learner hot paths never touch a socket.
  */
 
 #include <cstdio>
@@ -166,6 +171,12 @@ main(int argc, char **argv)
                    "path; training numerics are unchanged");
     args.addOption("telemetry-every", "1",
                    "environment steps between telemetry records");
+    args.addOption("stats-port", "-1",
+                   "serve live GET /metrics + /healthz (Prometheus "
+                   "text) on this port during training (0 binds an "
+                   "ephemeral port, -1 disables)");
+    args.addOption("stats-port-file", "",
+                   "write the bound stats port here (one line)");
     args.addOption("trace", "",
                    "export a Chrome/Perfetto trace_event JSON of "
                    "phase spans, pool tasks and checkpoint writes "
@@ -324,6 +335,33 @@ main(int argc, char **argv)
                   telemetry_path.c_str());
     }
 
+    // Live introspection endpoint. In async mode the supervisor's
+    // watchdog tick services scrapes, so neither the actors nor the
+    // learner hot path ever touches a socket; the lockstep loop has
+    // no idle thread, so a background thread serves there instead.
+    std::unique_ptr<serve::MetricsHttp> stats;
+    const long statsPort = args.getInt("stats-port");
+    if (statsPort >= 0) {
+        serve::MetricsHttpConfig mcfg;
+        mcfg.port = static_cast<std::uint16_t>(statsPort);
+        stats = std::make_unique<serve::MetricsHttp>(mcfg);
+        if (!stats->start())
+            fatal("cannot listen on stats port %ld", statsPort);
+        std::printf("stats: port %u (GET /metrics, /healthz)\n",
+                    static_cast<unsigned>(stats->port()));
+        std::fflush(stdout);
+        if (!args.get("stats-port-file").empty()) {
+            std::FILE *f = std::fopen(
+                args.get("stats-port-file").c_str(), "w");
+            if (f == nullptr)
+                fatal("cannot write --stats-port-file '%s'",
+                      args.get("stats-port-file").c_str());
+            std::fprintf(f, "%u\n",
+                         static_cast<unsigned>(stats->port()));
+            std::fclose(f);
+        }
+    }
+
     std::printf("%s on %s: %zu agents, %zu episodes, sampler=%s%s\n",
                 algo.c_str(),
                 environment->scenario().name().c_str(),
@@ -375,6 +413,10 @@ main(int argc, char **argv)
             loop.setTelemetry(telemetry.get(),
                               static_cast<std::size_t>(
                                   args.getInt("telemetry-every")));
+        }
+        if (stats) {
+            serve::MetricsHttp *http = stats.get();
+            loop.setSupervisorHook([http] { http->serviceOnce(0); });
         }
         base::FaultInjector injector(
             static_cast<std::uint64_t>(args.getInt("seed")));
@@ -458,6 +500,8 @@ main(int argc, char **argv)
             fatal("--chaos drives the async supervisor; rerun with "
                   "--actors 2 or more");
         }
+        if (stats)
+            stats->startThread();
         core::TrainLoop loop(*environment, *trainer, config);
         if (telemetry) {
             loop.setTelemetry(telemetry.get(),
@@ -504,6 +548,9 @@ main(int argc, char **argv)
                         profile::updateBreakdown(result.timer))
                         .c_str());
     }
+
+    if (stats)
+        stats->stop();
 
     if (!args.get("save-checkpoint").empty()) {
         core::saveTrainerFile(args.get("save-checkpoint"), *trainer);

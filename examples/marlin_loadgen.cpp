@@ -19,9 +19,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "marlin/base/args.hh"
 #include "marlin/base/instant.hh"
@@ -82,7 +88,72 @@ struct RunResult
     std::uint64_t p99Us = 0;
     /** Cumulative counts per kLatencyBucketsUs bound, then +Inf. */
     std::vector<std::uint64_t> hist;
+    /** Server-side serve.* counters/gauges scraped from /metrics
+     *  after this run (empty when --metrics-scrape is off). */
+    std::vector<std::pair<std::string, double>> serverMetrics;
 };
+
+/**
+ * One-shot GET /metrics over a fresh TCP connection; returns the
+ * response body, or empty on any failure (scraping is best-effort
+ * instrumentation, never a load-test failure).
+ */
+std::string
+scrapeMetricsText(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const char request[] =
+        "GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n";
+    if (::send(fd, request, sizeof(request) - 1, 0) !=
+        static_cast<ssize_t>(sizeof(request) - 1)) {
+        ::close(fd);
+        return {};
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    const std::size_t split = response.find("\r\n\r\n");
+    if (split == std::string::npos)
+        return {};
+    return response.substr(split + 4);
+}
+
+/**
+ * Pull single-sample `serve_*` series (counters and gauges — lines
+ * without labels) out of a Prometheus text body.
+ */
+std::vector<std::pair<std::string, double>>
+parseServeMetrics(const std::string &body)
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const std::string &line : tokenize(body, '\n')) {
+        if (line.rfind("serve_", 0) != 0)
+            continue;
+        const std::size_t space = line.find(' ');
+        if (space == std::string::npos)
+            continue;
+        const std::string name = line.substr(0, space);
+        if (name.find('{') != std::string::npos)
+            continue; // histogram bucket series
+        out.emplace_back(
+            name, std::strtod(line.c_str() + space + 1, nullptr));
+    }
+    return out;
+}
 
 void
 runWorker(const std::string &host, std::uint16_t port,
@@ -222,7 +293,19 @@ writeJson(const std::string &path,
                     static_cast<unsigned long long>(r.hist[b]));
             }
         }
-        std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
+        std::fprintf(f, "]");
+        if (!r.serverMetrics.empty()) {
+            std::fprintf(f, ",\n     \"server_metrics\": {");
+            for (std::size_t m = 0; m < r.serverMetrics.size();
+                 ++m) {
+                std::fprintf(f, "%s\"%s\": %.17g",
+                             m > 0 ? ", " : "",
+                             r.serverMetrics[m].first.c_str(),
+                             r.serverMetrics[m].second);
+            }
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "}%s\n", i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -253,6 +336,13 @@ main(int argc, char **argv)
                    "this long (covers the server-start race)");
     args.addOption("json", "",
                    "write the bench-style latency report here");
+    args.addOption("metrics-scrape", "0",
+                   "scrape GET /metrics from the target's metrics "
+                   "port after each sweep point and embed the "
+                   "serve_* series in the JSON report (0 disables)");
+    args.addOption("metrics-port-file", "",
+                   "read the metrics port from this file (written "
+                   "by marlin_serve --metrics-port-file)");
     args.addOption("seed", "7", "observation RNG seed");
     args.addOption("log-level", "inform",
                    "silent, fatal, warn, inform or debug");
@@ -277,6 +367,22 @@ main(int argc, char **argv)
     }
     if (port == 0)
         fatal("need --port or --port-file");
+
+    std::uint16_t metricsPort = static_cast<std::uint16_t>(
+        args.getInt("metrics-scrape"));
+    if (!args.get("metrics-port-file").empty()) {
+        std::FILE *f = std::fopen(
+            args.get("metrics-port-file").c_str(), "r");
+        if (f == nullptr)
+            fatal("cannot read --metrics-port-file '%s'",
+                  args.get("metrics-port-file").c_str());
+        unsigned parsed = 0;
+        if (std::fscanf(f, "%u", &parsed) != 1)
+            fatal("--metrics-port-file '%s' does not hold a port",
+                  args.get("metrics-port-file").c_str());
+        std::fclose(f);
+        metricsPort = static_cast<std::uint16_t>(parsed);
+    }
 
     const auto agents =
         static_cast<std::size_t>(args.getInt("agents"));
@@ -326,6 +432,17 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(run.dropped));
         if (run.dropped > 0 || run.errors > 0)
             failed = true;
+        if (metricsPort != 0) {
+            // One scrape per sweep point: the server-side view of
+            // the load this run just applied.
+            run.serverMetrics = parseServeMetrics(scrapeMetricsText(
+                args.get("host"), metricsPort));
+            if (run.serverMetrics.empty())
+                warn("metrics scrape from %s:%u returned no serve_* "
+                     "series",
+                     args.get("host").c_str(),
+                     static_cast<unsigned>(metricsPort));
+        }
         runs.push_back(std::move(run));
     }
 

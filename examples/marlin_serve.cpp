@@ -17,6 +17,11 @@
  * --port 0 binds an ephemeral port; --port-file writes the bound
  * port as a single line so scripts (CI's serve-smoke gate) can find
  * the server without racing its stdout.
+ *
+ * --metrics-port N additionally serves GET /metrics (Prometheus
+ * text exposition of the whole obs registry) and GET /healthz on a
+ * second listener, handled on a background thread so a scrape never
+ * delays a batch flush. --metrics-port-file mirrors --port-file.
  */
 
 #include <csignal>
@@ -81,6 +86,11 @@ main(int argc, char **argv)
     args.addOption("port-file", "",
                    "write the bound port here (one line) once "
                    "listening");
+    args.addOption("metrics-port", "-1",
+                   "serve GET /metrics + /healthz here (0 binds an "
+                   "ephemeral port, -1 disables)");
+    args.addOption("metrics-port-file", "",
+                   "write the bound metrics port here (one line)");
     args.addOption("batch-max", "32",
                    "flush a batch at this many queued requests");
     args.addOption("batch-deadline-us", "200",
@@ -179,6 +189,33 @@ main(int argc, char **argv)
     std::signal(SIGINT, onTerminate);
     std::signal(SIGTERM, onTerminate);
 
+    // Metrics endpoint on its own listener + thread: scrapes read a
+    // registry snapshot, so they never touch the serving event loop.
+    std::unique_ptr<serve::MetricsHttp> metrics;
+    const long metricsPort = args.getInt("metrics-port");
+    if (metricsPort >= 0) {
+        serve::MetricsHttpConfig mcfg;
+        mcfg.port = static_cast<std::uint16_t>(metricsPort);
+        mcfg.poller = scfg.poller;
+        metrics = std::make_unique<serve::MetricsHttp>(mcfg);
+        if (!metrics->start())
+            fatal("cannot listen on metrics port %ld", metricsPort);
+        metrics->startThread();
+        std::printf("metrics on port %u (GET /metrics, /healthz)\n",
+                    static_cast<unsigned>(metrics->port()));
+        std::fflush(stdout);
+        if (!args.get("metrics-port-file").empty()) {
+            std::FILE *f = std::fopen(
+                args.get("metrics-port-file").c_str(), "w");
+            if (f == nullptr)
+                fatal("cannot write --metrics-port-file '%s'",
+                      args.get("metrics-port-file").c_str());
+            std::fprintf(f, "%u\n",
+                         static_cast<unsigned>(metrics->port()));
+            std::fclose(f);
+        }
+    }
+
     std::printf("listening on port %u (%s backend, batch-max %zu, "
                 "deadline %llu us)\n",
                 static_cast<unsigned>(server.port()),
@@ -199,6 +236,8 @@ main(int argc, char **argv)
 
     server.run();
 
+    if (metrics)
+        metrics->stop();
     serve::installSighupReload(nullptr);
     g_server = nullptr;
 

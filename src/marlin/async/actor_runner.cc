@@ -4,8 +4,10 @@
 #include <limits>
 #include <thread>
 
+#include "marlin/async/flow_id.hh"
 #include "marlin/base/logging.hh"
 #include "marlin/base/string_utils.hh"
+#include "marlin/obs/trace.hh"
 
 namespace marlin::async
 {
@@ -43,6 +45,7 @@ ActorRunner::claimEpisode(Lane &lane)
     // mid-episode swaps would mix two policies in one trajectory.
     if (snapshot.refresh(*policy, seenVersion))
         ++refreshes;
+    snapshot.noteAdopted(config.actorId, seenVersion);
     lane.episode = e;
     lane.t = 0;
     lane.reward = 0;
@@ -125,10 +128,16 @@ ActorRunner::stepLane(Lane &lane)
 
     {
         ScopedPhase sp(_timer, Phase::BufferAdd);
+        // Flow tracing is gated on the active ring so the untraced
+        // path pays no extra clock reads.
+        obs::TraceRing *tr = obs::TraceRing::active();
+        const std::uint64_t pushStartNs =
+            tr != nullptr ? base::nowNsSinceStart() : 0;
         // Every generated transition consumes a sequence number;
         // a full ring drops the record but not the number, which is
         // exactly what the consumer's gap accounting measures.
-        Real *rec = ring.tryBeginPush(nextSeq++);
+        const std::uint64_t seq = nextSeq++;
+        Real *rec = ring.tryBeginPush(seq);
         if (rec != nullptr)
         {
             replay::packRecord(rec, layout, lane.obs, onehotScratch,
@@ -142,6 +151,15 @@ ActorRunner::stepLane(Lane &lane)
                     std::numeric_limits<Real>::quiet_NaN();
             }
             ring.commitPush();
+            if (tr != nullptr)
+            {
+                // Flow out: the learner's drain span of this exact
+                // record carries the matching id (see flowId()).
+                tr->record("actor_push", "async", pushStartNs,
+                           base::nowNsSinceStart() - pushStartNs,
+                           transitionFlowId(config.actorId, seq),
+                           obs::FlowDir::Out);
+            }
         }
         if (++sincePublish >= config.publishBatch)
         {

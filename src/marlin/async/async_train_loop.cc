@@ -56,6 +56,7 @@ AsyncTrainLoop::run(std::size_t episodes)
     AsyncTrainResult result;
 
     PolicySnapshot snapshot;
+    snapshot.registerActors(async.actors);
     RunControl control;
     control.episodeTarget = episodes;
     control.activeActors.store(async.actors,
@@ -165,6 +166,8 @@ AsyncTrainLoop::run(std::size_t episodes)
     scfg.maxRestarts = async.maxActorRestarts;
     scfg.restartBackoffMs = async.restartBackoffMs;
     Supervisor supervisor(scfg, control, injector);
+    if (supervisorHook)
+        supervisor.setPollHook(supervisorHook);
     supervisor.setLearner("marlin-learner", &learner);
     for (std::size_t a = 0; a < async.actors; ++a)
         supervisor.addActor("marlin-actor" + std::to_string(a),

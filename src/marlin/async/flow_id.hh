@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Flow-event id scheme linking one transition's actor-push span to
+ * its learner-drain span in the Perfetto export.
+ *
+ * Sequence numbers are per-actor (each ring has its own producer
+ * stream starting at 0), so the pair (actor, seq) uniquely names a
+ * transition for the whole run. Packing: actor id in the top 24
+ * bits + 1 (so a valid id is never 0 — 0 means "no flow"), seq in
+ * the low 40 bits; a 40-bit per-actor sequence space covers ~10^12
+ * transitions, far past any traceable run length.
+ */
+
+#ifndef MARLIN_ASYNC_FLOW_ID_HH
+#define MARLIN_ASYNC_FLOW_ID_HH
+
+#include <cstdint>
+
+namespace marlin::async
+{
+
+/** Trace flow id of the transition (actor, seq). Never 0. */
+inline std::uint64_t
+transitionFlowId(std::size_t actor_id, std::uint64_t seq) noexcept
+{
+    return ((static_cast<std::uint64_t>(actor_id) + 1) << 40) |
+           (seq & ((std::uint64_t{1} << 40) - 1));
+}
+
+} // namespace marlin::async
+
+#endif // MARLIN_ASYNC_FLOW_ID_HH

@@ -5,10 +5,13 @@
 #include <cmath>
 #include <thread>
 
+#include "marlin/async/flow_id.hh"
 #include "marlin/async/supervisor.hh"
+#include "marlin/base/instant.hh"
 #include "marlin/base/logging.hh"
 #include "marlin/base/string_utils.hh"
 #include "marlin/core/checkpoint.hh"
+#include "marlin/obs/trace.hh"
 
 namespace marlin::async
 {
@@ -36,7 +39,13 @@ LearnerRunner::LearnerRunner(
           obs::Registry::instance().counter("async.ring.seq_gaps")),
       quarantinedCounter(
           obs::Registry::instance().counter("async.quarantined")),
-      depthGauge(obs::Registry::instance().gauge("async.ring.depth"))
+      depthGauge(obs::Registry::instance().gauge("async.ring.depth")),
+      transitHistogram(obs::Registry::instance().histogram(
+          "async.ring.transit_us",
+          {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+           100000})),
+      stalenessGauge(
+          obs::Registry::instance().gauge("async.policy.staleness"))
 {
     MARLIN_ASSERT(!rings.empty(), "learner needs at least one ring");
 }
@@ -64,12 +73,15 @@ std::size_t
 LearnerRunner::drainRings()
 {
     std::size_t count = 0;
-    for (replay::TransitionRing *ring : rings)
+    for (std::size_t r = 0; r < rings.size(); ++r)
     {
+        replay::TransitionRing *ring = rings[r];
         std::size_t fromRing = 0;
         const Real *rec = nullptr;
+        std::uint64_t seq = 0;
+        std::uint64_t pushTimeNs = 0;
         while (fromRing < learnerConfig.drainChunk &&
-               (rec = ring->front()) != nullptr)
+               (rec = ring->front(&seq, &pushTimeNs)) != nullptr)
         {
             // Quarantine at the funnel: a NaN/Inf record is popped
             // (so the ring advances and popped == drained +
@@ -88,6 +100,9 @@ LearnerRunner::drainRings()
             }
             {
                 ScopedPhase sp(_timer, Phase::BufferAdd);
+                obs::TraceRing *tr = obs::TraceRing::active();
+                const std::uint64_t drainStartNs =
+                    tr != nullptr ? base::nowNsSinceStart() : 0;
                 // Same contract as the lockstep loop's insertion:
                 // the slot index is the ring cursor before the add,
                 // and the trainer hears about it (interleaved-store
@@ -96,6 +111,22 @@ LearnerRunner::drainRings()
                 replay::drainRecordInto(buffers, layout, rec);
                 trainer.onTransitionAdded(slot);
                 ring->pop();
+                // Transit age on the insert path only, so the
+                // histogram's observation count equals drained
+                // records exactly (tests pin this). Ring r is actor
+                // r's ring — the loop builds them in actor order —
+                // so (r, seq) reproduces the producer's flow id.
+                const std::uint64_t nowNs = base::nowNsSinceStart();
+                transitHistogram.observe(
+                    static_cast<double>(nowNs - pushTimeNs) /
+                    1000.0);
+                if (tr != nullptr)
+                {
+                    tr->record("ring_drain", "async", drainStartNs,
+                               nowNs - drainStartNs,
+                               transitionFlowId(r, seq),
+                               obs::FlowDir::In);
+                }
             }
             ++fromRing;
             ++drained;
@@ -136,6 +167,10 @@ LearnerRunner::refreshMetrics()
     lastDropped = droppedTotal;
     lastGaps = gapTotal;
     depthGauge.set(static_cast<double>(depthTotal));
+    const std::uint64_t published = snapshot.version();
+    const std::uint64_t adopted = snapshot.minAdoptedVersion();
+    stalenessGauge.set(static_cast<double>(
+        published > adopted ? published - adopted : 0));
 }
 
 void
@@ -189,6 +224,13 @@ LearnerRunner::maybeEmitTelemetry()
         rec.supQuarantined =
             supStats->quarantined.load(std::memory_order_relaxed);
     }
+    rec.haveAsyncLatency = true;
+    rec.transitP50Us = transitHistogram.quantile(0.5);
+    rec.transitP99Us = transitHistogram.quantile(0.99);
+    const std::uint64_t published = snapshot.version();
+    const std::uint64_t adopted = snapshot.minAdoptedVersion();
+    rec.policyStaleness =
+        published > adopted ? published - adopted : 0;
     telemetry->writeStep(rec);
 }
 

@@ -164,6 +164,12 @@ class LearnerRunner
     obs::Counter &gapCounter;
     obs::Counter &quarantinedCounter;
     obs::Gauge &depthGauge;
+    /** Push-to-drain age of every inserted record (µs). */
+    obs::Histogram &transitHistogram;
+    /** snapshot.version() minus the slowest actor's adopted
+     *  version: how stale the worst actor's policy is, in
+     *  publications. */
+    obs::Gauge &stalenessGauge;
     // Last published totals, so counters receive deltas.
     std::uint64_t lastPushed = 0;
     std::uint64_t lastDropped = 0;

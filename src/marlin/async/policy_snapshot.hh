@@ -15,8 +15,10 @@
 #ifndef MARLIN_ASYNC_POLICY_SNAPSHOT_HH
 #define MARLIN_ASYNC_POLICY_SNAPSHOT_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -56,11 +58,54 @@ class PolicySnapshot
         return ver.load(std::memory_order_acquire);
     }
 
+    /**
+     * Size the per-actor adopted-version table. Call once, before
+     * any thread runs; actors then stamp the version they adopt so
+     * the learner can surface policy staleness (version() minus the
+     * slowest actor's adopted version) as a live gauge.
+     */
+    void
+    registerActors(std::size_t n)
+    {
+        adopted =
+            std::make_unique<std::atomic<std::uint64_t>[]>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            adopted[i].store(0, std::memory_order_relaxed);
+        adoptedCount = n;
+    }
+
+    /** Actor @p actor now runs snapshot @p version (relaxed: the
+     *  gauge is approximate by nature). */
+    void
+    noteAdopted(std::size_t actor, std::uint64_t version) noexcept
+    {
+        if (actor < adoptedCount)
+            adopted[actor].store(version,
+                                 std::memory_order_relaxed);
+    }
+
+    /** Oldest adopted version across registered actors (0 when no
+     *  actors are registered or none refreshed yet). */
+    std::uint64_t
+    minAdoptedVersion() const noexcept
+    {
+        if (adoptedCount == 0)
+            return 0;
+        std::uint64_t lo = ~std::uint64_t{0};
+        for (std::size_t i = 0; i < adoptedCount; ++i)
+            lo = std::min(
+                lo, adopted[i].load(std::memory_order_relaxed));
+        return lo;
+    }
+
   private:
     std::mutex mutex;
     std::atomic<std::uint64_t> ver{0};
     /** Per agent: actor params flattened in layer order. */
     std::vector<std::vector<Real>> flat;
+    /** Per actor: snapshot version it last adopted. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> adopted;
+    std::size_t adoptedCount = 0;
 };
 
 } // namespace marlin::async

@@ -195,6 +195,8 @@ Supervisor::superviseUntilDone()
             if (!slot->settled)
                 allSettled = false;
         }
+        if (pollHook)
+            pollHook();
         if (allSettled)
             break;
         std::this_thread::sleep_for(

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,6 +113,20 @@ class Supervisor
     void start();
 
     /**
+     * Invoked once per monitor tick (every pollMs) from the
+     * watchdog thread — the designated idle thread of an async run.
+     * The CLI mounts its --stats-port /metrics endpoint here, so
+     * live scrapes are served without adding a thread and without
+     * ever touching the actor/learner hot paths (scrape rendering
+     * allocates; the hot threads are the ones under the zero-alloc
+     * contract). Call before superviseUntilDone().
+     */
+    void setPollHook(std::function<void()> hook)
+    {
+        pollHook = std::move(hook);
+    }
+
+    /**
      * Monitor loop (the watchdog): poll heartbeats and thread
      * states, apply restart/degrade/halt policy, and return once
      * every thread has been joined. Obs counters
@@ -157,6 +172,7 @@ class Supervisor
     SupervisorConfig config;
     RunControl &control;
     base::FaultInjector *injector;
+    std::function<void()> pollHook;
 
     std::vector<std::unique_ptr<ActorSlot>> actors;
     std::string learnerName;

@@ -35,6 +35,7 @@
 #include "marlin/memsim/platform.hh"
 #include "marlin/memsim/trace_replay.hh"
 #include "marlin/numeric/kernels.hh"
+#include "marlin/obs/exposition.hh"
 #include "marlin/obs/metrics.hh"
 #include "marlin/obs/telemetry.hh"
 #include "marlin/obs/trace.hh"
@@ -47,6 +48,7 @@
 #include "marlin/replay/transition_ring.hh"
 #include "marlin/replay/uniform_sampler.hh"
 #include "marlin/serve/client.hh"
+#include "marlin/serve/metrics_http.hh"
 #include "marlin/serve/reload.hh"
 #include "marlin/serve/server.hh"
 

@@ -1,0 +1,136 @@
+#include "marlin/obs/exposition.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace marlin::obs
+{
+
+namespace
+{
+
+/**
+ * Prometheus sample values: shortest round-trip decimal; the text
+ * format spells non-finite values NaN / +Inf / -Inf (Go strconv
+ * spelling, which every scraper parses).
+ */
+std::string
+formatValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** "le" label values: bounds are small round numbers; render them
+ *  without a trailing ".0" so the golden files stay readable. */
+std::string
+formatBound(double v)
+{
+    if (std::isinf(v))
+        return "+Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** # HELP text: backslash and newline are the only escapes. */
+std::string
+escapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+renderSample(std::string &out, const MetricSample &s)
+{
+    const std::string name = sanitizeMetricName(s.name);
+    out += "# HELP " + name + " MARLin metric '" +
+           escapeHelp(s.name) + "'\n";
+    switch (s.kind) {
+    case MetricSample::Kind::Counter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(s.count) + "\n";
+        break;
+    case MetricSample::Kind::Gauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + formatValue(s.value) + "\n";
+        break;
+    case MetricSample::Kind::Histogram: {
+        out += "# TYPE " + name + " histogram\n";
+        // Registry buckets are per-bucket counts; Prometheus
+        // _bucket series are cumulative and must end at +Inf.
+        std::uint64_t cumulative = 0;
+        for (const auto &[bound, count] : s.buckets) {
+            cumulative += count;
+            out += name + "_bucket{le=\"" + formatBound(bound) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+        }
+        if (s.buckets.empty() ||
+            !std::isinf(s.buckets.back().first)) {
+            out += name + "_bucket{le=\"+Inf\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + formatValue(s.value) + "\n";
+        out += name + "_count " + std::to_string(cumulative) + "\n";
+        break;
+    }
+    }
+}
+
+} // namespace
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' ||
+                           c == ':';
+        const bool digit = c >= '0' && c <= '9';
+        if (alpha || (digit && i > 0))
+            out += c;
+        else if (digit)
+            out += std::string("_") + c; // Leading digit.
+        else
+            out += '_';
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+std::string
+renderPrometheusText(const std::vector<MetricSample> &samples)
+{
+    std::string out;
+    out.reserve(samples.size() * 96);
+    for (const MetricSample &s : samples)
+        renderSample(out, s);
+    return out;
+}
+
+std::string
+renderPrometheusText()
+{
+    return renderPrometheusText(Registry::instance().snapshot());
+}
+
+} // namespace marlin::obs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) of the metrics
+ * registry: the rendering half of the live `GET /metrics` scrape
+ * path (see serve/metrics_http.hh for the transport).
+ *
+ * Counters and gauges render as single samples; histograms render
+ * with Prometheus "le" semantics — cumulative `_bucket` series
+ * ending in `le="+Inf"`, plus `_sum` and `_count`. The registry
+ * stores *per-bucket* counts, so the renderer accumulates them; a
+ * scrape taken while writers run may observe a bucket mid-update,
+ * which only ever under-reports (relaxed counters), never violates
+ * bucket monotonicity within one snapshot.
+ *
+ * Metric names in MARLin are dotted ("async.ring.pushed"); the
+ * Prometheus grammar forbids dots, so names are sanitized to
+ * [a-zA-Z_:][a-zA-Z0-9_:]* with every illegal byte mapped to '_'
+ * ("async_ring_pushed"). The original dotted name is preserved in
+ * the # HELP line so a scrape stays cross-referenceable with the
+ * telemetry JSONL, which keeps dotted names.
+ */
+
+#ifndef MARLIN_OBS_EXPOSITION_HH
+#define MARLIN_OBS_EXPOSITION_HH
+
+#include <string>
+#include <vector>
+
+#include "marlin/obs/metrics.hh"
+
+namespace marlin::obs
+{
+
+/** Map a dotted MARLin metric name onto the Prometheus grammar. */
+std::string sanitizeMetricName(const std::string &name);
+
+/** Render @p samples (one Registry::snapshot()) as Prometheus
+ *  text format 0.0.4, # TYPE / # HELP lines included. */
+std::string
+renderPrometheusText(const std::vector<MetricSample> &samples);
+
+/** Convenience: snapshot the process registry and render it. */
+std::string renderPrometheusText();
+
+/** Content-Type header value for the rendered text. */
+inline constexpr const char *prometheusContentType =
+    "text/plain; version=0.0.4";
+
+} // namespace marlin::obs
+
+#endif // MARLIN_OBS_EXPOSITION_HH

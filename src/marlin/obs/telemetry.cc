@@ -193,6 +193,14 @@ TelemetryWriter::writeStep(const StepRecord &rec)
                 ",\"sup_quarantined\":" +
                 std::to_string(rec.supQuarantined);
     }
+    if (rec.haveAsyncLatency) {
+        line += ",\"transit_p50_us\":" +
+                jsonNumber(rec.transitP50Us) +
+                ",\"transit_p99_us\":" +
+                jsonNumber(rec.transitP99Us) +
+                ",\"policy_staleness\":" +
+                std::to_string(rec.policyStaleness);
+    }
     line += ",\"metrics\":" + metricsJson() + "}";
     writeLine(line);
 }

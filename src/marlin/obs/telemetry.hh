@@ -36,8 +36,11 @@ namespace marlin::obs
  * (ring_depth / ring_dropped / ring_seq_gaps).
  * v3: step records may carry supervisor accounting (sup_restarts /
  * sup_degradations / sup_watchdog_trips / sup_quarantined).
+ * v4: step records may carry cross-tier latency attribution
+ * (transit_p50_us / transit_p99_us / policy_staleness), an
+ * all-or-nothing group like the ring and supervisor groups.
  */
-inline constexpr int telemetrySchemaVersion = 3;
+inline constexpr int telemetrySchemaVersion = 4;
 
 /** Everything one step record carries; fill what you have. */
 struct StepRecord
@@ -65,6 +68,13 @@ struct StepRecord
     std::uint64_t supDegradations = 0;  ///< Actors given up on.
     std::uint64_t supWatchdogTrips = 0; ///< Stall trips latched.
     std::uint64_t supQuarantined = 0;   ///< NaN/Inf records dropped.
+    /** Cross-tier latency attribution (schema v4, async only). */
+    bool haveAsyncLatency = false;
+    double transitP50Us = 0.0; ///< Median ring transit age, µs.
+    double transitP99Us = 0.0; ///< Tail ring transit age, µs.
+    /** Learner snapshot version minus the slowest actor's adopted
+     *  version (0 = every actor runs the freshest policy). */
+    std::uint64_t policyStaleness = 0;
 };
 
 /**

@@ -43,6 +43,11 @@ TraceRing::enable(std::size_t capacity)
     if (capacity == 0)
         capacity = 1;
     TraceRing *ring = new TraceRing(capacity);
+    // Resolve the registry counter on this cold path so countDrop()
+    // never takes the registration lock (or allocates) from a
+    // recording thread that may sit inside an AllocGuard scope.
+    ring->dropCounter =
+        &Registry::instance().counter("trace.dropped");
     retire(g_active.exchange(ring, std::memory_order_acq_rel));
     base::ThreadPool::setTaskHook(&poolChunkHook);
 }
@@ -71,6 +76,10 @@ exportTrace(const std::string &path, std::string *error)
         return false;
     }
 
+    // Spans arriving during serialization are rejected + counted
+    // (see beginSnapshot) instead of racing the loop below over
+    // half-written slots.
+    ring->beginSnapshot();
     std::fputs("{\"traceEvents\":[", f);
     const std::size_t n = ring->size();
     for (std::size_t i = 0; i < n; ++i) {
@@ -80,11 +89,21 @@ exportTrace(const std::string &path, std::string *error)
         // collapse to zero-width slices.
         std::fprintf(f,
                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
                      i == 0 ? "" : ",", e.name, e.cat,
                      static_cast<double>(e.startNs) / 1e3,
                      static_cast<double>(e.durNs) / 1e3, e.tid);
+        if (e.flowDir != FlowDir::None) {
+            // bind_id flows: same id on the producing (flow_out)
+            // and consuming (flow_in) slices draws the arrow.
+            std::fprintf(f, ",\"bind_id\":\"0x%" PRIx64 "\",\"%s\":true",
+                         e.flowId,
+                         e.flowDir == FlowDir::Out ? "flow_out"
+                                                   : "flow_in");
+        }
+        std::fputc('}', f);
     }
+    ring->endSnapshot();
     std::fprintf(f,
                  "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
                  "\"capacity\":%zu,\"storedEvents\":%zu,"

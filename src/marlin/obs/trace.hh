@@ -12,9 +12,19 @@
  *
  * Overflow policy: once the buffer is full, further events are
  * dropped (the earliest events win — a trace that loses its warm-up
- * would misattribute startup cost) and *counted*; the exporter
- * reports the dropped total in the JSON and callers surface it, so
- * truncation is never silent.
+ * would misattribute startup cost) and *counted*; spans arriving
+ * while an export/snapshot is serializing the buffer are rejected
+ * and counted the same way. The dropped total is reported in the
+ * JSON footer *and* mirrored to the `trace.dropped` registry
+ * counter, so truncation is never silent and shows up in a live
+ * /metrics scrape, not just the export.
+ *
+ * Flow events: a span may carry a flow id and direction, exported
+ * as Chrome trace_event `bind_id` + `flow_out`/`flow_in` on the
+ * "X" event. Two spans sharing a flow id (one out, one in) render
+ * as a linking arrow in Perfetto — how an actor's ring push is
+ * visually tied to the learner drain that consumed it, across
+ * threads.
  *
  * Event names/categories are `const char *` by contract: they must
  * point at string literals or other process-lifetime storage, which
@@ -30,9 +40,18 @@
 #include <vector>
 
 #include "marlin/base/instant.hh"
+#include "marlin/obs/metrics.hh"
 
 namespace marlin::obs
 {
+
+/** Flow-arrow direction of a span (none for ordinary spans). */
+enum class FlowDir : std::uint8_t
+{
+    None = 0,
+    Out = 1, ///< Producer end: arrow starts here.
+    In = 2,  ///< Consumer end: arrow lands here.
+};
 
 /** One completed span ("ph":"X"), times in ns since process start. */
 struct TraceEvent
@@ -42,6 +61,9 @@ struct TraceEvent
     std::uint64_t startNs = 0;
     std::uint64_t durNs = 0;
     std::uint32_t tid = 0;
+    /** Nonzero links spans sharing the id across threads. */
+    std::uint64_t flowId = 0;
+    FlowDir flowDir = FlowDir::None;
 };
 
 /** The process-wide bounded trace buffer. */
@@ -65,15 +87,21 @@ class TraceRing
         return g_active.load(std::memory_order_acquire);
     }
 
-    /** Record one span. Lock-free; drops (and counts) when full. */
+    /** Record one span (optionally flow-linked). Lock-free; drops
+     *  (and counts) when full or while an export is serializing. */
     void
     record(const char *name, const char *cat, std::uint64_t start_ns,
-           std::uint64_t dur_ns) noexcept
+           std::uint64_t dur_ns, std::uint64_t flow_id = 0,
+           FlowDir flow_dir = FlowDir::None) noexcept
     {
+        if (snapshotting.load(std::memory_order_relaxed)) {
+            countDrop();
+            return;
+        }
         const std::size_t idx =
             next.fetch_add(1, std::memory_order_relaxed);
         if (idx >= events.size()) {
-            droppedCount.fetch_add(1, std::memory_order_relaxed);
+            countDrop();
             return;
         }
         TraceEvent &e = events[idx];
@@ -82,6 +110,27 @@ class TraceRing
         e.startNs = start_ns;
         e.durNs = dur_ns;
         e.tid = base::currentThreadTag();
+        e.flowId = flow_id;
+        e.flowDir = flow_dir;
+    }
+
+    /**
+     * Bracket a snapshot/export of the buffer: spans recorded in
+     * between are rejected (and counted as dropped) instead of
+     * racing the serializer over half-written slots. Relaxed flag:
+     * a record() that misses the flip writes a slot the exporter
+     * already copied — harmless; the guard bounds the race window,
+     * the accounting keeps it honest.
+     */
+    void
+    beginSnapshot() noexcept
+    {
+        snapshotting.store(true, std::memory_order_relaxed);
+    }
+    void
+    endSnapshot() noexcept
+    {
+        snapshotting.store(false, std::memory_order_relaxed);
     }
 
     std::size_t capacity() const { return events.size(); }
@@ -110,11 +159,24 @@ class TraceRing
   private:
     explicit TraceRing(std::size_t capacity) : events(capacity) {}
 
+    /** Count a rejected span in both the local total and the
+     *  registry. The counter ref is resolved in enable() (cold),
+     *  so the hot drop path never takes the registry lock. */
+    void
+    countDrop() noexcept
+    {
+        droppedCount.fetch_add(1, std::memory_order_relaxed);
+        if (dropCounter != nullptr)
+            dropCounter->add(1);
+    }
+
     static std::atomic<TraceRing *> g_active;
 
     std::vector<TraceEvent> events;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> droppedCount{0};
+    std::atomic<bool> snapshotting{false};
+    Counter *dropCounter = nullptr;
 };
 
 /**
@@ -128,6 +190,18 @@ recordSpan(const char *name, const char *cat, std::uint64_t start_ns,
 {
     if (TraceRing *ring = TraceRing::active())
         ring->record(name, cat, start_ns, dur_ns);
+}
+
+/** Record a flow-linked span (producer or consumer end of an
+ *  arrow). Call sites gate on TraceRing::active() themselves when
+ *  they would otherwise pay for clock reads. */
+inline void
+recordFlowSpan(const char *name, const char *cat,
+               std::uint64_t start_ns, std::uint64_t dur_ns,
+               std::uint64_t flow_id, FlowDir dir) noexcept
+{
+    if (TraceRing *ring = TraceRing::active())
+        ring->record(name, cat, start_ns, dur_ns, flow_id, dir);
 }
 
 /** RAII span: times its scope and records on destruction. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "marlin/base/instant.hh"
 #include "marlin/base/logging.hh"
 
 namespace marlin::replay
@@ -76,7 +77,8 @@ drainRecordInto(MultiAgentBuffer &buffers,
 TransitionRing::TransitionRing(std::size_t stride,
                                std::size_t capacity_hint)
     : idx(capacity_hint), _stride(stride),
-      data(idx.capacity() * stride), seqs(idx.capacity())
+      data(idx.capacity() * stride), seqs(idx.capacity()),
+      pushNs(idx.capacity())
 {
     MARLIN_ASSERT(stride > 0, "TransitionRing: zero stride");
 }
@@ -93,6 +95,9 @@ TransitionRing::tryBeginPush(std::uint64_t seq) noexcept
         static_cast<std::size_t>(idx.producerPos() + staged)
         & idx.mask();
     seqs[slot] = seq;
+    // The transit clock starts when the producer claims the slot:
+    // pack time is part of the age the learner measures at drain.
+    pushNs[slot] = base::nowNsSinceStart();
     return data.data() + slot * _stride;
 }
 
@@ -113,7 +118,8 @@ TransitionRing::publish() noexcept
 }
 
 const Real *
-TransitionRing::front(std::uint64_t *seq) noexcept
+TransitionRing::front(std::uint64_t *seq,
+                      std::uint64_t *push_ns) noexcept
 {
     if (idx.consumerAvailable() == 0)
         return nullptr;
@@ -121,6 +127,8 @@ TransitionRing::front(std::uint64_t *seq) noexcept
         static_cast<std::size_t>(idx.consumerPos()) & idx.mask();
     if (seq != nullptr)
         *seq = seqs[slot];
+    if (push_ns != nullptr)
+        *push_ns = pushNs[slot];
     return data.data() + slot * _stride;
 }
 

@@ -133,10 +133,14 @@ class TransitionRing
 
     /**
      * Consumer: the oldest unconsumed record, or nullptr when the
-     * ring is empty. @p seq (optional) receives its sequence number.
-     * The pointer stays valid until pop().
+     * ring is empty. @p seq (optional) receives its sequence
+     * number; @p push_ns (optional) its push-time stamp from the
+     * shared base/instant.hh timebase, so the drain side can
+     * attribute transit latency (now - push_ns) across the actor →
+     * learner boundary. The pointer stays valid until pop().
      */
-    const Real *front(std::uint64_t *seq = nullptr) noexcept;
+    const Real *front(std::uint64_t *seq = nullptr,
+                      std::uint64_t *push_ns = nullptr) noexcept;
 
     /** Consumer: retire the front record and account seq gaps. */
     void pop() noexcept;
@@ -171,6 +175,10 @@ class TransitionRing
     std::size_t _stride;
     std::vector<Real> data;           ///< capacity * stride Reals.
     std::vector<std::uint64_t> seqs;  ///< Per-slot sequence number.
+    /** Per-slot push-time stamp (ns since process start), written
+     *  at claim time like seqs and published by the same release
+     *  store. */
+    std::vector<std::uint64_t> pushNs;
     std::size_t staged = 0;           ///< Producer: unpublished.
 
     std::atomic<std::uint64_t> pushed{0};

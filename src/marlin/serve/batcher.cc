@@ -4,6 +4,7 @@
 
 #include "marlin/base/instant.hh"
 #include "marlin/obs/metrics.hh"
+#include "marlin/obs/trace.hh"
 
 namespace marlin::serve
 {
@@ -43,6 +44,14 @@ requestCounter()
     return c;
 }
 
+obs::Histogram &
+queueWaitHistogram()
+{
+    static obs::Histogram &h = obs::Registry::instance().histogram(
+        "serve.request.queue_wait_us", latencyBoundsUs());
+    return h;
+}
+
 } // namespace
 
 MicroBatcher::MicroBatcher(std::size_t batch_max,
@@ -62,6 +71,14 @@ MicroBatcher::add(std::uint64_t conn_id, std::uint16_t agent_id,
     req.agentId = agent_id;
     req.obsOffset = obsFlat.size();
     req.enqueueNs = now_ns;
+    if (obs::TraceRing *tr = obs::TraceRing::active()) {
+        // Flow out: the response-write span for this request (in
+        // the server's sink) carries the matching id, so a trace
+        // shows accept → enqueue → infer → write per request.
+        req.traceId = nextTraceId++;
+        tr->record("serve_enqueue", "serve", now_ns, 0,
+                   req.traceId, obs::FlowDir::Out);
+    }
     obsFlat.resize(req.obsOffset + count);
     std::memcpy(obsFlat.data() + req.obsOffset, obs,
                 count * sizeof(Real));
@@ -127,12 +144,18 @@ MicroBatcher::flush(ServePolicy &policy, const Sink &sink,
     batchInferHistogram().observe(
         static_cast<double>(done_ns - now_ns) / 1000.0);
     batchSizeGauge().set(static_cast<double>(pending.size()));
+    // Queue wait is the other half of the end-to-end latency: time
+    // from enqueue to this flush starting, per request.
+    for (const PendingRequest &req : pending)
+        queueWaitHistogram().observe(
+            static_cast<double>(now_ns - req.enqueueNs) / 1000.0);
+    obs::recordSpan("serve_infer", "serve", now_ns, done_ns - now_ns);
 
     const std::size_t act_dim = policy.actDim();
     for (std::size_t i = 0; i < pending.size(); ++i) {
         const PendingRequest &req = pending[i];
         sink(req.connId, outputs[req.agentId].row(rowInBatch[i]),
-             act_dim, req.enqueueNs);
+             act_dim, req.enqueueNs, req.traceId);
     }
 
     pending.clear();

@@ -32,6 +32,9 @@ struct PendingRequest
     std::uint16_t agentId = 0;  ///< Policy to query.
     std::size_t obsOffset = 0;  ///< Into the flat obs store.
     std::uint64_t enqueueNs = 0; ///< For the latency histogram.
+    /** Trace flow id linking this request's enqueue span to its
+     *  response-write span (0 when tracing is off). */
+    std::uint64_t traceId = 0;
 };
 
 /**
@@ -75,16 +78,22 @@ class MicroBatcher
 
     /**
      * Response sink: called once per queued request, in arrival
-     * order, with that request's action row.
+     * order, with that request's action row. @p trace_id is the
+     * request's flow id (0 when tracing was off at enqueue) so the
+     * writer can close the enqueue → write flow arrow.
      */
     using Sink = std::function<void(
         std::uint64_t conn_id, const Real *actions,
-        std::size_t count, std::uint64_t enqueue_ns)>;
+        std::size_t count, std::uint64_t enqueue_ns,
+        std::uint64_t trace_id)>;
 
     /**
      * Run one batched forward per agent present in the queue and
      * emit every response through @p sink, then clear the queue.
-     * Publishes serve.batch_size and the batch-inference histogram.
+     * Publishes serve.batch_size, the queue-wait histogram (enqueue
+     * to flush start, per request) and the batch-inference
+     * histogram (one forward pass, per flush) — the two halves of
+     * the request latency the server's end-to-end histogram sums.
      */
     void flush(ServePolicy &policy, const Sink &sink,
                std::uint64_t now_ns);
@@ -92,6 +101,8 @@ class MicroBatcher
   private:
     std::size_t batchMax;
     std::uint64_t deadlineNs;
+    /** Per-process request trace ids; 0 is reserved for "none". */
+    std::uint64_t nextTraceId = 1;
 
     std::vector<PendingRequest> pending;
     std::vector<Real> obsFlat; ///< Concatenated observations.

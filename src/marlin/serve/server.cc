@@ -15,6 +15,7 @@
 #include "marlin/base/instant.hh"
 #include "marlin/base/logging.hh"
 #include "marlin/obs/metrics.hh"
+#include "marlin/obs/trace.hh"
 
 namespace marlin::serve
 {
@@ -380,11 +381,14 @@ Server::flushBatch()
     batcher.flush(
         policy,
         [this](std::uint64_t conn_id, const Real *actions,
-               std::size_t count, std::uint64_t enqueue_ns) {
+               std::size_t count, std::uint64_t enqueue_ns,
+               std::uint64_t trace_id) {
             auto it = connections.find(conn_id);
             if (it == connections.end())
                 return; // Client left while its request waited.
             Connection &conn = it->second;
+            const std::uint64_t write_start =
+                base::nowNsSinceStart();
             encodeResponse(conn.outBuf, Status::Ok, actions,
                            count);
             ++conn.responses;
@@ -394,6 +398,15 @@ Server::flushBatch()
                 static_cast<double>(base::nowNsSinceStart() -
                                     enqueue_ns) /
                 1000.0);
+            if (trace_id != 0) {
+                // Flow in: closes the arrow the batcher opened at
+                // enqueue, so one request reads accept → enqueue →
+                // infer → write in the trace.
+                obs::recordFlowSpan(
+                    "serve_write", "serve", write_start,
+                    base::nowNsSinceStart() - write_start,
+                    trace_id, obs::FlowDir::In);
+            }
             flushOutput(conn);
         },
         now);

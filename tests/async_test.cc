@@ -141,6 +141,27 @@ TEST(AsyncRuntime, TinyRingDropsAreCountedNotSilent)
     EXPECT_EQ(result.episodeRewards.size(), 8u);
 }
 
+TEST(AsyncRuntime, TransitLatencyObservedOncePerDrainedRecord)
+{
+    auto &registry = obs::Registry::instance();
+    registry.resetAll();
+    const auto result = runAsync(2, 8);
+
+    // The learner observes ring transit (push stamp -> drain) only
+    // on the insert path, so the histogram's population is exactly
+    // the drained-record count — the attribution can't double-count
+    // or skip.
+    obs::Histogram &transit = registry.histogram(
+        "async.ring.transit_us", {1.0}); // Bounds ignored: existing.
+    EXPECT_EQ(transit.totalCount(), result.drainedSteps);
+    EXPECT_GT(result.drainedSteps, 0u);
+    // Ages are measured on one clock and forward in time.
+    EXPECT_GE(transit.sum(), 0.0);
+    // Staleness gauge was published and is a small non-negative lag
+    // (actors adopt snapshots within a few updates on any machine).
+    EXPECT_GE(registry.gauge("async.policy.staleness").value(), 0.0);
+}
+
 TEST(AsyncRuntime, RunsAreRepeatableInShape)
 {
     // The async runtime is NOT bit-deterministic (that is the

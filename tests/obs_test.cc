@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "marlin/async/flow_id.hh"
 #include "marlin/marlin.hh"
 
 namespace marlin
@@ -175,6 +176,10 @@ TEST(Telemetry, JsonlSchemaRoundTrip)
         rec.ringDepth = 17;
         rec.ringDropped = 2;
         rec.ringSeqGaps = 2;
+        rec.haveAsyncLatency = true;
+        rec.transitP50Us = 120.5;
+        rec.transitP99Us = 900.25;
+        rec.policyStaleness = 3;
         writer.writeStep(rec);
 
         obs::StepRecord no_losses;
@@ -216,6 +221,18 @@ TEST(Telemetry, JsonlSchemaRoundTrip)
     EXPECT_NE(lines[1].find("\"ring_seq_gaps\":2"),
               std::string::npos);
     EXPECT_EQ(lines[2].find("\"ring_depth\":"), std::string::npos);
+    // Latency attribution (schema v4) travels only when set, as an
+    // all-or-nothing group.
+    EXPECT_NE(lines[1].find("\"transit_p50_us\":120.5"),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"transit_p99_us\":900.25"),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"policy_staleness\":3"),
+              std::string::npos);
+    EXPECT_EQ(lines[2].find("\"transit_p50_us\":"),
+              std::string::npos);
+    EXPECT_EQ(lines[2].find("\"policy_staleness\":"),
+              std::string::npos);
     // Summary: results and a final metrics snapshot.
     EXPECT_NE(lines[3].find("\"record\":\"summary\""),
               std::string::npos);
@@ -256,6 +273,94 @@ TEST(Trace, RingOverflowIsCountedNeverSilent)
     EXPECT_NE(json.find("\"droppedEvents\":12"), std::string::npos);
     EXPECT_NE(json.find("\"storedEvents\":8"), std::string::npos);
     obs::TraceRing::disable();
+}
+
+TEST(Trace, DroppedSpansSurfaceAsRegistryCounter)
+{
+    obs::Counter &dropped =
+        obs::Registry::instance().counter("trace.dropped");
+    obs::TraceRing::enable(4);
+    const std::uint64_t before = dropped.value();
+    for (int i = 0; i < 10; ++i)
+        obs::recordSpan("span", "test", 100u * i, 50);
+    // 4 stored, 6 rejected; the registry counter mirrors the ring's
+    // local accounting so a /metrics scrape sees the loss live.
+    EXPECT_EQ(obs::TraceRing::active()->dropped(), 6u);
+    EXPECT_EQ(dropped.value(), before + 6);
+    obs::TraceRing::disable();
+}
+
+TEST(Trace, SnapshotRejectionsAreCounted)
+{
+    obs::TraceRing::enable(64);
+    obs::TraceRing *ring = obs::TraceRing::active();
+    ASSERT_NE(ring, nullptr);
+    obs::recordSpan("kept", "test", 0, 1);
+
+    // While an export snapshot walks the ring, concurrent record()
+    // calls are rejected — but never silently: they count as drops.
+    ring->beginSnapshot();
+    obs::recordSpan("rejected", "test", 10, 1);
+    obs::recordSpan("rejected", "test", 20, 1);
+    ring->endSnapshot();
+    obs::recordSpan("kept", "test", 30, 1);
+
+    EXPECT_EQ(ring->size(), 2u);
+    EXPECT_EQ(ring->dropped(), 2u);
+    obs::TraceRing::disable();
+}
+
+TEST(Trace, FlowSpansExportBindIdPairing)
+{
+    obs::TraceRing::enable(64);
+    const std::uint64_t id = async::transitionFlowId(2, 41);
+    EXPECT_NE(id, 0u); // 0 is reserved for "no flow".
+    obs::recordFlowSpan("actor_push", "async", 100, 5, id,
+                        obs::FlowDir::Out);
+    obs::recordFlowSpan("ring_drain", "async", 300, 7, id,
+                        obs::FlowDir::In);
+    obs::recordSpan("plain", "async", 400, 1);
+
+    TempDir dir("flow");
+    const std::string path = dir.file("trace.json");
+    std::string error;
+    ASSERT_TRUE(obs::exportTrace(path, &error)) << error;
+    const std::string json = readAll(path);
+
+    char bind[64];
+    std::snprintf(bind, sizeof(bind), "\"bind_id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(id));
+    // Both ends carry the same id, one out + one in; the plain span
+    // carries no flow fields at all.
+    const std::size_t first = json.find(bind);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(json.find(bind, first + 1), std::string::npos);
+    EXPECT_NE(json.find("\"flow_out\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"flow_in\":true"), std::string::npos);
+    const std::size_t plain = json.find("\"name\":\"plain\"");
+    ASSERT_NE(plain, std::string::npos);
+    EXPECT_EQ(json.find("bind_id", plain), std::string::npos);
+    obs::TraceRing::disable();
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
+{
+    obs::Histogram &h = obs::Registry::instance().histogram(
+        "test.quantile.hist", {10.0, 100.0, 1000.0});
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // Empty: no estimate.
+    for (int i = 0; i < 50; ++i)
+        h.observe(5.0); // le=10
+    for (int i = 0; i < 50; ++i)
+        h.observe(50.0); // le=100
+    // Median sits on the first/second bucket edge; p99 inside the
+    // second bucket; quantiles are monotone in q.
+    EXPECT_NEAR(h.quantile(0.5), 10.0, 1.0);
+    EXPECT_GT(h.quantile(0.99), 90.0);
+    EXPECT_LE(h.quantile(0.99), 100.0);
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    h.observe(1e9); // Overflow clamps to the last finite bound.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
 TEST(Trace, DisabledRecordingIsANoOp)

@@ -299,7 +299,7 @@ TEST(ServeBatcher, GroupsByAgentAndPreservesArrivalOrder)
     batcher.flush(
         policy,
         [&](std::uint64_t conn_id, const Real *actions,
-            std::size_t count, std::uint64_t) {
+            std::size_t count, std::uint64_t, std::uint64_t) {
             order.push_back(conn_id);
             answers.emplace_back(actions, actions + count);
         },

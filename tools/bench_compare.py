@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff bench JSON against checked-in baselines.
+
+Two bench formats are understood, keyed by shape:
+
+  * google-benchmark --benchmark_out JSON ("benchmarks" array):
+    every non-errored run contributes its real_time reading
+    (lower is better);
+  * marlin_loadgen reports ("runs" array): every connection-count
+    sweep point contributes qps (higher is better) plus p50_us and
+    p99_us (lower is better).
+
+Baselines live as verbatim copies of past bench JSON under
+bench/baselines/, keyed by file basename. The comparison is
+ratio-based with a generous default tolerance (2.0x), because CI
+runners are shared and noisy: the gate exists to catch
+order-of-magnitude regressions (an accidental O(n^2), a lost
+vectorization, a serialization point), not 10% drift. Metrics
+present on only one side are reported but never fail the gate, so
+adding a bench doesn't require same-commit baselines.
+
+Usage:
+  bench_compare.py FILE... [--baselines DIR] [--tolerance X]
+                           [--out BENCH.json]
+  bench_compare.py FILE... --update [--baselines DIR]
+
+--update copies the given files over their baselines (the
+"regenerate baselines" recipe in EXPERIMENTS.md) instead of
+comparing. --out writes a machine-readable comparison record for
+the CI artifact trail.
+"""
+
+import argparse
+import json
+import math
+import os
+import shutil
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def extract_metrics(doc, path: str):
+    """-> {metric key: (value, direction)}; direction is 'lower' or
+    'higher' (better)."""
+    metrics = {}
+    if isinstance(doc.get("benchmarks"), list):
+        for run in doc["benchmarks"]:
+            if run.get("error_occurred"):
+                continue  # skipped variant (e.g. no AVX2 on runner)
+            name, value = run.get("name"), run.get("real_time")
+            if isinstance(name, str) and isinstance(
+                    value, (int, float)) and math.isfinite(value):
+                metrics[f"{name}/real_time"] = (value, "lower")
+        return metrics
+    if isinstance(doc.get("runs"), list):
+        for run in doc["runs"]:
+            conns = run.get("connections")
+            key = f"conns={conns}"
+            for field, direction in (("qps", "higher"),
+                                     ("p50_us", "lower"),
+                                     ("p99_us", "lower")):
+                value = run.get(field)
+                if isinstance(value, (int, float)) and math.isfinite(
+                        value) and value > 0:
+                    metrics[f"{key}/{field}"] = (value, direction)
+        return metrics
+    fail(f"{path}: neither a google-benchmark file ('benchmarks') "
+         "nor a loadgen report ('runs')")
+
+
+def load(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("files", nargs="+",
+                        help="current bench JSON files")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of checked-in baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="fail when a metric is worse than "
+                             "baseline by more than this ratio")
+    parser.add_argument("--out", default="",
+                        help="write the comparison record here")
+    parser.add_argument("--update", action="store_true",
+                        help="adopt the given files as the new "
+                             "baselines instead of comparing")
+    args = parser.parse_args()
+
+    if args.tolerance <= 1.0:
+        fail("--tolerance must be > 1.0")
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        for path in args.files:
+            extract_metrics(load(path), path)  # format sanity
+            dest = os.path.join(args.baselines,
+                                os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"baseline updated: {dest}")
+        return
+
+    results = []
+    worst = 1.0
+    failed = False
+    for path in args.files:
+        base_path = os.path.join(args.baselines,
+                                 os.path.basename(path))
+        current = extract_metrics(load(path), path)
+        if not os.path.exists(base_path):
+            print(f"note: no baseline for {os.path.basename(path)} "
+                  f"({len(current)} metric(s) unchecked); run "
+                  f"--update to adopt one")
+            for key, (value, direction) in sorted(current.items()):
+                results.append({"file": os.path.basename(path),
+                                "metric": key, "current": value,
+                                "direction": direction,
+                                "status": "no-baseline"})
+            continue
+        baseline = extract_metrics(load(base_path), base_path)
+        for key, (value, direction) in sorted(current.items()):
+            entry = {"file": os.path.basename(path), "metric": key,
+                     "current": value, "direction": direction}
+            if key not in baseline:
+                entry["status"] = "new"
+                results.append(entry)
+                continue
+            base_value = baseline[key][0]
+            entry["baseline"] = base_value
+            # Normalize so ratio > 1 always means "worse".
+            ratio = (value / base_value if direction == "lower"
+                     else base_value / value)
+            entry["worse_by"] = ratio
+            worst = max(worst, ratio)
+            if ratio > args.tolerance:
+                entry["status"] = "fail"
+                failed = True
+                print(f"FAIL {path} {key}: {value:g} vs baseline "
+                      f"{base_value:g} ({ratio:.2f}x worse, "
+                      f"tolerance {args.tolerance:g}x)")
+            else:
+                entry["status"] = "ok"
+            results.append(entry)
+        for key in sorted(set(baseline) - set(current)):
+            results.append({"file": os.path.basename(path),
+                            "metric": key,
+                            "baseline": baseline[key][0],
+                            "status": "removed"})
+
+    checked = sum(1 for r in results if "worse_by" in r)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump({"record": "bench_compare",
+                       "tolerance": args.tolerance,
+                       "checked": checked,
+                       "worst_ratio": worst,
+                       "status": "fail" if failed else "pass",
+                       "results": results}, f, indent=1)
+            f.write("\n")
+
+    if failed:
+        fail(f"perf regression beyond {args.tolerance:g}x tolerance")
+    print(f"ok: {checked} metric(s) within {args.tolerance:g}x of "
+          f"baseline (worst {worst:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ Checks the schema contract that downstream analysis relies on:
     / sup_quarantined, all non-negative integers travelling together
     or not at all, with sup_restarts and sup_quarantined
     monotonically non-decreasing;
+  * async runs (schema v4) additionally carry cross-tier latency
+    attribution: transit_p50_us / transit_p99_us (non-negative
+    numbers, p50 <= p99) and policy_staleness (non-negative integer),
+    travelling together or not at all;
   * the last record is a summary with a numeric results map.
 
 Usage: check_telemetry_jsonl.py FILE [--min-steps N]
@@ -32,12 +36,15 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 RING_KEYS = ("ring_depth", "ring_dropped", "ring_seq_gaps")
 
 SUP_KEYS = ("sup_restarts", "sup_degradations", "sup_watchdog_trips",
             "sup_quarantined")
+
+LATENCY_KEYS = ("transit_p50_us", "transit_p99_us",
+                "policy_staleness")
 
 
 def fail(msg: str) -> None:
@@ -109,6 +116,27 @@ def check_supervisor(rec, where: str, prev_sup) -> tuple:
     return sup
 
 
+def check_latency(rec, where: str) -> None:
+    """Validate the optional (all-or-nothing) latency attribution."""
+    present = [k for k in LATENCY_KEYS if k in rec]
+    if not present:
+        return
+    if len(present) != len(LATENCY_KEYS):
+        missing = set(LATENCY_KEYS) - set(present)
+        fail(f"{where}: partial latency attribution (missing "
+             f"{sorted(missing)})")
+    for key in ("transit_p50_us", "transit_p99_us"):
+        v = rec[key]
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{where}: {key!r} is not a non-negative number")
+    if rec["transit_p50_us"] > rec["transit_p99_us"]:
+        fail(f"{where}: transit_p50_us > transit_p99_us")
+    staleness = rec["policy_staleness"]
+    if not isinstance(staleness, int) or staleness < 0:
+        fail(f"{where}: 'policy_staleness' is not a non-negative "
+             "integer")
+
+
 def check_step(rec, lineno: int, prev, prev_ring, prev_sup) -> tuple:
     where = f"line {lineno}"
     for key in ("t", "episode", "env_step", "update_calls",
@@ -130,6 +158,7 @@ def check_step(rec, lineno: int, prev, prev_ring, prev_sup) -> tuple:
                  "non-negative integer")
     ring = check_ring(rec, where, prev_ring)
     sup = check_supervisor(rec, where, prev_sup)
+    check_latency(rec, where)
     check_metrics(rec["metrics"], where)
     return (episode, step), ring, sup
 

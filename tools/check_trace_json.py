@@ -11,11 +11,18 @@ promises:
   * "otherData" reports capacity, storedEvents and droppedEvents, and
     storedEvents matches the array length — the overflow contract is
     that truncation is counted, never silent;
+  * flow-linked spans ("bind_id" + exactly one of flow_out/flow_in)
+    are well formed: bind_id is a non-zero hex string and the two
+    directions never share one event;
   * optionally (--require-phases) at least one event from each named
     category is present, so CI can assert the training phases,
-    thread-pool chunks or checkpoint writes actually landed.
+    thread-pool chunks or checkpoint writes actually landed;
+  * optionally (--require-flow) at least one flow pair exists and
+    every flow-in id has a matching flow-out id, so a viewer can
+    draw the cross-thread arrow (e.g. actor push -> learner drain).
 
 Usage: check_trace_json.py FILE [--require-cat CAT ...]
+                                [--require-flow]
 """
 
 import argparse
@@ -36,6 +43,9 @@ def main() -> None:
     parser.add_argument("--allow-empty", action="store_true",
                         help="accept a trace with zero events (e.g. a "
                              "kernel micro-bench records no spans)")
+    parser.add_argument("--require-flow", action="store_true",
+                        help="fail unless >=1 flow_out/flow_in pair "
+                             "links two spans by bind_id")
     args = parser.parse_args()
 
     try:
@@ -51,6 +61,8 @@ def main() -> None:
         fail(f"{args.file} has zero trace events")
 
     cats = set()
+    flow_out_ids = set()
+    flow_in_ids = set()
     for i, e in enumerate(events):
         where = f"traceEvents[{i}]"
         if e.get("ph") != "X":
@@ -67,6 +79,23 @@ def main() -> None:
             if not isinstance(e.get(key), int):
                 fail(f"{where}: {key!r} is not an integer")
         cats.add(e["cat"])
+
+        is_out = e.get("flow_out") is True
+        is_in = e.get("flow_in") is True
+        if "bind_id" in e or is_out or is_in:
+            bind = e.get("bind_id")
+            if not isinstance(bind, str) or not bind.startswith("0x"):
+                fail(f"{where}: bind_id {bind!r} is not a hex string")
+            try:
+                flow_id = int(bind, 16)
+            except ValueError:
+                fail(f"{where}: bind_id {bind!r} does not parse")
+            if flow_id == 0:
+                fail(f"{where}: flow id 0 is reserved for 'none'")
+            if is_out == is_in:
+                fail(f"{where}: flow span must set exactly one of "
+                     "flow_out/flow_in")
+            (flow_out_ids if is_out else flow_in_ids).add(flow_id)
 
     other = doc.get("otherData")
     if not isinstance(other, dict):
@@ -86,8 +115,21 @@ def main() -> None:
             fail(f"no event with category {cat!r} "
                  f"(saw: {sorted(cats)})")
 
+    paired = flow_in_ids & flow_out_ids
+    if args.require_flow:
+        # The ring is a window: an out span may have aged out before
+        # its in span landed, but a drain arrow with no visible source
+        # inside the same export is a linking bug.
+        unmatched = flow_in_ids - flow_out_ids
+        if unmatched and other["droppedEvents"] == 0:
+            fail(f"{len(unmatched)} flow-in id(s) with no matching "
+                 f"flow-out (e.g. {sorted(unmatched)[:3]})")
+        if not paired:
+            fail("no flow_out/flow_in pair links two spans")
+
     print(f"ok: {len(events)} event(s), "
-          f"{other['droppedEvents']} dropped, categories: "
+          f"{other['droppedEvents']} dropped, "
+          f"{len(paired)} flow pair(s), categories: "
           f"{', '.join(sorted(cats))}")
 
 
