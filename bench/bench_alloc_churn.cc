@@ -129,11 +129,11 @@ BM_TrainerUpdateWarm(benchmark::State &state)
     Rng fill_rng(99);
     fillSynthetic(buffers, 512, fill_rng);
     profile::PhaseTimer timer;
-    trainer->update(buffers, nullptr, timer); // Warm the workspaces.
+    trainer->update(buffers, timer); // Warm the workspaces.
     base::AllocGuard guard;
     for (auto _ : state) {
         const core::UpdateStats stats =
-            trainer->update(buffers, nullptr, timer);
+            trainer->update(buffers, timer);
         benchmark::DoNotOptimize(stats.criticLoss);
     }
     reportAllocs(state, guard);

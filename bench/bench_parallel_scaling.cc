@@ -66,7 +66,7 @@ timedUpdates(core::CtdeTrainerBase &trainer,
     profile::PhaseTimer timer;
     const profile::Stopwatch watch;
     for (std::size_t u = 0; u < updates; ++u)
-        trainer.update(buffers, nullptr, timer);
+        trainer.update(buffers, timer);
     return watch.elapsedSeconds();
 }
 
@@ -81,7 +81,7 @@ stateAfterUpdates(std::size_t agents, std::size_t batch,
     auto trainer = makeFilledTrainer(agents, batch, buffers);
     profile::PhaseTimer timer;
     for (std::size_t u = 0; u < updates; ++u)
-        trainer->update(buffers, nullptr, timer);
+        trainer->update(buffers, timer);
     std::ostringstream os;
     core::saveTrainer(os, *trainer);
     return os.str();
@@ -143,7 +143,7 @@ main(int argc, char **argv)
             // One untimed warmup update absorbs lazy allocations
             // (per-agent scratch batches, layer activations).
             profile::PhaseTimer warm;
-            trainer->update(buffers, nullptr, warm);
+            trainer->update(buffers, warm);
             const double seconds =
                 timedUpdates(*trainer, buffers, updates);
             if (threads == 1)

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * PR-10 defining measurement: sampler throughput and simulated cache
+ * behaviour of the sharded, out-of-core replay engine as capacity
+ * grows from 1M toward 100M transitions — far past what the paper's
+ * in-RAM 1e6-entry buffer (Section V) could hold.
+ *
+ * Three families, each over the transition-count sweep:
+ *
+ *   BM_ShardedAppend/N  steady-state append (ring overwrite + cold
+ *                       write-behind spill) in records/s;
+ *   BM_ShardedGather/N  uniform-random batch gathers through the
+ *                       hot/cold tiers in sampled records/s, plus
+ *                       memsim miss rates of one traced gather;
+ *   BM_AccmerGather/N   the AccMER-style reuse sampler (sum-tree
+ *                       references expanded into locality runs,
+ *                       plans reused across updates) driving the
+ *                       same gathers.
+ *
+ * Stores keep the newest quarter of capacity hot in RAM and spill
+ * the rest into mmap cold segments, so the 100M point genuinely
+ * exercises out-of-core behaviour. CI runs the 1M slice only
+ * (--benchmark_filter=/1000000$); EXPERIMENTS.md has the full
+ * sweep recipe.
+ *
+ * Flags (consumed before google-benchmark parses argv):
+ *   --replay-shards N     power-of-two shard count (default 2)
+ *   --replay-cold-dir D   cold-segment directory (default
+ *                         /tmp/marlin_replay_scale)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common.hh"
+#include "marlin/memsim/trace_replay.hh"
+#include "marlin/replay/reuse_sampler.hh"
+#include "marlin/replay/sharded_store.hh"
+
+using namespace marlin;
+
+namespace
+{
+
+std::size_t gShards = 2;
+std::string gColdDir = "/tmp/marlin_replay_scale";
+
+/** Tiny paper-style shapes: two agents, obs 4, act 2. */
+std::vector<replay::TransitionShape>
+benchShapes()
+{
+    return {{4, 2}, {4, 2}};
+}
+
+/**
+ * Build-or-fetch a filled store for @p capacity. Cached per process
+ * so google-benchmark's iteration-count probing never re-pays the
+ * fill (at 100M records the fill is minutes of memcpy + spill).
+ */
+replay::ShardedStore &
+filledStore(BufferIndex capacity)
+{
+    static std::map<BufferIndex,
+                    std::unique_ptr<replay::ShardedStore>>
+        cache;
+    auto it = cache.find(capacity);
+    if (it != cache.end())
+        return *it->second;
+
+    replay::ShardedStoreConfig cfg;
+    cfg.shards = gShards;
+    // Newest quarter hot; the rest is only reachable via the cold
+    // tier, so every gather mixes RAM hits with mmap faults.
+    cfg.hotCapacity = capacity / 4;
+    cfg.coldDir =
+        gColdDir + "/cap-" + std::to_string(capacity);
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.coldDir, ec);
+    auto store = std::make_unique<replay::ShardedStore>(
+        benchShapes(), capacity, cfg);
+
+    const replay::JointTransitionLayout &layout = store->layout();
+    std::vector<Real> rec(layout.stride);
+    Rng rng(42);
+    for (Real &v : rec)
+        v = rng.uniformf();
+    for (BufferIndex i = 0; i < capacity; ++i) {
+        // Perturb one scalar per record: content-unique records
+        // without paying a full re-randomize on the fill path.
+        rec[i % layout.stride] = rng.uniformf();
+        store->appendRecord(layout, rec.data());
+    }
+    auto [pos, ok] = cache.emplace(capacity, std::move(store));
+    (void)ok;
+    return *pos->second;
+}
+
+/** Uniform batch plan over [0, size). */
+void
+uniformPlan(replay::IndexPlan &plan, BufferIndex size,
+            std::size_t batch, Rng &rng)
+{
+    plan.indices.resize(batch);
+    plan.weights.assign(batch, Real(1));
+    plan.priorityIds.clear();
+    for (std::size_t i = 0; i < batch; ++i)
+        plan.indices[i] = rng.randint(size);
+}
+
+void
+BM_ShardedAppend(benchmark::State &state)
+{
+    replay::ShardedStore &store =
+        filledStore(static_cast<BufferIndex>(state.range(0)));
+    const replay::JointTransitionLayout &layout = store.layout();
+    std::vector<Real> rec(layout.stride, Real(0.5));
+    for (auto _ : state)
+        store.appendRecord(layout, rec.data());
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(layout.stride * sizeof(Real)));
+    state.counters["spilled"] = static_cast<double>(
+        store.coldEnabled() ? store.coldTier(0)->spilledCount() : 0);
+}
+
+void
+BM_ShardedGather(benchmark::State &state)
+{
+    const auto capacity = static_cast<BufferIndex>(state.range(0));
+    replay::ShardedStore &store = filledStore(capacity);
+    constexpr std::size_t batch = 256;
+    Rng rng(7);
+    replay::IndexPlan plan;
+    std::vector<replay::AgentBatch> batches;
+    // Warm gather so the timed loop measures the zero-alloc steady
+    // state, not first-call matrix sizing.
+    uniformPlan(plan, store.size(), batch, rng);
+    store.gatherAll(plan, batches);
+    for (auto _ : state) {
+        uniformPlan(plan, store.size(), batch, rng);
+        store.gatherAll(plan, batches);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(batch));
+
+    // Memsim attribution: one traced gather replayed through the
+    // default hierarchy gives the miss-rate shape the paper reads
+    // off hardware counters (Fig. 4), here as a function of how far
+    // past RAM the replay reaches.
+    replay::AccessTrace trace;
+    uniformPlan(plan, store.size(), batch, rng);
+    store.gatherAll(plan, batches, &trace);
+    memsim::CacheHierarchy hierarchy;
+    const memsim::TraceReplayResult sim =
+        memsim::replayTrace(hierarchy, trace);
+    const auto pct = [](std::uint64_t part, std::uint64_t whole) {
+        return whole > 0 ? 100.0 * static_cast<double>(part) /
+                               static_cast<double>(whole)
+                         : 0.0;
+    };
+    state.counters["l1_miss_pct"] =
+        pct(sim.stats.l1.misses, sim.stats.l1.accesses());
+    state.counters["l3_miss_pct"] =
+        pct(sim.stats.l3.misses, sim.stats.l3.accesses());
+    state.counters["dram_accesses_per_gather"] =
+        static_cast<double>(sim.stats.memAccesses());
+    state.counters["trace_bytes"] = static_cast<double>(sim.bytes);
+}
+
+void
+BM_AccmerGather(benchmark::State &state)
+{
+    const auto capacity = static_cast<BufferIndex>(state.range(0));
+    replay::ShardedStore &store = filledStore(capacity);
+    constexpr std::size_t batch = 256;
+
+    replay::PerConfig per;
+    per.capacity = capacity;
+    replay::ReuseConfig reuse; // window 4, run length 8.
+    replay::ReuseSampler sampler(per, reuse);
+    // Give the sum tree mass over the whole logical space, exactly
+    // what onTransitionAdded does during training.
+    for (BufferIndex i = 0; i < store.size(); ++i)
+        sampler.onAdd(i);
+
+    Rng rng(11);
+    replay::IndexPlan plan;
+    std::vector<replay::AgentBatch> batches;
+    sampler.planInto(store.size(), batch, rng, plan);
+    store.gatherAll(plan, batches);
+    for (auto _ : state) {
+        sampler.planInto(store.size(), batch, rng, plan);
+        store.gatherAll(plan, batches);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(batch));
+}
+
+/** 1M / 10M / 100M transition sweep (decimal, paper-style). */
+void
+scaleArgs(benchmark::internal::Benchmark *bench)
+{
+    bench->Arg(1'000'000)->Arg(10'000'000)->Arg(100'000'000);
+    bench->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_ShardedAppend)->Apply(scaleArgs);
+BENCHMARK(BM_ShardedGather)->Apply(scaleArgs);
+BENCHMARK(BM_AccmerGather)->Arg(1'000'000)->Unit(
+    benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initThreads(argc, argv);
+    const char *isa = bench::initIsa(argc, argv);
+
+    // Consume --replay-shards / --replay-cold-dir before
+    // google-benchmark sees (and rejects) them.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--replay-shards") == 0 &&
+            i + 1 < argc) {
+            gShards = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strncmp(arg, "--replay-shards=", 16) == 0) {
+            gShards = static_cast<std::size_t>(
+                std::strtoul(arg + 16, nullptr, 10));
+        } else if (std::strcmp(arg, "--replay-cold-dir") == 0 &&
+                   i + 1 < argc) {
+            gColdDir = argv[++i];
+        } else if (std::strncmp(arg, "--replay-cold-dir=", 18) ==
+                   0) {
+            gColdDir = arg + 18;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = out;
+    if (gShards == 0 || (gShards & (gShards - 1)) != 0)
+        fatal("--replay-shards %zu is not a power of two", gShards);
+
+    std::printf("\n=== bench_replay_scale ===\n");
+    // Banner with the replay_shards key (validated by
+    // check_bench_json.py): shard count changes the storage walk,
+    // so numbers must never be misattributed across it.
+    std::printf("{\"bench\": \"bench_replay_scale\", "
+                "\"threads\": %zu, \"actors\": %zu, "
+                "\"isa\": \"%s\", \"commit\": \"%s\", "
+                "\"replay_shards\": %zu}\n",
+                base::ThreadPool::globalThreads(),
+                bench::bannerActors(), isa, marlin::gitCommit,
+                gShards);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

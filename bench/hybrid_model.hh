@@ -223,11 +223,11 @@ estimatePhases(Algo algo, Task task, std::size_t agents,
     } else {
         // --- Measured: network phases on this CPU -----------------
         profile::PhaseTimer timer;
-        trainer->update(buffers, nullptr, timer);
+        trainer->update(buffers, timer);
         const int reps = agents >= 12 ? 1 : 2;
         timer.reset();
         for (int rep = 0; rep < reps; ++rep)
-            trainer->update(buffers, nullptr, timer);
+            trainer->update(buffers, timer);
         est.targetQ =
             timer.seconds(profile::Phase::TargetQ) / reps;
         est.qpLoss = timer.seconds(profile::Phase::QPLoss) / reps;

@@ -30,6 +30,7 @@
 #include "marlin/env/physical_deception.hh"
 #include "marlin/marlin.hh"
 #include "marlin/replay/rank_sampler.hh"
+#include "marlin/replay/reuse_sampler.hh"
 
 using namespace marlin;
 
@@ -56,7 +57,7 @@ buildEnvironment(const std::string &task, std::size_t agents,
 
 core::SamplerFactory
 buildSamplerFactory(const std::string &sampler, std::size_t neighbors,
-                    BufferIndex capacity)
+                    BufferIndex capacity, std::size_t reuse_window)
 {
     if (sampler == "uniform") {
         return [] {
@@ -91,8 +92,19 @@ buildSamplerFactory(const std::string &sampler, std::size_t neighbors,
                 replay::InfoPrioritizedLocalitySampler>(cfg);
         };
     }
+    if (sampler == "accmer") {
+        return [capacity, neighbors, reuse_window] {
+            replay::PerConfig cfg;
+            cfg.capacity = capacity;
+            replay::ReuseConfig reuse;
+            reuse.reuseWindow = reuse_window;
+            reuse.runLength = neighbors;
+            return std::make_unique<replay::ReuseSampler>(cfg,
+                                                          reuse);
+        };
+    }
     fatal("unknown sampler '%s' (expected uniform, locality, per, "
-          "per-rank or ip)",
+          "per-rank, ip or accmer)",
           sampler.c_str());
 }
 
@@ -109,11 +121,29 @@ main(int argc, char **argv)
     args.addOption("agents", "3", "number of trained agents");
     args.addOption("episodes", "1000", "training episodes");
     args.addOption("sampler", "uniform",
-                   "uniform, locality, per, per-rank or ip");
+                   "uniform, locality, per, per-rank, ip or accmer");
     args.addOption("neighbors", "16",
-                   "neighbor run length for --sampler locality");
+                   "neighbor run length for --sampler locality and "
+                   "accmer");
+    args.addOption("reuse-window", "4",
+                   "plans per fresh sum-tree draw for --sampler "
+                   "accmer");
     args.addOption("batch", "128", "mini-batch size");
     args.addOption("buffer", "32768", "replay capacity");
+    args.addOption("replay-capacity", "0",
+                   "replay capacity for the sharded engine (0 = "
+                   "--buffer); accepts >RAM sizes with a cold dir");
+    args.addOption("replay-shards", "1",
+                   "power-of-two replay shard count (>1 selects the "
+                   "sharded backend; sampling is bit-identical for "
+                   "any value)");
+    args.addOption("replay-hot", "0",
+                   "transitions kept in RAM by the sharded backend "
+                   "(0 = all hot); the rest spills to "
+                   "--replay-cold-dir");
+    args.addOption("replay-cold-dir", "",
+                   "mmap cold-segment directory for the sharded "
+                   "backend (enables out-of-core replay)");
     args.addOption("update-every", "50",
                    "insertions between updates");
     args.addOption("lr", "0.01", "Adam learning rate");
@@ -242,6 +272,10 @@ main(int argc, char **argv)
     config.batchSize = static_cast<std::size_t>(args.getInt("batch"));
     config.bufferCapacity =
         static_cast<BufferIndex>(args.getInt("buffer"));
+    if (args.getInt("replay-capacity") > 0) {
+        config.bufferCapacity =
+            static_cast<BufferIndex>(args.getInt("replay-capacity"));
+    }
     config.updateEvery =
         static_cast<std::size_t>(args.getInt("update-every"));
     config.warmupTransitions = config.batchSize * 2;
@@ -251,6 +285,21 @@ main(int argc, char **argv)
     config.seed = static_cast<std::uint64_t>(args.getInt("seed"));
     if (args.getFlag("interleaved"))
         config.backend = core::SamplingBackend::Interleaved;
+    config.replayShards =
+        static_cast<std::size_t>(args.getInt("replay-shards"));
+    config.replayHotCapacity =
+        static_cast<BufferIndex>(args.getInt("replay-hot"));
+    config.replayColdDir = args.get("replay-cold-dir");
+    const bool wantSharded = config.replayShards > 1 ||
+                             !config.replayColdDir.empty();
+    if (wantSharded) {
+        if (args.getFlag("interleaved")) {
+            fatal("--interleaved and the sharded replay engine "
+                  "(--replay-shards/--replay-cold-dir) are mutually "
+                  "exclusive backends");
+        }
+        config.backend = core::SamplingBackend::Sharded;
+    }
     if (args.getFlag("continuous"))
         config.actionMode = core::ActionMode::Continuous;
 
@@ -274,7 +323,8 @@ main(int argc, char **argv)
     auto factory = buildSamplerFactory(
         args.get("sampler"),
         static_cast<std::size_t>(args.getInt("neighbors")),
-        config.bufferCapacity);
+        config.bufferCapacity,
+        static_cast<std::size_t>(args.getInt("reuse-window")));
 
     const std::size_t act_dim =
         config.actionMode == core::ActionMode::Continuous

@@ -21,18 +21,37 @@ AsyncTrainLoop::AsyncTrainLoop(core::CtdeTrainerBase &trainer_in,
     : trainer(trainer_in), envFactory(std::move(env_factory)),
       policyFactory(std::move(policy_factory)),
       config(std::move(config_in)), async(std::move(async_in)),
-      buffers(trainer_in.transitionShapes(), config.bufferCapacity),
       layout(replay::JointTransitionLayout::fromShapes(
           trainer_in.transitionShapes()))
 {
     MARLIN_ASSERT(async.actors >= 1, "async loop needs >= 1 actor");
     MARLIN_ASSERT(async.lanesPerActor >= 1,
                   "async loop needs >= 1 lane per actor");
-    if (config.backend != core::SamplingBackend::PerAgent)
+    if (config.backend == core::SamplingBackend::Interleaved)
     {
-        fatal("the async runtime supports only the per-agent "
-              "sampling backend (the interleaved store's reorg "
-              "bookkeeping assumes the lockstep loop)");
+        fatal("the async runtime supports only the per-agent and "
+              "sharded sampling backends (the interleaved store's "
+              "reorg bookkeeping assumes the lockstep loop)");
+    }
+    const bool wantSharded =
+        config.backend == core::SamplingBackend::Sharded ||
+        config.replayShards > 1 || !config.replayColdDir.empty();
+    if (wantSharded)
+    {
+        replay::ShardedStoreConfig scfg;
+        scfg.shards = config.replayShards;
+        scfg.hotCapacity = config.replayHotCapacity;
+        scfg.coldDir = config.replayColdDir;
+        sharded = std::make_unique<replay::ShardedStore>(
+            trainer_in.transitionShapes(), config.bufferCapacity,
+            scfg);
+        storage = sharded.get();
+    }
+    else
+    {
+        buffers = std::make_unique<replay::MultiAgentBuffer>(
+            trainer_in.transitionShapes(), config.bufferCapacity);
+        storage = buffers.get();
     }
     if (config.healthPolicy == core::HealthGuardPolicy::Rollback)
     {
@@ -71,7 +90,8 @@ AsyncTrainLoop::run(std::size_t episodes)
         core::LoopProgress progress;
         core::RunState state;
         state.trainer = &trainer;
-        state.buffers = &buffers;
+        state.buffers = buffers.get();
+        state.sharded = sharded.get();
         state.progress = &progress;
         const core::CkptResult loaded =
             core::resumeLatest(async.checkpointDir, state);
@@ -93,7 +113,7 @@ AsyncTrainLoop::run(std::size_t episodes)
             inform("async resume: restored %llu episodes, %zu "
                    "replay transitions from %s",
                    static_cast<unsigned long long>(prefix),
-                   static_cast<std::size_t>(buffers.size()),
+                   static_cast<std::size_t>(storage->size()),
                    async.checkpointDir.c_str());
         }
         else if (loaded.error == core::CkptError::NotFound)
@@ -156,8 +176,9 @@ AsyncTrainLoop::run(std::size_t episodes)
         async.snapshotEvery > 0 ? async.snapshotEvery : 1;
     lcfg.checkpointDir = async.checkpointDir;
     lcfg.checkpointEveryUpdates = async.checkpointEveryUpdates;
-    LearnerRunner learner(trainer, buffers, ringPtrs, layout,
+    LearnerRunner learner(trainer, *storage, ringPtrs, layout,
                           snapshot, control, config, lcfg);
+    learner.setCheckpointStorage(buffers.get(), sharded.get());
     learner.setTelemetry(telemetry, telemetryEvery);
 
     SupervisorConfig scfg;

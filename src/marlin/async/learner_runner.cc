@@ -21,13 +21,13 @@ using profile::ScopedPhase;
 
 LearnerRunner::LearnerRunner(
     core::CtdeTrainerBase &trainer_in,
-    replay::MultiAgentBuffer &buffers_in,
+    replay::ReplayStore &store_in,
     std::vector<replay::TransitionRing *> rings_in,
     const replay::JointTransitionLayout &layout_in,
     PolicySnapshot &snapshot_in, RunControl &control_in,
     const core::TrainConfig &config_in,
     LearnerConfig learner_config_in)
-    : trainer(trainer_in), buffers(buffers_in),
+    : trainer(trainer_in), store(store_in),
       rings(std::move(rings_in)), layout(layout_in),
       snapshot(snapshot_in), control(control_in), config(config_in),
       learnerConfig(std::move(learner_config_in)),
@@ -104,11 +104,13 @@ LearnerRunner::drainRings()
                 const std::uint64_t drainStartNs =
                     tr != nullptr ? base::nowNsSinceStart() : 0;
                 // Same contract as the lockstep loop's insertion:
-                // the slot index is the ring cursor before the add,
-                // and the trainer hears about it (interleaved-store
-                // bookkeeping, sampler hints) right after.
-                const BufferIndex slot = buffers.agent(0).position();
-                replay::drainRecordInto(buffers, layout, rec);
+                // the slot index is the storage cursor before the
+                // add, and the trainer hears about it (sampler
+                // hints) right after. appendRecord is the raw-record
+                // fast path on every backend — a straight memcpy on
+                // interleaved/sharded stores.
+                const BufferIndex slot = store.writeCursor();
+                store.appendRecord(layout, rec);
                 trainer.onTransitionAdded(slot);
                 ring->pop();
                 // Transit age on the insert path only, so the
@@ -272,7 +274,8 @@ LearnerRunner::maybeCheckpoint(bool force)
 
     core::RunState state;
     state.trainer = &trainer;
-    state.buffers = &buffers;
+    state.buffers = ckptBuffers;
+    state.sharded = ckptSharded;
     state.progress = &progress;
     const core::CkptResult saved = core::saveRotating(
         learnerConfig.checkpointDir, state, nullptr);
@@ -303,14 +306,14 @@ LearnerRunner::run()
 
         bool updated = false;
         const bool warm =
-            buffers.size() >= config.warmupTransitions &&
-            buffers.size() >=
+            store.size() >= config.warmupTransitions &&
+            store.size() >=
                 static_cast<BufferIndex>(config.batchSize);
         if (warm && insertionsSinceUpdate >=
                         static_cast<StepCount>(config.updateEvery))
         {
             insertionsSinceUpdate = 0;
-            stats = trainer.update(buffers, nullptr, _timer);
+            stats = trainer.update(store, _timer);
             _haveStats = true;
             ++updates;
             updated = true;

@@ -19,6 +19,7 @@
 #include "marlin/obs/metrics.hh"
 #include "marlin/obs/telemetry.hh"
 #include "marlin/profile/timer.hh"
+#include "marlin/replay/sharded_store.hh"
 #include "marlin/replay/transition_ring.hh"
 
 namespace marlin::async
@@ -72,12 +73,24 @@ class LearnerRunner
 {
   public:
     LearnerRunner(core::CtdeTrainerBase &trainer,
-                  replay::MultiAgentBuffer &buffers,
+                  replay::ReplayStore &store,
                   std::vector<replay::TransitionRing *> rings,
                   const replay::JointTransitionLayout &layout,
                   PolicySnapshot &snapshot, RunControl &control,
                   const core::TrainConfig &config,
                   LearnerConfig learner_config);
+
+    /**
+     * Concrete storage pointers for checkpointing (RunState needs
+     * the typed sections, not the interface); either may be null.
+     * Call before the thread starts.
+     */
+    void setCheckpointStorage(replay::MultiAgentBuffer *buffers_in,
+                              replay::ShardedStore *sharded_in)
+    {
+        ckptBuffers = buffers_in;
+        ckptSharded = sharded_in;
+    }
 
     /**
      * Stream one telemetry record per @p every_steps drained
@@ -129,7 +142,9 @@ class LearnerRunner
     void maybeCheckpoint(bool force);
 
     core::CtdeTrainerBase &trainer;
-    replay::MultiAgentBuffer &buffers;
+    replay::ReplayStore &store;
+    replay::MultiAgentBuffer *ckptBuffers = nullptr;
+    replay::ShardedStore *ckptSharded = nullptr;
     std::vector<replay::TransitionRing *> rings;
     const replay::JointTransitionLayout &layout;
     PolicySnapshot &snapshot;

@@ -12,6 +12,7 @@
 #include "marlin/nn/serialize.hh"
 #include "marlin/obs/metrics.hh"
 #include "marlin/obs/trace.hh"
+#include "marlin/replay/sharded_store.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -41,6 +42,7 @@ constexpr std::uint32_t tagNets = fourcc('N', 'E', 'T', 'S');
 constexpr std::uint32_t tagTrainerRt = fourcc('T', 'R', 'T', 'S');
 constexpr std::uint32_t tagReplay = fourcc('R', 'P', 'L', 'Y');
 constexpr std::uint32_t tagInterleaved = fourcc('I', 'L', 'V', 'S');
+constexpr std::uint32_t tagSharded = fourcc('S', 'H', 'R', 'D');
 constexpr std::uint32_t tagEnvRng = fourcc('E', 'N', 'V', 'S');
 constexpr std::uint32_t tagLoop = fourcc('L', 'O', 'O', 'P');
 
@@ -137,10 +139,44 @@ metaPayload(const RunState &state)
     writeVector(os, dims);
     writePod<std::uint64_t>(os, trainer.actionDim());
     writePod<std::uint8_t>(os, trainer.twinCritic() ? 1 : 0);
-    writePod<std::uint64_t>(os, state.buffers
-                                    ? state.buffers->capacity()
-                                    : 0);
+    std::uint64_t capacity = 0;
+    if (state.buffers)
+        capacity = state.buffers->capacity();
+    else if (state.sharded)
+        capacity = state.sharded->capacity();
+    writePod<std::uint64_t>(os, capacity);
     return os.str();
+}
+
+/**
+ * Lift a replay-storage load outcome into checkpoint vocabulary so
+ * callers see one error taxonomy regardless of which tier failed.
+ */
+CkptResult
+liftStoreResult(const replay::StoreLoadResult &r,
+                const std::string &section)
+{
+    if (r)
+        return CkptResult::ok(checkpointVersion);
+    CkptError error = CkptError::Truncated;
+    switch (r.error) {
+      case replay::StoreLoadError::ShapeMismatch:
+        error = CkptError::ShapeMismatch;
+        break;
+      case replay::StoreLoadError::Truncated:
+        error = CkptError::Truncated;
+        break;
+      case replay::StoreLoadError::IoError:
+        error = CkptError::IoError;
+        break;
+      case replay::StoreLoadError::Corrupt:
+        error = CkptError::CrcMismatch;
+        break;
+      case replay::StoreLoadError::None:
+        break;
+    }
+    return CkptResult::fail(error,
+                            "section " + section + ": " + r.detail);
 }
 
 /** Slurp the rest of a stream into memory for offset-based parsing. */
@@ -292,6 +328,7 @@ loadImage(const std::string &image, const RunState &state)
         {tagTrainerRt, true},
         {tagReplay, state.buffers != nullptr},
         {tagInterleaved, state.store != nullptr},
+        {tagSharded, state.sharded != nullptr},
         {tagEnvRng, state.environment != nullptr},
         {tagLoop, state.progress != nullptr},
     };
@@ -351,6 +388,15 @@ loadImage(const std::string &image, const RunState &state)
                     " != interleaved capacity " +
                     std::to_string(state.store->capacity()));
         }
+        if (state.sharded &&
+            capacity != state.sharded->capacity()) {
+            return CkptResult::fail(
+                CkptError::ShapeMismatch,
+                "checkpoint replay capacity " +
+                    std::to_string(capacity) +
+                    " != sharded capacity " +
+                    std::to_string(state.sharded->capacity()));
+        }
     }
 
     // ---- All gates passed: restore (first mutation happens here) --
@@ -364,11 +410,24 @@ loadImage(const std::string &image, const RunState &state)
     }
     if (state.buffers) {
         std::istringstream body(payload(tagReplay));
-        state.buffers->loadState(body);
+        CkptResult r = liftStoreResult(
+            state.buffers->loadState(body), tagName(tagReplay));
+        if (!r)
+            return r;
     }
     if (state.store) {
         std::istringstream body(payload(tagInterleaved));
-        state.store->loadState(body);
+        CkptResult r = liftStoreResult(
+            state.store->loadState(body), tagName(tagInterleaved));
+        if (!r)
+            return r;
+    }
+    if (state.sharded) {
+        std::istringstream body(payload(tagSharded));
+        CkptResult r = liftStoreResult(
+            state.sharded->loadState(body), tagName(tagSharded));
+        if (!r)
+            return r;
     }
     if (state.environment) {
         std::istringstream body(payload(tagEnvRng));
@@ -465,6 +524,11 @@ saveRun(std::ostream &os, const RunState &state)
         std::ostringstream payload;
         state.store->saveState(payload);
         writeSection(os, tagInterleaved, payload.str());
+    }
+    if (state.sharded) {
+        std::ostringstream payload;
+        state.sharded->saveState(payload);
+        writeSection(os, tagSharded, payload.str());
     }
     if (state.environment) {
         std::ostringstream payload;

@@ -33,6 +33,11 @@
 #include "marlin/core/maddpg.hh"
 #include "marlin/env/environment.hh"
 
+namespace marlin::replay
+{
+class ShardedStore;
+}
+
 namespace marlin::core
 {
 
@@ -117,6 +122,8 @@ struct RunState
     CtdeTrainerBase *trainer = nullptr;
     replay::MultiAgentBuffer *buffers = nullptr;
     replay::InterleavedReplayStore *store = nullptr;
+    /** Sharded/out-of-core engine (SHRD section; PR-10). */
+    replay::ShardedStore *sharded = nullptr;
     env::Environment *environment = nullptr;
     LoopProgress *progress = nullptr;
 };

@@ -10,6 +10,7 @@
 #define MARLIN_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "marlin/base/types.hh"
@@ -26,7 +27,14 @@ enum class SamplingBackend
      * Section IV-B2 layout reorganization: an interleaved key-value
      * store maintained alongside the buffers; gathers are O(B).
      */
-    Interleaved
+    Interleaved,
+    /**
+     * PR-10 replay engine: power-of-two shards of interleaved joint
+     * records with an optional mmap-backed cold tier, so capacity
+     * can exceed RAM. Sampling stays bit-identical for any shard
+     * count (logical index space is shard-independent).
+     */
+    Sharded
 };
 
 /** Action-space handling of the trainers. */
@@ -84,6 +92,16 @@ struct TrainConfig
     /** MATD3 only: clip bound for the smoothing noise. */
     Real targetNoiseClip = Real(0.5);
     SamplingBackend backend = SamplingBackend::PerAgent;
+    /** Sharded backend: power-of-two replay shard count. */
+    std::size_t replayShards = 1;
+    /**
+     * Sharded backend: joint transitions kept in RAM (the hot
+     * tier); 0 keeps everything hot. Anything beyond this spills
+     * write-behind into mmap segments under replayColdDir.
+     */
+    BufferIndex replayHotCapacity = 0;
+    /** Sharded backend: cold-segment directory ("" = all-hot). */
+    std::string replayColdDir;
     ActionMode actionMode = ActionMode::Discrete;
     /** Continuous mode: OU exploration noise scale. */
     Real ouSigma = Real(0.2);

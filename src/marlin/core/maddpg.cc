@@ -201,12 +201,11 @@ CtdeTrainerBase::onTransitionAdded(BufferIndex idx)
 }
 
 UpdateStats
-CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
-                        const replay::InterleavedReplayStore *store,
+CtdeTrainerBase::update(const replay::ReplayStore &store,
                         profile::PhaseTimer &timer)
 {
-    MARLIN_ASSERT(buffers.numAgents() == obsDims.size(),
-                  "buffer/trainer agent count mismatch");
+    MARLIN_ASSERT(store.numAgents() == obsDims.size(),
+                  "store/trainer agent count mismatch");
     const std::size_t n = obsDims.size();
     if (scratchBatches.size() != n)
         scratchBatches.resize(n);
@@ -224,14 +223,9 @@ CtdeTrainerBase::update(const replay::MultiAgentBuffer &buffers,
         UpdateWorkspace &ws = workspaces[i];
         {
             ScopedPhase sp(timer, Phase::Sampling);
-            samplers[i]->planInto(buffers.size(), _config.batchSize,
+            samplers[i]->planInto(store.size(), _config.batchSize,
                                   rng, ws.plan);
-            if (store != nullptr) {
-                store->gatherAllAgents(ws.plan, scratchBatches[i]);
-            } else {
-                replay::gatherAllAgents(buffers, ws.plan,
-                                        scratchBatches[i]);
-            }
+            store.gatherAll(ws.plan, scratchBatches[i]);
         }
         {
             ScopedPhase sp(timer, Phase::TargetQ);

@@ -61,8 +61,7 @@ class CtdeTrainerBase : public Trainer
 
     void onTransitionAdded(BufferIndex idx) override;
 
-    UpdateStats update(const replay::MultiAgentBuffer &buffers,
-                       const replay::InterleavedReplayStore *store,
+    UpdateStats update(const replay::ReplayStore &store,
                        profile::PhaseTimer &timer) override;
 
     const TrainConfig &config() const { return _config; }

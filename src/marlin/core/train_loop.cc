@@ -37,14 +37,38 @@ shapesFor(const env::Environment &environment,
 TrainLoop::TrainLoop(env::Environment &environment_in,
                      Trainer &trainer_in, TrainConfig config_in)
     : environment(environment_in), trainer(trainer_in),
-      config(std::move(config_in)),
-      buffers(shapesFor(environment_in, config), config.bufferCapacity)
+      config(std::move(config_in))
 {
     MARLIN_ASSERT(trainer.numAgents() == environment.numAgents(),
                   "trainer/environment agent count mismatch");
-    if (config.backend == SamplingBackend::Interleaved) {
-        store = std::make_unique<replay::InterleavedReplayStore>(
+    // Shard/cold-dir flags imply the sharded backend even when the
+    // caller left config.backend at a hot-tier default.
+    const bool want_sharded =
+        config.backend == SamplingBackend::Sharded ||
+        config.replayShards > 1 || !config.replayColdDir.empty();
+    if (want_sharded) {
+        config.backend = SamplingBackend::Sharded;
+        replay::ShardedStoreConfig sc;
+        sc.shards = config.replayShards;
+        sc.hotCapacity = config.replayHotCapacity;
+        sc.coldDir = config.replayColdDir;
+        sharded = std::make_unique<replay::ShardedStore>(
+            shapesFor(environment, config), config.bufferCapacity,
+            sc);
+        active = sharded.get();
+    } else {
+        buffers = std::make_unique<replay::MultiAgentBuffer>(
             shapesFor(environment, config), config.bufferCapacity);
+        active = buffers.get();
+        if (config.backend == SamplingBackend::Interleaved) {
+            store =
+                std::make_unique<replay::InterleavedReplayStore>(
+                    shapesFor(environment, config),
+                    config.bufferCapacity);
+            // Gathers run against the reorganized layout; the
+            // per-agent rings stay authoritative for checkpoints.
+            active = store.get();
+        }
     }
 }
 
@@ -116,8 +140,9 @@ TrainLoop::runState(CtdeTrainerBase *ctde)
 {
     RunState state;
     state.trainer = ctde;
-    state.buffers = &buffers;
+    state.buffers = buffers.get();
     state.store = store.get();
+    state.sharded = sharded.get();
     state.environment = &environment;
     state.progress = &progress;
     return state;
@@ -285,9 +310,14 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
             }
             {
                 ScopedPhase sp(result.timer, Phase::BufferAdd);
-                const BufferIndex slot = buffers.agent(0).position();
-                buffers.add(obs, onehots, step.rewards,
-                            step.observations, step.dones);
+                const BufferIndex slot = active->writeCursor();
+                if (buffers) {
+                    buffers->add(obs, onehots, step.rewards,
+                                 step.observations, step.dones);
+                } else {
+                    sharded->append(obs, onehots, step.rewards,
+                                    step.observations, step.dones);
+                }
                 trainer.onTransitionAdded(slot);
             }
             if (store) {
@@ -304,16 +334,15 @@ TrainLoop::run(std::size_t episodes, const EpisodeCallback &callback)
             std::swap(obs, step.observations);
 
             const bool warm =
-                buffers.size() >= config.warmupTransitions &&
-                buffers.size() >=
+                active->size() >= config.warmupTransitions &&
+                active->size() >=
                     static_cast<BufferIndex>(config.batchSize);
             bool did_update = false;
             UpdateStats stats;
             if (warm && progress.insertionsSinceUpdate >=
                             config.updateEvery) {
                 progress.insertionsSinceUpdate = 0;
-                stats = trainer.update(buffers, store.get(),
-                                       result.timer);
+                stats = trainer.update(*active, result.timer);
                 ++progress.updateCalls;
                 ++liveUpdates;
                 did_update = true;

@@ -19,6 +19,7 @@
 
 #include "marlin/core/checkpoint.hh"
 #include "marlin/core/trainer.hh"
+#include "marlin/replay/sharded_store.hh"
 #include "marlin/env/environment.hh"
 #include "marlin/obs/telemetry.hh"
 
@@ -137,13 +138,33 @@ class TrainLoop
     TrainResult run(std::size_t episodes,
                     const EpisodeCallback &callback = nullptr);
 
-    const replay::MultiAgentBuffer &buffer() const { return buffers; }
+    /**
+     * Per-agent buffers (PerAgent/Interleaved backends only; the
+     * sharded backend owns no per-agent rings).
+     */
+    const replay::MultiAgentBuffer &
+    buffer() const
+    {
+        MARLIN_ASSERT(buffers != nullptr,
+                      "no per-agent buffers under this backend");
+        return *buffers;
+    }
+
+    /** The replay storage the trainer samples from. */
+    const replay::ReplayStore &replayStore() const { return *active; }
 
     /** Null unless the interleaved backend is active. */
     const replay::InterleavedReplayStore *
     interleavedStore() const
     {
         return store.get();
+    }
+
+    /** Null unless the sharded backend is active. */
+    const replay::ShardedStore *
+    shardedStore() const
+    {
+        return sharded.get();
     }
 
     /** Episodes completed so far (survives checkpoint/resume). */
@@ -156,8 +177,14 @@ class TrainLoop
     env::Environment &environment;
     Trainer &trainer;
     TrainConfig config;
-    replay::MultiAgentBuffer buffers;
+    /** Per-agent rings (null under the sharded backend, so a 100M
+     *  out-of-core capacity never materializes in RAM). */
+    std::unique_ptr<replay::MultiAgentBuffer> buffers;
     std::unique_ptr<replay::InterleavedReplayStore> store;
+    /** Sharded/tiered storage (sharded backend only). */
+    std::unique_ptr<replay::ShardedStore> sharded;
+    /** The store the trainer samples from (never null). */
+    replay::ReplayStore *active = nullptr;
     /** Resumable run progress (serialized in the LOOP section). */
     LoopProgress progress;
     CheckpointOptions ckptOptions;

@@ -134,15 +134,15 @@ class Trainer
      * The paper's update-all-trainers stage: for every agent, sample
      * a mini-batch, compute target Q, and update critic/actor.
      *
-     * @param buffers Per-agent replay storage.
-     * @param store Interleaved layout (only when the config selected
-     *              SamplingBackend::Interleaved), else nullptr.
+     * @param store Replay storage behind the ReplayStore interface
+     *              (per-agent, interleaved or sharded/out-of-core) —
+     *              samplers plan over store.size() and batches are
+     *              gathered through store.gatherAll, so trainers are
+     *              agnostic to the storage layout.
      * @param timer Phase accounting sink.
      */
-    virtual UpdateStats
-    update(const replay::MultiAgentBuffer &buffers,
-           const replay::InterleavedReplayStore *store,
-           profile::PhaseTimer &timer) = 0;
+    virtual UpdateStats update(const replay::ReplayStore &store,
+                               profile::PhaseTimer &timer) = 0;
 };
 
 } // namespace marlin::core

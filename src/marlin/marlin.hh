@@ -45,6 +45,8 @@
 #include "marlin/replay/locality_sampler.hh"
 #include "marlin/replay/prioritized_sampler.hh"
 #include "marlin/replay/rank_sampler.hh"
+#include "marlin/replay/reuse_sampler.hh"
+#include "marlin/replay/sharded_store.hh"
 #include "marlin/replay/transition_ring.hh"
 #include "marlin/replay/uniform_sampler.hh"
 #include "marlin/serve/client.hh"

@@ -1,0 +1,290 @@
+#include "marlin/replay/cold_tier.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "marlin/base/crc32.hh"
+#include "marlin/base/logging.hh"
+#include "marlin/obs/metrics.hh"
+
+namespace marlin::replay
+{
+
+namespace
+{
+
+obs::Counter &
+spilledCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("replay.cold.spilled");
+    return c;
+}
+
+obs::Counter &
+spilledBytesCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("replay.cold.bytes");
+    return c;
+}
+
+} // namespace
+
+std::uint32_t
+ColdSegmentHeader::computeCrc() const
+{
+    // Guard everything up to the crc field itself.
+    return marlin::crc32(this, offsetof(ColdSegmentHeader, crc));
+}
+
+MmapColdTier::MmapColdTier(std::string dir, std::size_t shard_index,
+                           std::size_t shard_count,
+                           std::size_t stride_scalars,
+                           BufferIndex slots,
+                           BufferIndex segment_slots)
+    : _dir(std::move(dir)), shardIdx(shard_index),
+      shardTotal(shard_count), stride(stride_scalars), _slots(slots),
+      segSlots(segment_slots)
+{
+    MARLIN_ASSERT(stride > 0, "cold tier needs a record stride");
+    MARLIN_ASSERT(_slots > 0, "cold tier needs slots");
+    MARLIN_ASSERT(segSlots > 0, "cold tier needs segment slots");
+    const std::size_t nsegs =
+        static_cast<std::size_t>((_slots + segSlots - 1) / segSlots);
+    segments = std::vector<Segment>(nsegs);
+    // The directory must exist up front so a failed mkdir surfaces
+    // at construction, not on the first spill mid-training.
+    struct ::stat st;
+    if (::stat(_dir.c_str(), &st) != 0) {
+        if (::mkdir(_dir.c_str(), 0755) != 0 && errno != EEXIST)
+            fatal("cold tier: cannot create %s: %s", _dir.c_str(),
+                  std::strerror(errno));
+    } else if (!S_ISDIR(st.st_mode)) {
+        fatal("cold tier: %s is not a directory", _dir.c_str());
+    }
+}
+
+MmapColdTier::~MmapColdTier()
+{
+    flush();
+    for (Segment &seg : segments) {
+        void *base = seg.base.load(std::memory_order_acquire);
+        if (base != nullptr)
+            ::munmap(base, seg.mapBytes);
+        if (seg.fd >= 0)
+            ::close(seg.fd);
+    }
+}
+
+std::string
+MmapColdTier::segmentPath(std::size_t seg) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name),
+                  "/shard-%04zu.seg-%05zu.mrcs", shardIdx, seg);
+    return _dir + name;
+}
+
+Real *
+MmapColdTier::recordPtr(void *base, BufferIndex slot_in_seg) const
+{
+    char *data = static_cast<char *>(base) + kHeaderBytes;
+    return reinterpret_cast<Real *>(data) + slot_in_seg * stride;
+}
+
+void *
+MmapColdTier::ensureMapped(std::size_t seg, bool create) const
+{
+    MARLIN_ASSERT(seg < segments.size(), "segment out of range");
+    Segment &s = segments[seg];
+    void *base = s.base.load(std::memory_order_acquire);
+    if (base != nullptr)
+        return base;
+
+    std::lock_guard<std::mutex> lock(mapLock);
+    base = s.base.load(std::memory_order_relaxed);
+    if (base != nullptr)
+        return base;
+
+    const std::string path = segmentPath(seg);
+    const BufferIndex first = static_cast<BufferIndex>(seg) * segSlots;
+    const BufferIndex held = std::min(segSlots, _slots - first);
+    const std::size_t bytes =
+        kHeaderBytes + static_cast<std::size_t>(held) * stride *
+                           sizeof(Real);
+
+    int flags = O_RDWR;
+    if (create)
+        flags |= O_CREAT;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+        if (!create)
+            return nullptr; // Restore path reports this itself.
+        fatal("cold tier: cannot open %s: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    // Sparse reservation: untouched record pages occupy no disk.
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0)
+        fatal("cold tier: cannot size %s: %s", path.c_str(),
+              std::strerror(errno));
+    void *map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    if (map == MAP_FAILED)
+        fatal("cold tier: cannot map %s: %s", path.c_str(),
+              std::strerror(errno));
+    // Replay sampling is random access; tell readahead to stand
+    // down so a 100M-transition sweep does not thrash page cache.
+    ::madvise(static_cast<char *>(map) + kHeaderBytes,
+              bytes - kHeaderBytes, MADV_RANDOM);
+
+    ColdSegmentHeader hdr;
+    std::memcpy(&hdr, map, sizeof(hdr));
+    if (hdr.magic == ColdSegmentHeader::kMagic) {
+        // Re-opened an existing segment (restore path): trust its
+        // record count, geometry is re-checked by restore().
+        s.records = hdr.records;
+    } else {
+        hdr = ColdSegmentHeader{};
+        hdr.strideScalars = stride;
+        hdr.segmentSlots = held;
+        hdr.firstSlot = first;
+        hdr.shardIndex = static_cast<std::uint32_t>(shardIdx);
+        hdr.shardCount = static_cast<std::uint32_t>(shardTotal);
+        hdr.records = 0;
+        hdr.crc = hdr.computeCrc();
+        std::memcpy(map, &hdr, sizeof(hdr));
+    }
+
+    s.fd = fd;
+    s.mapBytes = bytes;
+    s.base.store(map, std::memory_order_release);
+    return map;
+}
+
+void
+MmapColdTier::writeRecord(BufferIndex slot, const Real *rec)
+{
+    MARLIN_ASSERT(slot < _slots, "cold slot out of range");
+    const std::size_t seg = static_cast<std::size_t>(slot / segSlots);
+    void *base = ensureMapped(seg, /*create=*/true);
+    std::memcpy(recordPtr(base, slot % segSlots), rec,
+                stride * sizeof(Real));
+    ++segments[seg].records;
+    ++_spilled;
+    spilledCounter().add();
+    spilledBytesCounter().add(stride * sizeof(Real));
+}
+
+const Real *
+MmapColdTier::readRecord(BufferIndex slot) const
+{
+    MARLIN_ASSERT(slot < _slots, "cold slot out of range");
+    const std::size_t seg = static_cast<std::size_t>(slot / segSlots);
+    void *base = ensureMapped(seg, /*create=*/true);
+    return recordPtr(base, slot % segSlots);
+}
+
+void
+MmapColdTier::flush() const
+{
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        Segment &s = segments[i];
+        void *base = s.base.load(std::memory_order_acquire);
+        if (base == nullptr)
+            continue;
+        ColdSegmentHeader hdr;
+        std::memcpy(&hdr, base, sizeof(hdr));
+        hdr.records = s.records;
+        hdr.crc = hdr.computeCrc();
+        std::memcpy(base, &hdr, sizeof(hdr));
+        if (::msync(base, s.mapBytes, MS_SYNC) != 0)
+            fatal("cold tier: msync failed on %s: %s",
+                  segmentPath(i).c_str(), std::strerror(errno));
+    }
+}
+
+void
+MmapColdTier::dropPageCache() const
+{
+    flush();
+    for (Segment &s : segments) {
+        void *base = s.base.load(std::memory_order_acquire);
+        if (base == nullptr)
+            continue;
+        ::madvise(static_cast<char *>(base) + kHeaderBytes,
+                  s.mapBytes - kHeaderBytes, MADV_DONTNEED);
+    }
+}
+
+std::size_t
+MmapColdTier::storageBytes() const
+{
+    std::size_t total = 0;
+    for (const Segment &s : segments)
+        if (s.base.load(std::memory_order_acquire) != nullptr)
+            total += s.mapBytes;
+    return total;
+}
+
+std::vector<std::uint64_t>
+MmapColdTier::segmentRecords() const
+{
+    std::vector<std::uint64_t> out(segments.size(), 0);
+    for (std::size_t i = 0; i < segments.size(); ++i)
+        out[i] = segments[i].records;
+    return out;
+}
+
+StoreLoadResult
+MmapColdTier::restore(std::uint64_t spilled,
+                      const std::vector<std::uint64_t> &segment_records)
+{
+    if (segment_records.size() != segments.size())
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "cold-tier manifest segment count mismatch");
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (segment_records[i] == 0)
+            continue; // Segment never touched; file need not exist.
+        void *base = ensureMapped(i, /*create=*/false);
+        if (base == nullptr)
+            return StoreLoadResult::fail(
+                StoreLoadError::IoError,
+                "missing cold segment " + segmentPath(i));
+        ColdSegmentHeader hdr;
+        std::memcpy(&hdr, base, sizeof(hdr));
+        if (hdr.magic != ColdSegmentHeader::kMagic ||
+            hdr.version != ColdSegmentHeader::kVersion)
+            return StoreLoadResult::fail(
+                StoreLoadError::Corrupt,
+                "bad magic/version in " + segmentPath(i));
+        if (hdr.crc != hdr.computeCrc())
+            return StoreLoadResult::fail(
+                StoreLoadError::Corrupt,
+                "header CRC mismatch in " + segmentPath(i));
+        const BufferIndex first =
+            static_cast<BufferIndex>(i) * segSlots;
+        const BufferIndex held = std::min(segSlots, _slots - first);
+        if (hdr.strideScalars != stride ||
+            hdr.segmentSlots != held || hdr.firstSlot != first ||
+            hdr.shardIndex != shardIdx ||
+            hdr.shardCount != shardTotal)
+            return StoreLoadResult::fail(
+                StoreLoadError::ShapeMismatch,
+                "geometry mismatch in " + segmentPath(i));
+        segments[i].records = segment_records[i];
+    }
+    _spilled = spilled;
+    return StoreLoadResult::ok();
+}
+
+} // namespace marlin::replay

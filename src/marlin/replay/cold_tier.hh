@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Mmap-backed cold tier for one replay shard: fixed-stride record
+ * segments on disk, written behind the hot ring (spill on eviction)
+ * and read back on demand when a sampler's plan reaches past the
+ * hot window.
+ *
+ * Each segment is one sparse file: a 4 KiB page-aligned preamble
+ * whose first 64 bytes are a CRC-guarded header (magic "MRCS",
+ * geometry, record count — the PR-2 crc32 path guards it), followed
+ * by segmentSlots fixed-stride records. Files are created lazily on
+ * first touch and ftruncate'd to full size up front, so unspilled
+ * pages cost no disk (sparse) and a record never straddles a
+ * mapping boundary.
+ *
+ * madvise hints: data regions are mapped MADV_RANDOM (replay
+ * sampling is uniform/prioritized, not sequential); dropPageCache()
+ * flushes and MADV_DONTNEED's them, which the round-trip test uses
+ * to force real re-reads from disk.
+ */
+
+#ifndef MARLIN_REPLAY_COLD_TIER_HH
+#define MARLIN_REPLAY_COLD_TIER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "marlin/replay/replay_store.hh"
+
+namespace marlin::replay
+{
+
+/** On-disk segment header: first 64 bytes of every segment file. */
+struct ColdSegmentHeader
+{
+    static constexpr std::uint32_t kMagic = 0x5343524Du; // "MRCS" LE
+    static constexpr std::uint32_t kVersion = 1;
+
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kVersion;
+    std::uint64_t strideScalars = 0; ///< Reals per record.
+    std::uint64_t segmentSlots = 0;  ///< Record capacity of this file.
+    std::uint64_t firstSlot = 0;     ///< First shard-local slot held.
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 0;
+    std::uint64_t records = 0; ///< Spill writes applied (cumulative).
+    std::uint8_t reserved[12] = {};
+    std::uint32_t crc = 0; ///< crc32 over the preceding 60 bytes.
+
+    /** Recompute the guard CRC from the other fields. */
+    std::uint32_t computeCrc() const;
+};
+
+static_assert(sizeof(ColdSegmentHeader) == 64,
+              "cold segment header must be exactly 64 bytes");
+
+/**
+ * The cold half of one shard's slot space. Slots are shard-local
+ * (0 .. slots-1) — ShardedStore owns the logical->shard mapping.
+ * Writes come from one thread (the append path); reads may come
+ * from gather threads, so lazy segment mapping is guarded.
+ */
+class MmapColdTier
+{
+  public:
+    /** Default records per segment file (1 Mi records). */
+    static constexpr BufferIndex kDefaultSegmentSlots = 1u << 20;
+
+    /** Bytes reserved before record data (page-aligned header). */
+    static constexpr std::size_t kHeaderBytes = 4096;
+
+    /**
+     * @param dir Directory holding this tier's segment files.
+     * @param shard_index / @param shard_count Identity stamped into
+     *        segment headers (guards cross-wiring shards on load).
+     * @param stride_scalars Reals per record.
+     * @param slots Shard-local slot count covered by the tier.
+     * @param segment_slots Records per segment file.
+     */
+    MmapColdTier(std::string dir, std::size_t shard_index,
+                 std::size_t shard_count, std::size_t stride_scalars,
+                 BufferIndex slots,
+                 BufferIndex segment_slots = kDefaultSegmentSlots);
+    ~MmapColdTier();
+
+    MmapColdTier(const MmapColdTier &) = delete;
+    MmapColdTier &operator=(const MmapColdTier &) = delete;
+
+    BufferIndex slots() const { return _slots; }
+    BufferIndex segmentSlots() const { return segSlots; }
+    std::size_t segmentCount() const { return segments.size(); }
+    std::size_t strideScalars() const { return stride; }
+
+    /** Spill one evicted hot record into shard-local @p slot. */
+    void writeRecord(BufferIndex slot, const Real *rec);
+
+    /**
+     * Record pointer for shard-local @p slot; faults the segment
+     * mapping in on first touch. Reads of never-spilled slots see
+     * zeros (sparse file) — ShardedStore never requests them.
+     */
+    const Real *readRecord(BufferIndex slot) const;
+
+    /** Records spilled into this tier so far. */
+    std::uint64_t spilledCount() const { return _spilled; }
+
+    /** Sync mapped segments and rewrite their headers + CRC. */
+    void flush() const;
+
+    /**
+     * flush(), then advise the kernel to drop the data pages
+     * (MADV_DONTNEED) so the next read faults from disk. Test hook
+     * for the spill/gather round-trip.
+     */
+    void dropPageCache() const;
+
+    /** On-disk bytes of segment files created so far (apparent). */
+    std::size_t storageBytes() const;
+
+    /** Segment file path for @p seg (exists only once touched). */
+    std::string segmentPath(std::size_t seg) const;
+
+    /**
+     * Re-open every segment file the manifest says exists and
+     * verify header CRC + geometry. Used on checkpoint load to
+     * validate the cold-segment references.
+     */
+    StoreLoadResult restore(std::uint64_t spilled,
+                            const std::vector<std::uint64_t>
+                                &segment_records);
+
+    /** Per-segment cumulative spill counts (for the manifest). */
+    std::vector<std::uint64_t> segmentRecords() const;
+
+  private:
+    struct Segment
+    {
+        /** Mapping base (header page included); null = untouched. */
+        std::atomic<void *> base{nullptr};
+        int fd = -1;
+        std::size_t mapBytes = 0;
+        std::uint64_t records = 0; ///< Spills into this segment.
+    };
+
+    /** Map (creating if @p create) segment @p seg; returns base. */
+    void *ensureMapped(std::size_t seg, bool create) const;
+
+    Real *recordPtr(void *base, BufferIndex slot_in_seg) const;
+
+    std::string _dir;
+    std::size_t shardIdx;
+    std::size_t shardTotal;
+    std::size_t stride;
+    BufferIndex _slots;
+    BufferIndex segSlots;
+    std::uint64_t _spilled = 0;
+
+    mutable std::vector<Segment> segments;
+    mutable std::mutex mapLock; ///< Guards lazy segment mapping.
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_COLD_TIER_HH

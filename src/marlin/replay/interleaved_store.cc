@@ -1,8 +1,10 @@
 #include "marlin/replay/interleaved_store.hh"
 
 #include <cstring>
+#include <string>
 
 #include "marlin/base/serialize.hh"
+#include "marlin/replay/transition_ring.hh"
 #include "marlin/numeric/kernels.hh"
 #include "marlin/obs/metrics.hh"
 
@@ -107,6 +109,55 @@ InterleavedReplayStore::append(
 }
 
 void
+InterleavedReplayStore::appendRecord(const JointTransitionLayout &layout,
+                                     const Real *rec)
+{
+    // JointTransitionLayout and this store lay fields out
+    // identically (per agent: obs | act | reward | nextObs | done,
+    // agent blocks back to back), so one memcpy appends the joint
+    // record.
+    MARLIN_ASSERT(layout.stride == stride,
+                  "drain layout does not match interleaved stride");
+    std::memcpy(data.data() + pos * stride, rec,
+                stride * sizeof(Real));
+    pos = (pos + 1) % _capacity;
+    if (_size < _capacity)
+        ++_size;
+}
+
+void
+InterleavedReplayStore::gatherAgent(std::size_t agent,
+                                    const IndexPlan &plan,
+                                    AgentBatch &out,
+                                    AccessTrace *trace) const
+{
+    MARLIN_ASSERT(agent < shapes.size(), "agent out of range");
+    const TransitionShape &shape = shapes[agent];
+    const AgentLayout &lay = layouts[agent];
+    const std::size_t batch = plan.batchSize();
+    out.resize(batch, shape);
+
+    const numeric::kernels::KernelTable &kt =
+        numeric::kernels::active();
+    for (std::size_t b = 0; b < batch; ++b) {
+        const BufferIndex idx = plan.indices[b];
+        MARLIN_ASSERT(idx < _size,
+                      "gather index beyond valid transitions");
+        const Real *src = record(idx) + lay.base;
+        if (MARLIN_UNLIKELY(trace != nullptr))
+            trace->record(src, shape.flatSize() * sizeof(Real));
+        kt.copy(src, out.obs.row(b), lay.obsDim);
+        src += lay.obsDim;
+        kt.copy(src, out.actions.row(b), lay.actDim);
+        src += lay.actDim;
+        out.rewards(b, 0) = *src++;
+        kt.copy(src, out.nextObs.row(b), lay.obsDim);
+        src += lay.obsDim;
+        out.dones(b, 0) = *src;
+    }
+}
+
+void
 InterleavedReplayStore::gatherAllAgents(const IndexPlan &plan,
                                         std::vector<AgentBatch> &out,
                                         AccessTrace *trace) const
@@ -162,33 +213,50 @@ InterleavedReplayStore::saveState(std::ostream &os) const
                                           sizeof(Real)));
 }
 
-void
+StoreLoadResult
 InterleavedReplayStore::loadState(std::istream &is)
 {
-    const auto file_stride = readPod<std::uint64_t>(is);
-    const auto capacity = readPod<std::uint64_t>(is);
-    if (file_stride != stride || capacity != _capacity) {
-        fatal("interleaved checkpoint layout (stride %llu, cap %llu) "
-              "does not match store (stride %zu, cap %zu)",
-              static_cast<unsigned long long>(file_stride),
-              static_cast<unsigned long long>(capacity), stride,
-              _capacity);
-    }
-    const auto size = readPod<std::uint64_t>(is);
-    const auto cursor = readPod<std::uint64_t>(is);
-    if (size > _capacity || cursor >= _capacity) {
-        fatal("interleaved checkpoint cursors (size %llu, pos %llu) "
-              "exceed capacity %zu",
-              static_cast<unsigned long long>(size),
-              static_cast<unsigned long long>(cursor), _capacity);
-    }
+    std::uint64_t file_stride = 0, capacity = 0;
+    is.read(reinterpret_cast<char *>(&file_stride),
+            sizeof(file_stride));
+    is.read(reinterpret_cast<char *>(&capacity), sizeof(capacity));
+    if (!is)
+        return StoreLoadResult::fail(
+            StoreLoadError::Truncated,
+            "interleaved checkpoint header truncated");
+    if (file_stride != stride || capacity != _capacity)
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "interleaved checkpoint layout (stride " +
+                std::to_string(file_stride) + ", cap " +
+                std::to_string(capacity) +
+                ") does not match store (stride " +
+                std::to_string(stride) + ", cap " +
+                std::to_string(_capacity) + ")");
+    std::uint64_t size = 0, cursor = 0;
+    is.read(reinterpret_cast<char *>(&size), sizeof(size));
+    is.read(reinterpret_cast<char *>(&cursor), sizeof(cursor));
+    if (!is)
+        return StoreLoadResult::fail(
+            StoreLoadError::Truncated,
+            "interleaved checkpoint cursors truncated");
+    if (size > _capacity || cursor >= _capacity)
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "interleaved checkpoint cursors (size " +
+                std::to_string(size) + ", pos " +
+                std::to_string(cursor) + ") exceed capacity " +
+                std::to_string(_capacity));
     _size = size;
     pos = cursor;
     is.read(reinterpret_cast<char *>(data.data()),
             static_cast<std::streamsize>(_size * stride *
                                          sizeof(Real)));
     if (!is)
-        fatal("checkpoint truncated while reading interleaved store");
+        return StoreLoadResult::fail(
+            StoreLoadError::Truncated,
+            "interleaved checkpoint data truncated");
+    return StoreLoadResult::ok();
 }
 
 } // namespace marlin::replay

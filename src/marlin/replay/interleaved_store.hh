@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "marlin/replay/gather.hh"
+#include "marlin/replay/replay_store.hh"
 
 namespace marlin::replay
 {
@@ -29,22 +30,34 @@ namespace marlin::replay
  * Records are fixed stride, so record(t) is one address computation
  * and the whole joint transition is a single contiguous read.
  */
-class InterleavedReplayStore
+class InterleavedReplayStore : public ReplayStore
 {
   public:
     /** Layout for the given per-agent shapes and ring capacity. */
     InterleavedReplayStore(std::vector<TransitionShape> shapes,
                            BufferIndex capacity);
 
-    std::size_t numAgents() const { return shapes.size(); }
-    BufferIndex capacity() const { return _capacity; }
-    BufferIndex size() const { return _size; }
+    const char *backendName() const override { return "interleaved"; }
+    std::size_t numAgents() const override { return shapes.size(); }
+    BufferIndex capacity() const override { return _capacity; }
+    BufferIndex size() const override { return _size; }
+    BufferIndex writeCursor() const override { return pos; }
+
+    const TransitionShape &
+    agentShape(std::size_t agent) const override
+    {
+        return shapes[agent];
+    }
 
     /** Scalars per joint record (sum of per-agent flat sizes). */
     std::size_t recordSize() const { return stride; }
 
     /** Bytes of the backing store. */
-    std::size_t storageBytes() const { return data.size() * sizeof(Real); }
+    std::size_t
+    storageBytes() const override
+    {
+        return data.size() * sizeof(Real);
+    }
 
     /**
      * Rebuild the store from per-agent buffers — the data reshaping
@@ -61,7 +74,15 @@ class InterleavedReplayStore
                 const std::vector<std::vector<Real>> &actions,
                 const std::vector<Real> &rewards,
                 const std::vector<std::vector<Real>> &next_obs,
-                const std::vector<bool> &dones);
+                const std::vector<bool> &dones) override;
+
+    /**
+     * Append one packed joint record. JointTransitionLayout uses the
+     * exact record layout of this store (same field order, same
+     * agent bases), so the drain path is a single memcpy.
+     */
+    void appendRecord(const JointTransitionLayout &layout,
+                      const Real *rec) override;
 
     /**
      * Gather the plan for all agents in a single loop over indices.
@@ -74,14 +95,25 @@ class InterleavedReplayStore
                          std::vector<AgentBatch> &out,
                          AccessTrace *trace = nullptr) const;
 
+    void gatherAgent(std::size_t agent, const IndexPlan &plan,
+                     AgentBatch &out,
+                     AccessTrace *trace = nullptr) const override;
+
+    void
+    gatherAll(const IndexPlan &plan, std::vector<AgentBatch> &out,
+              AccessTrace *trace = nullptr) const override
+    {
+        gatherAllAgents(plan, out, trace);
+    }
+
     /** Start address of record @p t (valid while the store lives). */
     const Real *record(BufferIndex t) const { return data.data() + t * stride; }
 
     /** Serialize cursors + the valid record region [0, size). */
-    void saveState(std::ostream &os) const;
+    void saveState(std::ostream &os) const override;
 
     /** Restore state written by saveState on a matching layout. */
-    void loadState(std::istream &is);
+    StoreLoadResult loadState(std::istream &is) override;
 
   private:
     /** Per-agent scalar offsets inside one record. */

@@ -1,8 +1,11 @@
 #include "marlin/replay/replay_buffer.hh"
 
 #include <cstring>
+#include <string>
 
 #include "marlin/base/serialize.hh"
+#include "marlin/replay/gather.hh"
+#include "marlin/replay/transition_ring.hh"
 
 namespace marlin::replay
 {
@@ -32,6 +35,15 @@ readRegion(std::istream &is, std::vector<Real> &data,
         fatal("checkpoint truncated while reading replay region of "
               "%zu scalars",
               count);
+}
+
+/** Non-fatal readPod: false on a short read. */
+template <typename T>
+bool
+tryReadPod(std::istream &is, T &out)
+{
+    is.read(reinterpret_cast<char *>(&out), sizeof(T));
+    return static_cast<bool>(is);
 }
 
 } // namespace
@@ -114,11 +126,11 @@ MultiAgentBuffer::size() const
 }
 
 void
-MultiAgentBuffer::add(const std::vector<std::vector<Real>> &obs,
-                      const std::vector<std::vector<Real>> &actions,
-                      const std::vector<Real> &rewards,
-                      const std::vector<std::vector<Real>> &next_obs,
-                      const std::vector<bool> &dones)
+MultiAgentBuffer::append(const std::vector<std::vector<Real>> &obs,
+                         const std::vector<std::vector<Real>> &actions,
+                         const std::vector<Real> &rewards,
+                         const std::vector<std::vector<Real>> &next_obs,
+                         const std::vector<bool> &dones)
 {
     const std::size_t n = buffers.size();
     MARLIN_ASSERT(obs.size() == n && actions.size() == n &&
@@ -129,6 +141,36 @@ MultiAgentBuffer::add(const std::vector<std::vector<Real>> &obs,
         buffers[i].add(obs[i], actions[i], rewards[i], next_obs[i],
                        dones[i]);
     }
+}
+
+void
+MultiAgentBuffer::appendRecord(const JointTransitionLayout &layout,
+                               const Real *rec)
+{
+    MARLIN_ASSERT(layout.agents.size() == buffers.size(),
+                  "drain layout does not match agent count");
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const JointTransitionLayout::AgentBlock &b =
+            layout.agents[i];
+        buffers[i].add(rec + b.obs, rec + b.act, rec[b.reward],
+                       rec + b.nextObs, rec[b.done] != Real(0));
+    }
+}
+
+void
+MultiAgentBuffer::gatherAgent(std::size_t agent,
+                              const IndexPlan &plan, AgentBatch &out,
+                              AccessTrace *trace) const
+{
+    gatherAgentBatch(buffers[agent], plan, out, trace);
+}
+
+void
+MultiAgentBuffer::gatherAll(const IndexPlan &plan,
+                            std::vector<AgentBatch> &out,
+                            AccessTrace *trace) const
+{
+    gatherAllAgents(*this, plan, out, trace);
 }
 
 std::size_t
@@ -157,29 +199,47 @@ ReplayBuffer::saveState(std::ostream &os) const
     writeRegion(os, doneData, _size);
 }
 
-void
+StoreLoadResult
 ReplayBuffer::loadState(std::istream &is)
 {
-    const auto obs_dim = readPod<std::uint64_t>(is);
-    const auto act_dim = readPod<std::uint64_t>(is);
-    const auto capacity = readPod<std::uint64_t>(is);
-    if (obs_dim != _shape.obsDim || act_dim != _shape.actDim ||
-        capacity != _capacity) {
-        fatal("replay checkpoint shape (%llu, %llu, cap %llu) does "
-              "not match buffer (%zu, %zu, cap %zu)",
-              static_cast<unsigned long long>(obs_dim),
-              static_cast<unsigned long long>(act_dim),
-              static_cast<unsigned long long>(capacity),
-              _shape.obsDim, _shape.actDim, _capacity);
-    }
-    const auto size = readPod<std::uint64_t>(is);
-    const auto cursor = readPod<std::uint64_t>(is);
-    if (size > _capacity || cursor >= _capacity) {
-        fatal("replay checkpoint cursors (size %llu, pos %llu) "
-              "exceed capacity %zu",
-              static_cast<unsigned long long>(size),
-              static_cast<unsigned long long>(cursor), _capacity);
-    }
+    // Geometry gate: shape AND capacity must match the constructed
+    // buffer before any data region is read. Capacity in particular
+    // used to slip through to downstream shape checks; a buffer
+    // restored at the wrong capacity would corrupt ring arithmetic
+    // even when every serialized slot happens to fit.
+    std::uint64_t obs_dim = 0, act_dim = 0, capacity = 0;
+    if (!tryReadPod(is, obs_dim) || !tryReadPod(is, act_dim) ||
+        !tryReadPod(is, capacity))
+        return StoreLoadResult::fail(
+            StoreLoadError::Truncated,
+            "replay buffer header truncated");
+    if (obs_dim != _shape.obsDim || act_dim != _shape.actDim)
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "replay checkpoint shape (" + std::to_string(obs_dim) +
+                ", " + std::to_string(act_dim) +
+                ") does not match buffer (" +
+                std::to_string(_shape.obsDim) + ", " +
+                std::to_string(_shape.actDim) + ")");
+    if (capacity != _capacity)
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "replay checkpoint capacity " +
+                std::to_string(capacity) +
+                " does not match buffer capacity " +
+                std::to_string(_capacity));
+    std::uint64_t size = 0, cursor = 0;
+    if (!tryReadPod(is, size) || !tryReadPod(is, cursor))
+        return StoreLoadResult::fail(
+            StoreLoadError::Truncated,
+            "replay buffer cursors truncated");
+    if (size > _capacity || cursor >= _capacity)
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "replay checkpoint cursors (size " +
+                std::to_string(size) + ", pos " +
+                std::to_string(cursor) + ") exceed capacity " +
+                std::to_string(_capacity));
     _size = size;
     pos = cursor;
     readRegion(is, obsData, _size * _shape.obsDim);
@@ -187,6 +247,7 @@ ReplayBuffer::loadState(std::istream &is)
     readRegion(is, rewData, _size);
     readRegion(is, nextObsData, _size * _shape.obsDim);
     readRegion(is, doneData, _size);
+    return StoreLoadResult::ok();
 }
 
 void
@@ -197,16 +258,26 @@ MultiAgentBuffer::saveState(std::ostream &os) const
         b.saveState(os);
 }
 
-void
+StoreLoadResult
 MultiAgentBuffer::loadState(std::istream &is)
 {
-    const auto count = readPod<std::uint64_t>(is);
-    if (count != buffers.size()) {
-        fatal("replay checkpoint has %llu agents, buffer set has %zu",
-              static_cast<unsigned long long>(count), buffers.size());
+    std::uint64_t count = 0;
+    if (!tryReadPod(is, count))
+        return StoreLoadResult::fail(
+            StoreLoadError::Truncated,
+            "replay checkpoint agent count truncated");
+    if (count != buffers.size())
+        return StoreLoadResult::fail(
+            StoreLoadError::ShapeMismatch,
+            "replay checkpoint has " + std::to_string(count) +
+                " agents, buffer set has " +
+                std::to_string(buffers.size()));
+    for (ReplayBuffer &b : buffers) {
+        const StoreLoadResult result = b.loadState(is);
+        if (!result)
+            return result;
     }
-    for (ReplayBuffer &b : buffers)
-        b.loadState(is);
+    return StoreLoadResult::ok();
 }
 
 } // namespace marlin::replay

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "marlin/base/logging.hh"
+#include "marlin/replay/replay_store.hh"
 #include "marlin/replay/transition.hh"
 
 namespace marlin::replay
@@ -89,8 +90,13 @@ class ReplayBuffer
      */
     void saveState(std::ostream &os) const;
 
-    /** Restore state written by saveState on a same-shape buffer. */
-    void loadState(std::istream &is);
+    /**
+     * Restore state written by saveState on a same-shape buffer.
+     * Geometry (shape AND capacity) is validated against this
+     * buffer before any data is touched; a mismatch returns a typed
+     * error instead of relying on downstream shape checks.
+     */
+    StoreLoadResult loadState(std::istream &is);
 
   private:
     TransitionShape _shape;
@@ -111,7 +117,7 @@ class ReplayBuffer
  * so a single index addresses the same timestep in every buffer —
  * the property the common indices array of Figure 5 relies on.
  */
-class MultiAgentBuffer
+class MultiAgentBuffer : public ReplayStore
 {
   public:
     /**
@@ -121,11 +127,24 @@ class MultiAgentBuffer
     MultiAgentBuffer(std::vector<TransitionShape> shapes,
                      BufferIndex capacity);
 
-    std::size_t numAgents() const { return buffers.size(); }
-    BufferIndex capacity() const { return _capacity; }
+    const char *backendName() const override { return "per_agent"; }
+    std::size_t numAgents() const override { return buffers.size(); }
+    BufferIndex capacity() const override { return _capacity; }
+
+    const TransitionShape &
+    agentShape(std::size_t agent) const override
+    {
+        return buffers[agent].shape();
+    }
 
     /** Synchronized size (identical across agents). */
-    BufferIndex size() const;
+    BufferIndex size() const override;
+
+    /** Ring cursor (identical across agents). */
+    BufferIndex writeCursor() const override
+    {
+        return buffers.front().position();
+    }
 
     ReplayBuffer &agent(std::size_t i) { return buffers[i]; }
     const ReplayBuffer &agent(std::size_t i) const { return buffers[i]; }
@@ -134,20 +153,43 @@ class MultiAgentBuffer
      * Append one joint transition (one record per agent).
      * All vectors are indexed by agent.
      */
-    void add(const std::vector<std::vector<Real>> &obs,
-             const std::vector<std::vector<Real>> &actions,
-             const std::vector<Real> &rewards,
-             const std::vector<std::vector<Real>> &next_obs,
-             const std::vector<bool> &dones);
+    void append(const std::vector<std::vector<Real>> &obs,
+                const std::vector<std::vector<Real>> &actions,
+                const std::vector<Real> &rewards,
+                const std::vector<std::vector<Real>> &next_obs,
+                const std::vector<bool> &dones) override;
+
+    /** Historical name for append(); kept for existing call sites. */
+    void
+    add(const std::vector<std::vector<Real>> &obs,
+        const std::vector<std::vector<Real>> &actions,
+        const std::vector<Real> &rewards,
+        const std::vector<std::vector<Real>> &next_obs,
+        const std::vector<bool> &dones)
+    {
+        append(obs, actions, rewards, next_obs, dones);
+    }
+
+    /** Scatter one packed joint record into every agent's ring. */
+    void appendRecord(const JointTransitionLayout &layout,
+                      const Real *rec) override;
+
+    void gatherAgent(std::size_t agent, const IndexPlan &plan,
+                     AgentBatch &out,
+                     AccessTrace *trace = nullptr) const override;
+
+    void gatherAll(const IndexPlan &plan,
+                   std::vector<AgentBatch> &out,
+                   AccessTrace *trace = nullptr) const override;
 
     /** Sum of per-agent storage. */
-    std::size_t storageBytes() const;
+    std::size_t storageBytes() const override;
 
     /** Serialize every agent's buffer state. */
-    void saveState(std::ostream &os) const;
+    void saveState(std::ostream &os) const override;
 
     /** Restore state written by saveState (same shapes/capacity). */
-    void loadState(std::istream &is);
+    StoreLoadResult loadState(std::istream &is) override;
 
   private:
     BufferIndex _capacity;

@@ -1,0 +1,19 @@
+#include "marlin/replay/replay_store.hh"
+
+#include "marlin/replay/gather.hh"
+
+namespace marlin::replay
+{
+
+void
+ReplayStore::gatherAll(const IndexPlan &plan,
+                       std::vector<AgentBatch> &out,
+                       AccessTrace *trace) const
+{
+    const std::size_t n = numAgents();
+    out.resize(n);
+    for (std::size_t agent = 0; agent < n; ++agent)
+        gatherAgent(agent, plan, out[agent], trace);
+}
+
+} // namespace marlin::replay

@@ -1,0 +1,148 @@
+#include "marlin/replay/reuse_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marlin/base/logging.hh"
+#include "marlin/base/serialize.hh"
+#include "marlin/obs/metrics.hh"
+
+namespace marlin::replay
+{
+
+ReuseSampler::ReuseSampler(PerConfig per_config,
+                           ReuseConfig reuse_config)
+    : PrioritizedSampler(per_config), _reuse(reuse_config)
+{
+    MARLIN_ASSERT(_reuse.reuseWindow >= 1,
+                  "reuse window must be >= 1");
+    MARLIN_ASSERT(_reuse.runLength >= 1,
+                  "locality run length must be >= 1");
+}
+
+void
+ReuseSampler::drawFresh(BufferIndex buffer_size, std::size_t batch,
+                        Rng &rng)
+{
+    static obs::Counter &draws =
+        obs::Registry::instance().counter("replay.accmer.draws");
+    static obs::Counter &references =
+        obs::Registry::instance().counter(
+            "replay.accmer.references");
+    draws.add();
+
+    cached.clear();
+    cached.indices.reserve(batch);
+    cached.weights.reserve(batch);
+    cached.priorityIds.reserve(batch);
+
+    const double total = _tree.total();
+    const double n = static_cast<double>(buffer_size);
+    const double segment = total / static_cast<double>(batch);
+
+    double max_w = 0.0;
+    std::vector<double> &raw = rawWeights;
+    raw.clear();
+    raw.reserve(batch);
+    std::size_t stratum = 0;
+    cachedLimit = 0;
+    while (cached.indices.size() < batch) {
+        // Stratified reference draw from the priority mass, exactly
+        // the PER discipline; the run expansion below is what makes
+        // the gather locality-dense (AccMER's fusion).
+        const double prefix =
+            (static_cast<double>(stratum % batch) + rng.uniform()) *
+            segment;
+        ++stratum;
+        const BufferIndex leaf =
+            _tree.find(std::min(prefix, total * (1.0 - 1e-12)));
+        const double p = _tree.priorityOf(leaf) / total;
+        const double w =
+            std::pow(1.0 / (n * std::max(p, 1e-12)),
+                     static_cast<double>(beta));
+        references.add();
+
+        std::size_t run = std::min<std::size_t>(
+            _reuse.runLength, batch - cached.indices.size());
+        // Clamp the run into the valid region so it stays
+        // contiguous in memory.
+        BufferIndex anchor = leaf;
+        if (anchor + run > buffer_size)
+            anchor = buffer_size -
+                     std::min<BufferIndex>(run, buffer_size);
+        for (std::size_t k = 0; k < run; ++k) {
+            cached.indices.push_back(anchor + k);
+            cached.priorityIds.push_back(leaf);
+            raw.push_back(w);
+            max_w = std::max(max_w, w);
+        }
+        cachedLimit =
+            std::max<BufferIndex>(cachedLimit, anchor + run);
+    }
+
+    const double inv = max_w > 0.0 ? 1.0 / max_w : 1.0;
+    cached.weights.resize(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        cached.weights[i] = static_cast<Real>(raw[i] * inv);
+
+    if (_config.betaAnneal > Real(0))
+        beta = std::min(Real(1), beta + _config.betaAnneal);
+}
+
+void
+ReuseSampler::planInto(BufferIndex buffer_size, std::size_t batch,
+                       Rng &rng, IndexPlan &out)
+{
+    MARLIN_ASSERT(buffer_size > 0, "sampling from an empty buffer");
+    MARLIN_ASSERT(_tree.total() > 0.0,
+                  "accmer plan before any onAdd/updatePriorities");
+    static obs::Counter &plans =
+        obs::Registry::instance().counter("replay.accmer.plans");
+    static obs::Counter &reuses =
+        obs::Registry::instance().counter("replay.accmer.reuses");
+    plans.add();
+
+    const bool cache_usable = planAge > 0 &&
+                              planAge < _reuse.reuseWindow &&
+                              cached.indices.size() == batch &&
+                              cachedLimit <= buffer_size;
+    if (!cache_usable) {
+        drawFresh(buffer_size, batch, rng);
+        planAge = 0;
+    } else {
+        // Reused plans consume no RNG: the stream advances only on
+        // fresh draws, so resume points inside a reuse window stay
+        // bit-identical.
+        reuses.add();
+    }
+    ++planAge;
+
+    out.indices = cached.indices;
+    out.weights = cached.weights;
+    out.priorityIds = cached.priorityIds;
+}
+
+void
+ReuseSampler::saveState(std::ostream &os) const
+{
+    PrioritizedSampler::saveState(os);
+    writePod<std::uint64_t>(os, planAge);
+    writePod<std::uint64_t>(os, cachedLimit);
+    writeVector<BufferIndex>(os, cached.indices);
+    writeVector<Real>(os, cached.weights);
+    writeVector<BufferIndex>(os, cached.priorityIds);
+}
+
+void
+ReuseSampler::loadState(std::istream &is)
+{
+    PrioritizedSampler::loadState(is);
+    planAge = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    cachedLimit =
+        static_cast<BufferIndex>(readPod<std::uint64_t>(is));
+    cached.indices = readVector<BufferIndex>(is);
+    cached.weights = readVector<Real>(is);
+    cached.priorityIds = readVector<BufferIndex>(is);
+}
+
+} // namespace marlin::replay

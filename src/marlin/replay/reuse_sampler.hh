@@ -1,0 +1,67 @@
+/**
+ * @file
+ * AccMER-style reuse sampler (PAPERS.md): the sum-tree prioritized
+ * sampler fused with locality-run expansion and a reuse window.
+ *
+ * Priorities still come from the PER sum tree, but each stratified
+ * reference expands into a contiguous locality run (the cache-dense
+ * access pattern the locality sampler buys), and the resulting plan
+ * is *reused* for reuseWindow consecutive updates before the tree
+ * is consulted again. Reused plans consume no RNG draws, so a run
+ * that mixes fresh and reused plans stays deterministic and
+ * resumable: the cached plan and its age are checkpointed.
+ */
+
+#ifndef MARLIN_REPLAY_REUSE_SAMPLER_HH
+#define MARLIN_REPLAY_REUSE_SAMPLER_HH
+
+#include "marlin/replay/prioritized_sampler.hh"
+
+namespace marlin::replay
+{
+
+/** AccMER knobs on top of the PER configuration. */
+struct ReuseConfig
+{
+    /** Plans served per fresh sum-tree draw (1 = no reuse). */
+    std::size_t reuseWindow = 4;
+    /** Contiguous transitions gathered per sum-tree reference. */
+    std::size_t runLength = 8;
+};
+
+/** Prioritized sampler with locality runs and batch reuse. */
+class ReuseSampler : public PrioritizedSampler
+{
+  public:
+    ReuseSampler(PerConfig per_config, ReuseConfig reuse_config);
+
+    std::string name() const override { return "accmer"; }
+
+    void planInto(BufferIndex buffer_size, std::size_t batch,
+                  Rng &rng, IndexPlan &out) override;
+
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
+
+    const ReuseConfig &reuseConfig() const { return _reuse; }
+
+    /** Plans served from the cache since the last fresh draw. */
+    std::size_t plansSinceDraw() const { return planAge; }
+
+  private:
+    /** Draw a fresh plan from the sum tree into the cache. */
+    void drawFresh(BufferIndex buffer_size, std::size_t batch,
+                   Rng &rng);
+
+    ReuseConfig _reuse;
+    /** Cached plan served while the reuse window is open. */
+    IndexPlan cached;
+    /** One past the highest cached index (validity bound). */
+    BufferIndex cachedLimit = 0;
+    /** Plans served from the cache (0 = cache empty/expired). */
+    std::size_t planAge = 0;
+};
+
+} // namespace marlin::replay
+
+#endif // MARLIN_REPLAY_REUSE_SAMPLER_HH

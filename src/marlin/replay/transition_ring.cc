@@ -64,14 +64,7 @@ void
 drainRecordInto(MultiAgentBuffer &buffers,
                 const JointTransitionLayout &layout, const Real *rec)
 {
-    MARLIN_ASSERT(buffers.numAgents() == layout.agents.size(),
-                  "drainRecordInto: agent count mismatch");
-    for (std::size_t i = 0; i < layout.agents.size(); ++i)
-    {
-        const auto &b = layout.agents[i];
-        buffers.agent(i).add(rec + b.obs, rec + b.act, rec[b.reward],
-                             rec + b.nextObs, rec[b.done] != Real(0));
-    }
+    buffers.appendRecord(layout, rec);
 }
 
 TransitionRing::TransitionRing(std::size_t stride,

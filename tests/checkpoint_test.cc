@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -19,6 +20,7 @@
 #include <sstream>
 
 #include "marlin/marlin.hh"
+#include "marlin/replay/gather.hh"
 
 namespace marlin
 {
@@ -360,6 +362,158 @@ TEST(Checkpoint, AgentCountMismatchIsAShapeError)
     const auto r = core::loadRun(is, st);
     ASSERT_FALSE(r);
     EXPECT_EQ(r.error, core::CkptError::ShapeMismatch);
+}
+
+/** Build a replay buffer matching a rig's trainer geometry. */
+std::vector<replay::TransitionShape>
+rigShapes(const Rig &rig, BufferIndex /*capacity*/)
+{
+    std::vector<replay::TransitionShape> shapes;
+    for (std::size_t i = 0; i < rig.environment->numAgents(); ++i)
+        shapes.push_back({rig.environment->obsDim(i),
+                          rig.environment->actionDim()});
+    return shapes;
+}
+
+TEST(Checkpoint, ReplayCapacityMismatchIsATypedShapeError)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    replay::MultiAgentBuffer saved(rigShapes(a, 0), 4096);
+    std::ostringstream os;
+    core::RunState save_state;
+    save_state.trainer = a.trainer.get();
+    save_state.buffers = &saved;
+    core::saveRun(os, save_state);
+
+    // Same shapes, half the capacity: the META gate must reject it
+    // with the typed error before any section is restored.
+    Rig b = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    replay::MultiAgentBuffer smaller(rigShapes(b, 0), 2048);
+    core::RunState st;
+    st.trainer = b.trainer.get();
+    st.buffers = &smaller;
+    std::istringstream is(os.str());
+    const auto r = core::loadRun(is, st);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::ShapeMismatch);
+    EXPECT_NE(r.detail.find("replay capacity"), std::string::npos)
+        << r.detail;
+    EXPECT_EQ(smaller.size(), 0u) << "failed load must not mutate";
+}
+
+/**
+ * A checkpoint whose stored replay capacity was rewritten in place
+ * (section CRC recomputed, so the corruption is semantically valid
+ * bytes) must fail the capacity gate as a ShapeMismatch — not decay
+ * into a CRC error, and never partially restore.
+ */
+TEST(Checkpoint, CorruptCapacityFieldFailsTheGateNotTheRestore)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    replay::MultiAgentBuffer saved(rigShapes(a, 0), 4096);
+    std::ostringstream os;
+    core::RunState save_state;
+    save_state.trainer = a.trainer.get();
+    save_state.buffers = &saved;
+    core::saveRun(os, save_state);
+    std::string image = os.str();
+
+    // Walk the section chain to the META payload; its final u64 is
+    // the replay capacity. Rewrite it and recompute the section CRC.
+    const std::uint32_t tag_meta =
+        static_cast<std::uint32_t>('M') |
+        (static_cast<std::uint32_t>('E') << 8) |
+        (static_cast<std::uint32_t>('T') << 16) |
+        (static_cast<std::uint32_t>('A') << 24);
+    std::size_t off = 8; // File magic + version.
+    bool patched = false;
+    while (off + 12 <= image.size()) {
+        std::uint32_t tag = 0;
+        std::uint64_t len = 0;
+        std::memcpy(&tag, image.data() + off, 4);
+        std::memcpy(&len, image.data() + off + 4, 8);
+        const std::size_t payload = off + 12;
+        if (tag == tag_meta) {
+            ASSERT_GE(len, 8u);
+            const std::uint64_t bogus = 12345;
+            std::memcpy(image.data() + payload + len - 8, &bogus, 8);
+            const std::uint32_t crc =
+                crc32(image.data() + payload, len);
+            std::memcpy(image.data() + payload + len, &crc, 4);
+            patched = true;
+            break;
+        }
+        off = payload + len + 4;
+    }
+    ASSERT_TRUE(patched) << "META section not found";
+
+    Rig b = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    replay::MultiAgentBuffer buffers(rigShapes(b, 0), 4096);
+    core::RunState st;
+    st.trainer = b.trainer.get();
+    st.buffers = &buffers;
+    std::istringstream is(image);
+    const auto r = core::loadRun(is, st);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error, core::CkptError::ShapeMismatch) << r.detail;
+    EXPECT_NE(r.detail.find("12345"), std::string::npos) << r.detail;
+    EXPECT_EQ(buffers.size(), 0u);
+}
+
+TEST(Checkpoint, ShardedStoreRoundTripsThroughShrdSection)
+{
+    Rig a = makeRig(Which::Maddpg, rigConfig(Which::Maddpg));
+    replay::ShardedStoreConfig cfg;
+    cfg.shards = 2;
+    replay::ShardedStore store_a(rigShapes(a, 0), 4096, cfg);
+    {
+        std::vector<std::vector<Real>> obs, act, next;
+        std::vector<Real> rew;
+        std::vector<bool> done;
+        for (std::size_t i = 0; i < store_a.numAgents(); ++i) {
+            const auto &shape = store_a.agentShape(i);
+            obs.emplace_back(shape.obsDim, Real(0.25));
+            act.emplace_back(shape.actDim, Real(0.5));
+            next.emplace_back(shape.obsDim, Real(0.75));
+            rew.push_back(Real(1));
+            done.push_back(false);
+        }
+        for (int t = 0; t < 100; ++t) {
+            rew[0] = static_cast<Real>(t);
+            store_a.append(obs, act, rew, next, done);
+        }
+    }
+
+    std::ostringstream os;
+    core::RunState save_state;
+    save_state.trainer = a.trainer.get();
+    save_state.sharded = &store_a;
+    core::saveRun(os, save_state);
+
+    auto other = rigConfig(Which::Maddpg);
+    other.seed = 99;
+    Rig b = makeRig(Which::Maddpg, other);
+    replay::ShardedStore store_b(rigShapes(b, 0), 4096, cfg);
+    core::RunState st;
+    st.trainer = b.trainer.get();
+    st.sharded = &store_b;
+    std::istringstream is(os.str());
+    const auto r = core::loadRun(is, st);
+    ASSERT_TRUE(r) << r.detail;
+
+    ASSERT_EQ(store_b.size(), store_a.size());
+    replay::IndexPlan plan;
+    for (BufferIndex i = 0; i < store_a.size(); ++i)
+        plan.indices.push_back(i);
+    plan.weights.assign(plan.indices.size(), Real(1));
+    std::vector<replay::AgentBatch> batch_a, batch_b;
+    store_a.gatherAll(plan, batch_a);
+    store_b.gatherAll(plan, batch_b);
+    for (std::size_t i = 0; i < batch_a.size(); ++i)
+        for (std::size_t k = 0; k < batch_a[i].rewards.size(); ++k)
+            ASSERT_EQ(batch_a[i].rewards.data()[k],
+                      batch_b[i].rewards.data()[k])
+                << "agent " << i << " row " << k;
 }
 
 TEST(Checkpoint, ResumeOnEmptyDirectoryStartsFresh)

@@ -139,7 +139,7 @@ TEST(ContinuousTrainer, UpdateMovesActorParameters)
     const Real before =
         trainer.networks(0).actor.params()[0]->value(0, 0);
     profile::PhaseTimer timer;
-    auto stats = trainer.update(buf, nullptr, timer);
+    auto stats = trainer.update(buf, timer);
     EXPECT_NE(trainer.networks(0).actor.params()[0]->value(0, 0),
               before);
     EXPECT_TRUE(std::isfinite(stats.criticLoss));

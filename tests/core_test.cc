@@ -200,7 +200,7 @@ TEST(MaddpgTrainer, UpdateChangesParametersAndTimesPhases)
     const Real w_before =
         trainer.networks(0).actor.params()[0]->value(0, 0);
     profile::PhaseTimer timer;
-    auto stats = trainer.update(buf, nullptr, timer);
+    auto stats = trainer.update(buf, timer);
     const Real w_after =
         trainer.networks(0).actor.params()[0]->value(0, 0);
 
@@ -238,7 +238,7 @@ TEST(MaddpgTrainer, PerSamplerReceivesTdErrors)
     EXPECT_EQ(raw[0]->tree().priorityOf(5), 1.0);
 
     profile::PhaseTimer timer;
-    trainer.update(buf, nullptr, timer);
+    trainer.update(buf, timer);
     // After the update, TD write-back must have reshaped priorities.
     bool changed = false;
     for (BufferIndex i = 0; i < 64 && !changed; ++i)
@@ -262,13 +262,13 @@ TEST(Matd3Trainer, DelayedPolicyUpdates)
         trainer.networks(0).critic.params()[0]->value(0, 0);
 
     profile::PhaseTimer timer;
-    trainer.update(buf, nullptr, timer); // Critic step 1: no actor.
+    trainer.update(buf, timer); // Critic step 1: no actor.
     EXPECT_EQ(trainer.networks(0).actor.params()[0]->value(0, 0),
               actor_before);
     EXPECT_NE(trainer.networks(0).critic.params()[0]->value(0, 0),
               critic_before);
 
-    trainer.update(buf, nullptr, timer); // Critic step 2: actor moves.
+    trainer.update(buf, timer); // Critic step 2: actor moves.
     EXPECT_NE(trainer.networks(0).actor.params()[0]->value(0, 0),
               actor_before);
 }

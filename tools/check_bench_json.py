@@ -11,7 +11,10 @@ Two artifacts are checked:
      fail CI, not silently produce unattributable data.
 
      "actors" is validated when present: benches that sweep rollout
-     actor counts declare it, single-loop benches need not.
+     actor counts declare it, single-loop benches need not. Likewise
+     "replay_shards" (declared by replay-engine benches): it must be
+     a power-of-two integer, since shard count changes the storage
+     walk and numbers must never be misattributed across it.
 
   2. The google-benchmark --benchmark_out JSON file, which must
      parse and contain a non-empty "benchmarks" array with real_time
@@ -77,6 +80,15 @@ def check_banner(stdout_path: str) -> None:
             not isinstance(banner["actors"], int) or banner["actors"] < 1
         ):
             fail(f"banner {banner!r} has a bad actor count")
+        if "replay_shards" in banner and (
+            not isinstance(banner["replay_shards"], int)
+            or banner["replay_shards"] < 1
+            or banner["replay_shards"] & (banner["replay_shards"] - 1)
+        ):
+            fail(
+                f"banner {banner!r} has a bad replay_shards value "
+                "(must be a power-of-two integer >= 1)"
+            )
         if banner["isa"] not in ("scalar", "avx2"):
             fail(f"banner {banner!r} has unknown isa {banner['isa']!r}")
         if not isinstance(banner["commit"], str) or not banner["commit"]:

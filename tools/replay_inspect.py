@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Inspect MARLin cold-tier replay segment files (*.mrcs).
+
+Each segment file written by replay::MmapColdTier starts with a 4 KiB
+preamble whose first 64 bytes are the CRC-guarded ColdSegmentHeader
+(see src/marlin/replay/cold_tier.hh):
+
+    u32  magic          "MRCS" little-endian (0x5343524D)
+    u32  version        1
+    u64  strideScalars  Reals per record
+    u64  segmentSlots   record capacity of this file
+    u64  firstSlot      first shard-local slot held
+    u32  shardIndex
+    u32  shardCount
+    u64  records        cumulative spill writes applied
+    u8   reserved[12]
+    u32  crc            IEEE CRC-32 over the preceding 60 bytes
+
+The guard CRC uses the same polynomial (0xEDB88320) as the checkpoint
+section footers, which is exactly Python's zlib.crc32 — so this tool
+can verify segment integrity with no dependency on the C++ build.
+
+Usage: replay_inspect.py SEGMENT.mrcs [SEGMENT.mrcs ...]
+
+Prints one JSON object per file on stdout. Exits non-zero if any file
+is unreadable, has a bad magic/version, or fails the CRC check.
+"""
+
+import json
+import os
+import struct
+import sys
+import zlib
+
+MAGIC = 0x5343524D  # "MRCS" little-endian.
+VERSION = 1
+HEADER_BYTES = 64
+# Layout of ColdSegmentHeader; 12x covers the reserved bytes.
+HEADER_STRUCT = struct.Struct("<IIQQQIIQ12xI")
+
+
+def fail(msg: str) -> None:
+    print(f"replay_inspect: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def inspect(path: str) -> dict:
+    try:
+        with open(path, "rb") as f:
+            raw = f.read(HEADER_BYTES)
+        apparent = os.path.getsize(path)
+        # Sparse files: blocks actually allocated on disk.
+        allocated = os.stat(path).st_blocks * 512
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if len(raw) < HEADER_BYTES:
+        fail(f"{path}: truncated header ({len(raw)} bytes)")
+
+    (
+        magic,
+        version,
+        stride_scalars,
+        segment_slots,
+        first_slot,
+        shard_index,
+        shard_count,
+        records,
+        crc_stored,
+    ) = HEADER_STRUCT.unpack(raw)
+
+    if magic != MAGIC:
+        fail(f"{path}: bad magic {magic:#010x} (want {MAGIC:#010x})")
+    if version != VERSION:
+        fail(f"{path}: unsupported version {version}")
+    crc_computed = zlib.crc32(raw[: HEADER_BYTES - 4]) & 0xFFFFFFFF
+    crc_ok = crc_computed == crc_stored
+    info = {
+        "file": path,
+        "magic": "MRCS",
+        "version": version,
+        "stride_scalars": stride_scalars,
+        "segment_slots": segment_slots,
+        "first_slot": first_slot,
+        "shard_index": shard_index,
+        "shard_count": shard_count,
+        "records": records,
+        "crc_stored": f"{crc_stored:#010x}",
+        "crc_computed": f"{crc_computed:#010x}",
+        "crc_ok": crc_ok,
+        "apparent_bytes": apparent,
+        "allocated_bytes": allocated,
+    }
+    print(json.dumps(info))
+    if not crc_ok:
+        fail(f"{path}: header CRC mismatch")
+    return info
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: replay_inspect.py SEGMENT.mrcs [...]")
+    for path in sys.argv[1:]:
+        inspect(path)
+
+
+if __name__ == "__main__":
+    main()
