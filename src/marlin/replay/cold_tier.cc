@@ -75,7 +75,9 @@ MmapColdTier::MmapColdTier(std::string dir, std::size_t shard_index,
 
 MmapColdTier::~MmapColdTier()
 {
-    flush();
+    // Never abort out of a destructor (it may run during unwind): a
+    // transient msync failure here downgrades to a warning.
+    flush(/*fatal_on_error=*/false);
     for (Segment &seg : segments) {
         void *base = seg.base.load(std::memory_order_acquire);
         if (base != nullptr)
@@ -194,7 +196,7 @@ MmapColdTier::readRecord(BufferIndex slot) const
 }
 
 void
-MmapColdTier::flush() const
+MmapColdTier::flush(bool fatal_on_error) const
 {
     for (std::size_t i = 0; i < segments.size(); ++i) {
         Segment &s = segments[i];
@@ -206,9 +208,13 @@ MmapColdTier::flush() const
         hdr.records = s.records;
         hdr.crc = hdr.computeCrc();
         std::memcpy(base, &hdr, sizeof(hdr));
-        if (::msync(base, s.mapBytes, MS_SYNC) != 0)
-            fatal("cold tier: msync failed on %s: %s",
-                  segmentPath(i).c_str(), std::strerror(errno));
+        if (::msync(base, s.mapBytes, MS_SYNC) != 0) {
+            if (fatal_on_error)
+                fatal("cold tier: msync failed on %s: %s",
+                      segmentPath(i).c_str(), std::strerror(errno));
+            warn("cold tier: msync failed on %s: %s",
+                 segmentPath(i).c_str(), std::strerror(errno));
+        }
     }
 }
 
@@ -245,45 +251,83 @@ MmapColdTier::segmentRecords() const
 }
 
 StoreLoadResult
-MmapColdTier::restore(std::uint64_t spilled,
-                      const std::vector<std::uint64_t> &segment_records)
+MmapColdTier::validateManifest(
+    const std::vector<std::uint64_t> &segment_records) const
 {
     if (segment_records.size() != segments.size())
         return StoreLoadResult::fail(
             StoreLoadError::ShapeMismatch,
             "cold-tier manifest segment count mismatch");
+    // ensureMapped adopts the on-disk record count as a side effect
+    // of first mapping a segment; snapshot and restore the counters
+    // so validation commits nothing regardless of outcome.
+    std::vector<std::uint64_t> prior(segments.size());
+    for (std::size_t i = 0; i < segments.size(); ++i)
+        prior[i] = segments[i].records;
+    StoreLoadResult result = StoreLoadResult::ok();
     for (std::size_t i = 0; i < segments.size(); ++i) {
         if (segment_records[i] == 0)
             continue; // Segment never touched; file need not exist.
         void *base = ensureMapped(i, /*create=*/false);
-        if (base == nullptr)
-            return StoreLoadResult::fail(
+        if (base == nullptr) {
+            result = StoreLoadResult::fail(
                 StoreLoadError::IoError,
                 "missing cold segment " + segmentPath(i));
+            break;
+        }
         ColdSegmentHeader hdr;
         std::memcpy(&hdr, base, sizeof(hdr));
         if (hdr.magic != ColdSegmentHeader::kMagic ||
-            hdr.version != ColdSegmentHeader::kVersion)
-            return StoreLoadResult::fail(
+            hdr.version != ColdSegmentHeader::kVersion) {
+            result = StoreLoadResult::fail(
                 StoreLoadError::Corrupt,
                 "bad magic/version in " + segmentPath(i));
-        if (hdr.crc != hdr.computeCrc())
-            return StoreLoadResult::fail(
+            break;
+        }
+        if (hdr.crc != hdr.computeCrc()) {
+            result = StoreLoadResult::fail(
                 StoreLoadError::Corrupt,
                 "header CRC mismatch in " + segmentPath(i));
+            break;
+        }
         const BufferIndex first =
             static_cast<BufferIndex>(i) * segSlots;
         const BufferIndex held = std::min(segSlots, _slots - first);
         if (hdr.strideScalars != stride ||
             hdr.segmentSlots != held || hdr.firstSlot != first ||
             hdr.shardIndex != shardIdx ||
-            hdr.shardCount != shardTotal)
-            return StoreLoadResult::fail(
+            hdr.shardCount != shardTotal) {
+            result = StoreLoadResult::fail(
                 StoreLoadError::ShapeMismatch,
                 "geometry mismatch in " + segmentPath(i));
-        segments[i].records = segment_records[i];
+            break;
+        }
     }
+    for (std::size_t i = 0; i < segments.size(); ++i)
+        segments[i].records = prior[i];
+    return result;
+}
+
+void
+MmapColdTier::adoptManifest(
+    std::uint64_t spilled,
+    const std::vector<std::uint64_t> &segment_records)
+{
+    MARLIN_ASSERT(segment_records.size() == segments.size(),
+                  "adoptManifest without a passing validateManifest");
+    for (std::size_t i = 0; i < segments.size(); ++i)
+        segments[i].records = segment_records[i];
     _spilled = spilled;
+}
+
+StoreLoadResult
+MmapColdTier::restore(std::uint64_t spilled,
+                      const std::vector<std::uint64_t> &segment_records)
+{
+    const StoreLoadResult result = validateManifest(segment_records);
+    if (!result)
+        return result;
+    adoptManifest(spilled, segment_records);
     return StoreLoadResult::ok();
 }
 

@@ -60,8 +60,11 @@ static_assert(sizeof(ColdSegmentHeader) == 64,
 /**
  * The cold half of one shard's slot space. Slots are shard-local
  * (0 .. slots-1) — ShardedStore owns the logical->shard mapping.
- * Writes come from one thread (the append path); reads may come
- * from gather threads, so lazy segment mapping is guarded.
+ * Writes come from one thread (the append path). Lazy segment
+ * mapping is mutex-guarded so a reader thread distinct from the
+ * writer is safe, but ShardedStore additionally requires at most
+ * ONE gather thread at a time: cold gathers stage through a single
+ * shared scratch row (see ShardedStore::coldStage).
  */
 class MmapColdTier
 {
@@ -107,8 +110,13 @@ class MmapColdTier
     /** Records spilled into this tier so far. */
     std::uint64_t spilledCount() const { return _spilled; }
 
-    /** Sync mapped segments and rewrite their headers + CRC. */
-    void flush() const;
+    /**
+     * Sync mapped segments and rewrite their headers + CRC. An
+     * msync failure is fatal by default; the destructor passes
+     * @p fatal_on_error = false to warn-and-continue instead of
+     * aborting mid-unwind on a transient I/O error.
+     */
+    void flush(bool fatal_on_error = true) const;
 
     /**
      * flush(), then advise the kernel to drop the data pages
@@ -125,8 +133,27 @@ class MmapColdTier
 
     /**
      * Re-open every segment file the manifest says exists and
-     * verify header CRC + geometry. Used on checkpoint load to
-     * validate the cold-segment references.
+     * verify header CRC + geometry WITHOUT adopting the manifest:
+     * the tier's logical state (record counts, spill total) is
+     * unchanged regardless of outcome, so callers can validate all
+     * shards before committing any of them.
+     */
+    StoreLoadResult
+    validateManifest(const std::vector<std::uint64_t>
+                         &segment_records) const;
+
+    /**
+     * Commit a manifest previously accepted by validateManifest
+     * (record counts + spill total). Cannot fail.
+     */
+    void adoptManifest(std::uint64_t spilled,
+                       const std::vector<std::uint64_t>
+                           &segment_records);
+
+    /**
+     * validateManifest + adoptManifest in one step: used on
+     * checkpoint load to validate the cold-segment references. A
+     * failure leaves the tier untouched.
      */
     StoreLoadResult restore(std::uint64_t spilled,
                             const std::vector<std::uint64_t>

@@ -247,15 +247,22 @@ InterleavedReplayStore::loadState(std::istream &is)
                 std::to_string(size) + ", pos " +
                 std::to_string(cursor) + ") exceed capacity " +
                 std::to_string(_capacity));
-    _size = size;
-    pos = cursor;
-    is.read(reinterpret_cast<char *>(data.data()),
-            static_cast<std::streamsize>(_size * stride *
+    // Stage the record data before committing anything, so a
+    // truncated payload leaves the store's previous contents intact
+    // (the StoreLoadResult contract).
+    std::vector<Real> staged(static_cast<std::size_t>(size) * stride);
+    is.read(reinterpret_cast<char *>(staged.data()),
+            static_cast<std::streamsize>(staged.size() *
                                          sizeof(Real)));
     if (!is)
         return StoreLoadResult::fail(
             StoreLoadError::Truncated,
             "interleaved checkpoint data truncated");
+    _size = size;
+    pos = cursor;
+    if (!staged.empty())
+        std::memcpy(data.data(), staged.data(),
+                    staged.size() * sizeof(Real));
     return StoreLoadResult::ok();
 }
 

@@ -52,11 +52,14 @@ enum class StoreLoadError
 };
 
 /**
- * Result of ReplayStore::loadState. Stores validate geometry before
- * mutating anything, so a failed load leaves the store untouched and
- * the caller (core/checkpoint.cc) can map the category onto its own
- * CkptError without re-deriving the cause from downstream shape
- * checks.
+ * Result of ReplayStore::loadState. Stores validate geometry and
+ * stage the payload before committing anything, so a failed load —
+ * a mid-payload truncation included — leaves the store's previous
+ * contents intact, and the caller (core/checkpoint.cc) can map the
+ * category onto its own CkptError without re-deriving the cause
+ * from downstream shape checks. (ReplayBuffer is the one exception:
+ * a data-region short read is fatal, so no failure path there
+ * returns control over a half-mutated buffer either.)
  */
 struct StoreLoadResult
 {

@@ -38,7 +38,14 @@ ReuseSampler::drawFresh(BufferIndex buffer_size, std::size_t batch,
 
     const double total = _tree.total();
     const double n = static_cast<double>(buffer_size);
-    const double segment = total / static_cast<double>(batch);
+    // Every reference expands into up to runLength indices, so the
+    // loop below draws exactly ceil(batch/runLength) references; the
+    // strata must tile the priority mass over THAT count. Stratifying
+    // over batch would leave everything past the first refs/batch of
+    // the cumulative mass unsampleable.
+    const std::size_t refs =
+        (batch + _reuse.runLength - 1) / _reuse.runLength;
+    const double segment = total / static_cast<double>(refs);
 
     double max_w = 0.0;
     std::vector<double> &raw = rawWeights;
@@ -51,7 +58,7 @@ ReuseSampler::drawFresh(BufferIndex buffer_size, std::size_t batch,
         // the PER discipline; the run expansion below is what makes
         // the gather locality-dense (AccMER's fusion).
         const double prefix =
-            (static_cast<double>(stratum % batch) + rng.uniform()) *
+            (static_cast<double>(stratum % refs) + rng.uniform()) *
             segment;
         ++stratum;
         const BufferIndex leaf =

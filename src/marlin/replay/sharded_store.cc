@@ -385,35 +385,84 @@ ShardedStore::loadState(std::istream &is)
         return StoreLoadResult::fail(StoreLoadError::ShapeMismatch,
                                      "sharded geometry mismatch");
 
-    _appended = appended;
-    for (Shard &sh : shards_) {
-        std::uint64_t shard_appended = 0;
-        if (!tryReadPod(is, shard_appended))
+    // Stage the whole payload before touching any member: a
+    // truncation anywhere below must leave the store's previous
+    // contents intact (the StoreLoadResult contract).
+    struct StagedShard
+    {
+        std::uint64_t appended = 0;
+        std::vector<Real> hot;
+        std::uint64_t spilled = 0;
+        std::vector<std::uint64_t> segRecords;
+    };
+    std::vector<StagedShard> staged(shards_.size());
+    for (StagedShard &st : staged) {
+        if (!tryReadPod(is, st.appended))
             return StoreLoadResult::fail(StoreLoadError::Truncated,
                                          "shard record truncated");
-        sh.appended = shard_appended;
         const BufferIndex valid =
-            sh.appended < hotSlots ? sh.appended : hotSlots;
-        is.read(reinterpret_cast<char *>(sh.hot.data()),
-                static_cast<std::streamsize>(
-                    static_cast<std::size_t>(valid) *
-                    _layout.stride * sizeof(Real)));
+            st.appended < hotSlots
+                ? static_cast<BufferIndex>(st.appended)
+                : hotSlots;
+        st.hot.resize(static_cast<std::size_t>(valid) *
+                      _layout.stride);
+        is.read(reinterpret_cast<char *>(st.hot.data()),
+                static_cast<std::streamsize>(st.hot.size() *
+                                             sizeof(Real)));
         if (!is)
             return StoreLoadResult::fail(StoreLoadError::Truncated,
                                          "hot tier truncated");
-        if (sh.cold) {
-            std::uint64_t spilled = 0;
-            if (!tryReadPod(is, spilled))
+        if (!coldDir.empty()) {
+            if (!tryReadPod(is, st.spilled))
                 return StoreLoadResult::fail(
                     StoreLoadError::Truncated,
                     "cold manifest truncated");
-            const std::vector<std::uint64_t> seg_records =
-                readVector<std::uint64_t>(is);
+            std::uint64_t seg_count = 0;
+            if (!tryReadPod(is, seg_count))
+                return StoreLoadResult::fail(
+                    StoreLoadError::Truncated,
+                    "cold manifest truncated");
+            const std::int64_t left = remainingBytes(is);
+            if (left >= 0 &&
+                seg_count > static_cast<std::uint64_t>(left) /
+                                sizeof(std::uint64_t))
+                return StoreLoadResult::fail(
+                    StoreLoadError::Truncated,
+                    "cold manifest truncated");
+            st.segRecords.resize(seg_count);
+            is.read(reinterpret_cast<char *>(st.segRecords.data()),
+                    static_cast<std::streamsize>(
+                        seg_count * sizeof(std::uint64_t)));
+            if (!is)
+                return StoreLoadResult::fail(
+                    StoreLoadError::Truncated,
+                    "cold manifest truncated");
+        }
+    }
+
+    // Validate every shard's cold manifest before committing any:
+    // validateManifest adopts nothing, so a mismatch here still
+    // leaves the full store untouched.
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        if (shards_[s].cold) {
             const StoreLoadResult cold_result =
-                sh.cold->restore(spilled, seg_records);
+                shards_[s].cold->validateManifest(
+                    staged[s].segRecords);
             if (!cold_result)
                 return cold_result;
         }
+
+    // Commit: nothing below can fail.
+    _appended = appended;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard &sh = shards_[s];
+        StagedShard &st = staged[s];
+        sh.appended = st.appended;
+        if (!st.hot.empty())
+            std::memcpy(sh.hot.data(), st.hot.data(),
+                        st.hot.size() * sizeof(Real));
+        if (sh.cold)
+            sh.cold->adoptManifest(st.spilled, st.segRecords);
     }
     return StoreLoadResult::ok();
 }

@@ -87,6 +87,10 @@ class ShardedStore : public ReplayStore
     void appendRecord(const JointTransitionLayout &layout,
                       const Real *rec) override;
 
+    /**
+     * Gathers stage cold faults through one shared scratch row, so
+     * at most one thread may gather at a time (see coldStage).
+     */
     void gatherAgent(std::size_t agent, const IndexPlan &plan,
                      AgentBatch &out,
                      AccessTrace *trace = nullptr) const override;
@@ -163,6 +167,11 @@ class ShardedStore : public ReplayStore
      * every agent from RAM instead of touching the mapped page per
      * agent. All-hot gathers never use it, preserving the zero-alloc
      * steady state.
+     *
+     * THREADING: this is one shared, unsynchronized scratch row, so
+     * at most ONE thread may run gatherAgent/gatherAll at a time
+     * (today that is the trainer update's serial prologue). Parallel
+     * gathers would need per-caller staging before they are safe.
      */
     mutable std::vector<Real> coldStage;
 };

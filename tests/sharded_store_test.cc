@@ -441,11 +441,64 @@ TEST(ShardedStore, TruncatedStateIsATypedError)
     a.saveState(os);
     const std::string full = os.str();
 
+    // The target store already holds DIFFERENT records: a truncated
+    // payload must leave them byte-identical (the StoreLoadResult
+    // contract), not half-overwritten with the checkpoint's.
     ShardedStore b(testShapes(), 64, cfg);
+    for (int t = 100; t < 112; ++t)
+        appendMarked(b, t);
+    const std::vector<AgentBatch> before = gatherEverything(b);
+    const BufferIndex size_before = b.size();
+
     std::istringstream is(full.substr(0, full.size() / 2));
     const StoreLoadResult r = b.loadState(is);
     ASSERT_FALSE(r);
     EXPECT_EQ(r.error, StoreLoadError::Truncated);
+    EXPECT_EQ(b.size(), size_before)
+        << "failed load must not mutate";
+    expectBatchesEqual(gatherEverything(b), before);
+}
+
+// --- AccMER stratification coverage --------------------------------
+
+/**
+ * Fresh AccMER draws stratify over the full cumulative priority
+ * mass: the loop emits ceil(batch/runLength) references, so the
+ * strata must tile total() over THAT count. With uniform priorities
+ * every fresh plan must therefore reference both the bottom and the
+ * top quarter of the index space (regression: stratifying over
+ * batch confined references to the first ~1/runLength of the mass,
+ * leaving ~87% of it unsampleable at the default runLength=8).
+ */
+TEST(ReuseSampler, StratifiedReferencesCoverFullPriorityMass)
+{
+    constexpr BufferIndex capacity = 256;
+    constexpr std::size_t batch = 32;
+
+    PerConfig per;
+    per.capacity = capacity;
+    ReuseConfig reuse;
+    reuse.reuseWindow = 1; // Every plan is a fresh draw.
+    reuse.runLength = 8;   // 4 references per batch.
+    ReuseSampler sampler(per, reuse);
+    for (BufferIndex i = 0; i < capacity; ++i)
+        sampler.onAdd(i);
+
+    Rng rng(7);
+    IndexPlan plan;
+    for (int round = 0; round < 8; ++round) {
+        sampler.planInto(capacity, batch, rng, plan);
+        ASSERT_EQ(plan.priorityIds.size(), batch);
+        BufferIndex lo = capacity, hi = 0;
+        for (BufferIndex id : plan.priorityIds) {
+            lo = id < lo ? id : lo;
+            hi = id > hi ? id : hi;
+        }
+        // Uniform priorities: the first stratum's reference must sit
+        // in the bottom quarter and the last one in the top quarter.
+        EXPECT_LT(lo, capacity / 4) << "round " << round;
+        EXPECT_GE(hi, capacity - capacity / 4) << "round " << round;
+    }
 }
 
 } // namespace
